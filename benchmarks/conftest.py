@@ -1,0 +1,39 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one paper table/figure via its experiment
+harness, asserts the paper's qualitative shape (who wins, roughly by how
+much, where crossovers fall), and persists the rendered rows under
+``benchmarks/results/`` for inspection.
+
+Fidelity comes from ``REPRO_FIDELITY`` (quick|full); simulation results are
+memoized on disk (``.repro_cache/``), so re-runs and cross-benchmark reuse
+are fast.  Benchmarks run their experiment exactly once
+(``benchmark.pedantic(..., rounds=1)``) — the interesting metric is the
+experiment's wall time, not statistical timing over repeats.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import fidelity_from_env
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def fidelity():
+    return fidelity_from_env()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

@@ -1,0 +1,30 @@
+"""Workload characterization sweep (paper §III measurement surface)."""
+
+from repro.experiments import characterization
+
+
+def test_characterization(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(
+        characterization.run, args=(fidelity,), rounds=1, iterations=1
+    )
+    save_result("characterization", result.format())
+
+    characters = result.characters
+    assert len(characters) == 33  # 4 services + 29 SPEC benchmarks
+
+    services = [c for c in characters.values() if c.kind == "latency-sensitive"]
+    batch = [c for c in characters.values() if c.kind == "batch"]
+
+    # Server signature: higher L1-I pressure, lower MLP than batch average.
+    avg_service_l1i = sum(c.l1i_mpki for c in services) / len(services)
+    avg_batch_l1i = sum(c.l1i_mpki for c in batch) / len(batch)
+    assert avg_service_l1i > avg_batch_l1i
+
+    avg_service_mlp = sum(c.mlp_ge2 for c in services) / len(services)
+    avg_batch_mlp = sum(c.mlp_ge2 for c in batch) / len(batch)
+    assert avg_batch_mlp > 1.5 * avg_service_mlp
+
+    # Sanity: all UIPCs in a plausible band for a 6-wide core.
+    for c in characters.values():
+        assert 0.05 < c.uipc < 6.0
+        assert 0.0 <= c.branch_misprediction_rate <= 0.5

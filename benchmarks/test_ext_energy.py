@@ -1,0 +1,23 @@
+"""Extension: energy/perf-per-watt view of B-mode (run separately if the
+main suite predates this file; append with ``--benchmark-only | tee -a``)."""
+
+from repro.experiments import ext_energy as ext
+
+
+def test_ext_energy(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(ext.run, args=(fidelity,), rounds=1, iterations=1)
+    save_result("ext_energy", result.format())
+
+    # Every pair produced both modes.
+    pairs = {r.pair for r in result.rows}
+    assert len(result.rows) == 2 * len(pairs)
+    for row in result.rows:
+        assert row.combined_uipc > 0
+        assert row.watts > 0
+        assert row.instructions_per_joule > 0
+    # B-mode never costs meaningful efficiency, and helps on average:
+    # it shifts window capacity toward the thread that converts it into
+    # retired work.
+    for pair in pairs:
+        assert result.ipj_gain(pair) > -0.05, pair
+    assert result.mean_ipj_gain() > 0.0

@@ -1,0 +1,21 @@
+"""Extension: B-mode gain sensitivity to machine parameters (§IV-D)."""
+
+from repro.experiments import ext_sensitivity as ext
+
+
+def test_ext_sensitivity(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(ext.run, args=(fidelity,), rounds=1, iterations=1)
+    save_result("ext_sensitivity", result.format())
+
+    # The robust claim: a positive average batch gain at every sweep point —
+    # Stretch is a mechanism, not a point design.  (Magnitudes interact
+    # non-monotonically with the parameters; see the module docstring.)
+    for point in result.points:
+        assert point.batch_gain > 0.0, (point.axis, point.variant)
+        assert -0.05 <= point.ls_cost <= 0.45, (point.axis, point.variant)
+
+    # Every axis was actually swept.
+    assert {p.axis for p in result.points} == {
+        "mshrs/thread", "memory ns", "ROB entries"
+    }
+    assert len(result.along("ROB entries")) == 3

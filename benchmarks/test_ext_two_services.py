@@ -1,0 +1,27 @@
+"""Extension (§IV-D): colocating two latency-sensitive services.
+
+A skewed configuration toward the loaded thread should extend the load
+range that thread can serve within QoS, paid for by the low-load service's
+slack.
+"""
+
+from repro.experiments import ext_two_services as ext
+
+
+def test_ext_two_services(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(ext.run, args=(fidelity,), rounds=1, iterations=1)
+    save_result("ext_two_services", result.format())
+
+    for row in result.rows:
+        # The skew helps the loaded service's single-thread performance...
+        assert row.skew_factor_loaded >= row.equal_factor_loaded - 0.02
+        # ...and never shrinks its QoS-safe load range.
+        assert row.skew_safe_load >= row.equal_safe_load - 0.05
+        # The background service pays (it has the slack to).
+        assert row.skew_factor_background <= row.equal_factor_background + 0.05
+    # At least one pair shows a strict improvement in safe load or factor.
+    assert any(
+        row.skew_factor_loaded > row.equal_factor_loaded + 0.01
+        or row.skew_safe_load > row.equal_safe_load
+        for row in result.rows
+    )

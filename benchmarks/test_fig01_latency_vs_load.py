@@ -1,0 +1,24 @@
+"""Figure 1: Web Search latency vs load (avg / p95 / p99)."""
+
+from repro.experiments import fig01_latency_vs_load as fig01
+
+
+def test_fig01_latency_vs_load(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(
+        fig01.run, args=(fidelity,), rounds=1, iterations=1
+    )
+    save_result("fig01_latency_vs_load", result.format())
+
+    # QoS is met at every load point up to the (bisected) peak.
+    for __, stats in result.points:
+        assert stats.p99 <= result.qos_target_ms * 1.02
+    # p99 grows much faster than the average as queueing sets in
+    # (paper: average +43%, p99 over 2.5x).
+    assert result.p99_growth >= 1.8
+    assert result.average_growth > 0.2
+    # Latency is monotone-ish in load at the tail.
+    p99s = [stats.p99 for __, stats in result.points]
+    assert p99s[-1] > p99s[0]
+    # The 99th percentile sits well above the median at every load.
+    for __, stats in result.points:
+        assert stats.p99 > stats.p50

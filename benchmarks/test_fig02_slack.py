@@ -1,0 +1,22 @@
+"""Figure 2: performance slack of the four services vs load."""
+
+from repro.experiments import fig02_slack as fig02
+from repro.experiments.common import LS_WORKLOADS
+
+
+def test_fig02_slack(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(fig02.run, args=(fidelity,), rounds=1, iterations=1)
+    save_result("fig02_slack", result.format())
+
+    for name in LS_WORKLOADS:
+        # Required performance grows monotonically (within tolerance) with load.
+        curve = [req for __, req in result.curves[name]]
+        for lo, hi in zip(curve, curve[1:]):
+            assert hi >= lo - 0.05
+        # Significant slack at low-to-moderate load (paper: 55-90% at 20%).
+        assert result.slack_at(name, 0.2) >= 0.4
+        # Slack nearly gone close to peak (paper: >=80% perf needed at 80%).
+        assert result.required_at(name, 0.8) >= 0.7
+    # The across-service range at 20% load overlaps the paper's 55-90% band.
+    slacks20 = [result.slack_at(name, 0.2) for name in LS_WORKLOADS]
+    assert min(slacks20) >= 0.4 and max(slacks20) <= 0.95

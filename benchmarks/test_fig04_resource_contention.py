@@ -1,0 +1,29 @@
+"""Figure 4: per-resource contention for Web Search vs 29 co-runners.
+
+Paper shape: the shared ROB is the dominant batch bottleneck (>15% loss for
+about half the co-runners, ~31% max), while Web Search loses little to any
+single resource except the L1-D against lbm.
+"""
+
+from repro.experiments import fig04_resource_contention as fig04
+
+
+def test_fig04_resource_contention(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(fig04.run, args=(fidelity,), rounds=1, iterations=1)
+    save_result("fig04_resource_contention", result.format())
+
+    # The ROB is the consistent batch bottleneck...
+    rob_batch = result.batch_summary("rob")
+    assert rob_batch.mean >= 0.06
+    assert result.batch_over("rob", 0.15) >= 8  # paper: 15 of 29
+    assert rob_batch.maximum >= 0.18            # paper: 31%
+    # ... and hurts batch more than any front-end structure does.
+    for resource in ("l1i", "bp"):
+        assert rob_batch.mean > result.batch_summary(resource).mean
+    # Web Search's median loss to each single resource stays modest.
+    for resource in fig04.RESOURCES:
+        assert result.ls_summary(resource).median <= 0.15
+    # The L1-D outlier (lbm) hits Web Search hardest among L1-D co-runners.
+    l1d_rows = result.by_resource["l1d"]
+    worst = max(l1d_rows, key=lambda row: row[1])
+    assert worst[1] >= 0.08

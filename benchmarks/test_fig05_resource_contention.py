@@ -1,0 +1,22 @@
+"""Figure 5: average per-resource contention across all four services.
+
+Paper shape: ROB sharing costs batch ~19% on average (31% max); no single
+resource costs the latency-sensitive side much.
+"""
+
+from repro.experiments import fig05_resource_contention_all as fig05
+
+
+def test_fig05_resource_contention_all(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(fig05.run, args=(fidelity,), rounds=1, iterations=1)
+    save_result("fig05_resource_contention", result.format())
+
+    # ROB is the dominant average batch bottleneck across services.
+    rob_avg = result.avg_batch_slowdown("rob")
+    assert rob_avg >= 0.06  # paper: 19%
+    for resource in ("l1i", "bp"):
+        assert rob_avg > result.avg_batch_slowdown(resource)
+    assert result.max_batch_slowdown("rob") >= 0.18  # paper: 31%
+    # LS-side average loss per single resource stays modest for every service.
+    for resource in ("rob", "l1i", "bp"):
+        assert result.avg_ls_slowdown(resource) <= 0.15

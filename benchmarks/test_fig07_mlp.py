@@ -1,0 +1,26 @@
+"""Figure 7: MLP of Web Search vs zeusmp.
+
+Paper shape: Web Search has >=2 concurrent misses only 9% of the time
+(>=3: 3%), zeusmp 55% (>=3: 21%) — the reason big ROBs pay off for batch.
+"""
+
+from repro.experiments import fig07_mlp as fig07
+
+
+def test_fig07_mlp(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(fig07.run, args=(fidelity,), rounds=1, iterations=1)
+    save_result("fig07_mlp", result.format())
+
+    ws2 = result.mlp_at_least("web_search", 2)
+    zm2 = result.mlp_at_least("zeusmp", 2)
+    # zeusmp exhibits MLP for a large fraction of time, Web Search rarely.
+    assert zm2 >= 3 * ws2
+    assert ws2 <= 0.25          # paper: 9%
+    assert 0.3 <= zm2 <= 0.95   # paper: 55%
+    # Deeper MLP: zeusmp still substantial, Web Search nearly none.
+    assert result.mlp_at_least("zeusmp", 3) >= 0.1   # paper: 21%
+    assert result.mlp_at_least("web_search", 3) <= 0.1  # paper: 3%
+    # Cumulative fractions are monotone in K.
+    for name in fig07.WORKLOADS:
+        values = [result.mlp_at_least(name, k) for k in fig07.MLP_LEVELS]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,32 @@
+"""Figure 9: speedups under every B-mode and Q-mode ROB skew.
+
+Paper headlines: B-mode 56-136 gives batch +13% avg / +30% max at an LS cost
+of -7% avg / -13% worst; deeper skews help batch more and cost LS more;
+Q-mode 136-56 gives LS +7% avg at a batch cost of -21% avg.
+"""
+
+from repro.experiments import fig09_stretch_modes as fig09
+
+
+def test_fig09_stretch_modes(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(fig09.run, args=(fidelity,), rounds=1, iterations=1)
+    save_result("fig09_stretch_modes", result.format())
+
+    b_default = result.batch_summary("56-136")
+    ls_default = result.ls_summary("56-136")
+    # Headline B-mode: meaningful average batch gain, large best case.
+    assert 0.05 <= b_default.mean <= 0.25          # paper: +13%
+    assert b_default.maximum >= 0.15               # paper: +30%
+    # LS pays only a modest average cost.
+    assert -0.20 <= ls_default.mean <= 0.0         # paper: -7%
+    # Deeper skew 32-160 buys more batch speedup than 64-128.
+    assert result.batch_summary("32-160").mean > result.batch_summary("64-128").mean
+    # ... and costs the LS thread more.
+    assert result.ls_summary("32-160").mean < result.ls_summary("64-128").mean
+    # Q-mode mirror: LS gains, batch pays.
+    q_default = result.batch_summary("136-56")
+    assert result.ls_summary("136-56").mean > 0.0  # paper: +7%
+    assert q_default.mean < -0.08                  # paper: -21%
+    # Q-mode LS gains are smaller than B-mode batch gains (low LS ROB
+    # sensitivity — the paper's §VI-A2 observation).
+    assert result.ls_summary("136-56").mean < b_default.mean

@@ -1,0 +1,27 @@
+"""Figure 10: per-co-runner batch speedups under B-mode 56-136, sorted.
+
+Paper shape: for each service, at least 10 co-runners gain over 15%, two
+more gain over 10%, and the remaining ROB-insensitive ones gain 2-9%.
+"""
+
+from repro.experiments import fig10_bmode_speedup as fig10
+from repro.experiments.common import LS_WORKLOADS
+
+
+def test_fig10_bmode_speedup(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(fig10.run, args=(fidelity,), rounds=1, iterations=1)
+    save_result("fig10_bmode_speedup", result.format())
+
+    for ls in LS_WORKLOADS:
+        speedups = [s for __, s in result.speedups[ls]]
+        # Sorted descending (the figure's presentation).
+        assert speedups == sorted(speedups, reverse=True)
+        # A solid group of big winners (paper: >=10 over 15%).
+        assert result.count_over(ls, 0.10) >= 8
+        # The tail is flat, not negative on average.
+        tail = speedups[-5:]
+        assert sum(tail) / len(tail) >= -0.05
+    # The high-MLP exemplars are among the winners for web_search.
+    ranked = [name for name, __ in result.speedups["web_search"]]
+    top_half = set(ranked[: len(ranked) // 2])
+    assert {"zeusmp", "libquantum", "milc"} & top_half

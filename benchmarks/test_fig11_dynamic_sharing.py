@@ -1,0 +1,35 @@
+"""Figure 11: dynamically shared ROB vs equal static partitioning.
+
+Paper shape: batch applications lose 8% avg (49% max) under dynamic
+sharing because the latency-sensitive thread clogs entries it cannot use;
+the LS side gains slightly (4% avg / 11% max).
+
+Model deviation (see EXPERIMENTS.md): our wrong-path occupancy model lets
+the LS thread clog the shared ROB (doubling its occupancy vs a stall-only
+front end), but LS front-end stalls (I-misses, redirect refills) still cap
+its allocation share against a high-dispatch-rate co-runner, so in our
+model BOTH sides lose under dynamic sharing — the LS side included.  The
+conclusion the paper draws from this figure (unmanaged dynamic sharing is
+strictly worse than explicit partitioning) holds at least as strongly.
+"""
+
+from repro.experiments import fig11_dynamic_sharing as fig11
+from repro.util.stats import summarize
+
+
+def test_fig11_dynamic_sharing(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(fig11.run, args=(fidelity,), rounds=1, iterations=1)
+    save_result("fig11_dynamic_sharing", result.format())
+
+    batch = summarize(result.all_batch_slowdowns())
+    ls = summarize(result.all_ls_changes())
+    # Batch has a heavy loss tail under dynamic sharing (paper: -49% worst).
+    assert batch.maximum >= 0.12
+    # Batch does not gain meaningfully on average.
+    assert batch.mean >= -0.08
+    # In our model the LS side also loses (deviation from the paper's small
+    # LS gain — see module docstring); nobody wins from unmanaged sharing.
+    assert ls.mean <= 0.05
+    # The headline: dynamic sharing never dominates equal partitioning for
+    # both classes simultaneously.
+    assert not (ls.mean > 0.02 and batch.mean < -0.02)

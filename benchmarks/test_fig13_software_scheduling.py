@@ -1,0 +1,28 @@
+"""Figure 13: Stretch vs ideal software scheduling, and their combination.
+
+Paper shape: ideal contention-free scheduling yields +8% batch speedup,
+Stretch +13%, and the combination +21% — additive, because they target
+different loss sources (cache/BP contention vs window capacity).
+"""
+
+from repro.experiments import fig13_software_scheduling as fig13
+
+
+def test_fig13_software_scheduling(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(fig13.run, args=(fidelity,), rounds=1, iterations=1)
+    save_result("fig13_software_scheduling", result.format())
+
+    ideal = result.average("Ideal Software Scheduling")
+    stretch = result.average("Stretch")
+    combined = result.average("Stretch + Ideal Software Scheduling")
+
+    # All three help batch throughput on average.
+    assert ideal > 0.0
+    assert stretch > 0.0
+    # Stretch beats even idealized contention-free scheduling (paper: 13 vs 8).
+    assert stretch > ideal - 0.02
+    # The combination beats either alone — the techniques are additive.
+    assert combined > stretch
+    assert combined > ideal
+    # Additivity within slack: combined is in the ballpark of the sum.
+    assert combined >= 0.5 * (ideal + stretch)

@@ -1,0 +1,19 @@
+"""Tables I-III: regenerate the paper's parameter tables."""
+
+from repro.experiments import tables
+
+
+def test_tables(benchmark, fidelity, save_result):
+    result = benchmark.pedantic(tables.run, args=(fidelity,), rounds=1, iterations=1)
+    text = result.format()
+    save_result("tables", text)
+    # Table I: the four services and their QoS contracts.
+    assert "data_serving" in text and "20 ms" in text and "p99" in text
+    assert "1 sec" in text and "p95" in text
+    # Table II: the simulated core of the paper.
+    assert "192 entries total, 96 per thread" in text
+    assert "64 entries total, 32 per thread" in text
+    assert "16K gShare & 4K bimodal" in text
+    assert "75 ns (188 cycles)" in text
+    # Table III: evaluation services.
+    assert "Nutch / Lucene" in text

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A day in the life of a colocated server (closed loop, paper §IV-C / §VI-D).
+
+Simulates 24 hours of a Web Search service colocated with a batch job on one
+SMT core:
+
+* request load follows the Web Search cluster's diurnal pattern;
+* the CPI²-extended software monitor watches windowed p99 latency and
+  programs the Stretch control register (Baseline / B-mode / Q-mode);
+* batch throughput accrues according to the engaged mode.
+
+Prints an hourly timeline and the daily summary the paper's Figure 14 case
+study reports.  With ``--adaptive``, the multi-B-mode adaptive policy
+(§IV-D extension) replaces the two-point monitor: each window it engages
+the deepest provisioned skew whose predicted tail stays inside the QoS
+budget.
+
+Usage:  python examples/datacenter_colocation.py [batch_workload] [--adaptive]
+"""
+
+import sys
+
+from repro import SamplingConfig, StretchMode, get_profile
+from repro.core.adaptive import AdaptiveStretchPolicy
+from repro.core.colocation import measure_colocation_performance
+from repro.core.partitioning import B_MODES
+from repro.core.server import ColocatedServer
+from repro.qos.diurnal import web_search_cluster_load
+
+MODE_GLYPH = {
+    StretchMode.BASELINE: "=",
+    StretchMode.B_MODE: "B",
+    StretchMode.Q_MODE: "Q",
+}
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    adaptive = "--adaptive" in sys.argv
+    batch_name = args[0] if args else "zeusmp"
+    ls = get_profile("web_search")
+    batch = get_profile(batch_name)
+
+    print(f"Measuring per-mode performance of {ls.name} + {batch.name} ...")
+    performance = measure_colocation_performance(
+        ls, batch, sampling=SamplingConfig(n_samples=3, seed=42)
+    )
+    for mode in StretchMode:
+        m = performance.per_mode[mode]
+        print(f"  {mode.value:<9} LS factor {performance.ls_perf_factor(mode):.2f}, "
+              f"batch UIPC {m.batch_uipc:.3f}")
+
+    label = "adaptive multi-B-mode policy" if adaptive else "two-point monitor"
+    print(f"\nSimulating 24 hours (10-minute windows, {label}) ...")
+    server = ColocatedServer(ls, performance, seed=11)
+    if adaptive:
+        policy = AdaptiveStretchPolicy(ls.qos, performance, tuple(B_MODES))
+        timeline = server.run_day_adaptive(
+            web_search_cluster_load, policy,
+            window_minutes=10, requests_per_window=1200,
+        )
+    else:
+        timeline = server.run_day(
+            web_search_cluster_load, window_minutes=10, requests_per_window=1200
+        )
+
+    print("\nhour  load  mode-per-window                     p99(ms)")
+    per_hour = 6  # 10-minute windows
+    for hour in range(24):
+        windows = timeline.windows[hour * per_hour:(hour + 1) * per_hour]
+        glyphs = "".join(MODE_GLYPH[w.mode] + ("!" if w.qos_violated else "")
+                         for w in windows)
+        load = windows[0].load_fraction
+        p99 = max(w.tail_latency_ms for w in windows)
+        print(f"{hour:>4}  {load:>4.0%}  {glyphs:<36}{p99:>8.1f}")
+
+    baseline_uipc = performance.per_mode[StretchMode.BASELINE].batch_uipc
+    print(f"\nB-mode engaged {timeline.bmode_fraction:.0%} of the day")
+    print(f"QoS violation rate: {timeline.violation_rate:.1%} of windows")
+    print(f"Batch throughput vs always-Baseline: "
+          f"{timeline.batch_throughput_gain(baseline_uipc):+.1%}")
+    print(f"Mode switches ordered by the monitor: "
+          f"{sum(1 for a, b in zip(timeline.windows, timeline.windows[1:]) if a.mode is not b.mode)}")
+    print("\nLegend: '=' Baseline, 'B' B-mode, 'Q' Q-mode, '!' QoS violation")
+
+
+if __name__ == "__main__":
+    main()

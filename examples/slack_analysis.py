@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Slack analysis: how much core performance can each service give up?
+
+Reproduces the paper's §II study against the queueing substrate:
+
+1. latency-versus-load curves for Web Search (Figure 1) with its 100 ms
+   p99 target, and
+2. the minimum performance factor that still meets QoS across loads for
+   all four latency-sensitive services (Figure 2) — the slack Stretch's
+   B-mode exploits.
+
+Usage:  python examples/slack_analysis.py
+"""
+
+from repro.qos.queueing import ServiceSimulator
+from repro.qos.slack import DutyCycleModulator, slack_curve
+from repro.workloads import CLOUDSUITE, get_profile
+
+LOADS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+def latency_vs_load() -> None:
+    profile = get_profile("web_search")
+    service = ServiceSimulator(profile.qos, n_workers=8, seed=7)
+    print(f"Web Search latency vs load (p99 target {profile.qos.target_ms:.0f} ms)")
+    print(f"{'load':>6} {'mean':>8} {'p95':>8} {'p99':>8}")
+    for load, stats in service.latency_vs_load(LOADS + [1.0], n_requests=12000):
+        print(f"{load:>6.0%} {stats.mean:>8.1f} {stats.p95:>8.1f} {stats.p99:>8.1f}")
+    print()
+
+
+def slack_curves() -> None:
+    print("Minimum performance (fraction of a full core) that still meets QoS")
+    curves = {
+        name: dict(slack_curve(profile, LOADS, n_requests=8000))
+        for name, profile in CLOUDSUITE.items()
+    }
+    names = list(curves)
+    print(f"{'load':>6} " + " ".join(f"{n:>16}" for n in names))
+    for load in LOADS:
+        row = " ".join(f"{curves[n][load]:>16.2f}" for n in names)
+        print(f"{load:>6.0%} {row}")
+
+    modulator = DutyCycleModulator()
+    print("\nExample: at 30% load, Web Search needs only "
+          f"{curves['web_search'][0.3]:.0%} of full-core performance — an "
+          f"Elfen-style duty cycle of "
+          f"{modulator.duty_for_performance(curves['web_search'][0.3]):.0%}.")
+    print("Everything above that line is slack Stretch's B-mode can hand "
+          "to a batch co-runner.")
+
+
+if __name__ == "__main__":
+    latency_vs_load()
+    slack_curves()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All project metadata lives in pyproject.toml (PEP 621); this file only
+enables ``pip install -e .`` in environments without the ``wheel`` package,
+where pip falls back to the ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""Stretch: Balancing QoS and Throughput for Colocated Server Workloads on SMT Cores.
+
+A from-scratch Python reproduction of Margaritov et al., HPCA 2019
+(DOI 10.1109/HPCA.2019.00024).
+
+Package map
+-----------
+* :mod:`repro.core` — the paper's contribution: Stretch partition schemes,
+  control register, software monitor, and the closed-loop colocated server.
+* :mod:`repro.cpu` — the dual-thread SMT out-of-order core timing simulator
+  (partitionable ROB/LSQ, shared caches/predictors, MSHRs, prefetcher).
+* :mod:`repro.workloads` — statistical workload profiles and the synthetic
+  µop-trace generator standing in for CloudSuite and SPEC CPU2006.
+* :mod:`repro.qos` — the request-level queueing substrate (latency vs load,
+  slack analysis, diurnal case studies).
+* :mod:`repro.experiments` — one harness per paper figure/table.
+
+Quickstart
+----------
+>>> from repro import quick_colocation_demo
+>>> summary = quick_colocation_demo()            # doctest: +SKIP
+"""
+
+from repro.core import (
+    B_MODES,
+    BASELINE,
+    DEFAULT_B_MODE,
+    DEFAULT_Q_MODE,
+    Q_MODES,
+    ColocatedServer,
+    ColocationPerformance,
+    ControlRegister,
+    MonitorConfig,
+    PartitionScheme,
+    StretchCore,
+    StretchMode,
+    StretchMonitor,
+    measure_colocation_performance,
+)
+from repro.cpu.config import CoreConfig
+from repro.cpu.sampling import SamplingConfig, mean_uipc, sample_colocation, sample_solo
+from repro.workloads import CLOUDSUITE, SPEC2006, all_profiles, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE",
+    "B_MODES",
+    "Q_MODES",
+    "DEFAULT_B_MODE",
+    "DEFAULT_Q_MODE",
+    "PartitionScheme",
+    "StretchCore",
+    "StretchMode",
+    "StretchMonitor",
+    "MonitorConfig",
+    "ControlRegister",
+    "ColocatedServer",
+    "ColocationPerformance",
+    "measure_colocation_performance",
+    "CoreConfig",
+    "SamplingConfig",
+    "sample_solo",
+    "sample_colocation",
+    "mean_uipc",
+    "CLOUDSUITE",
+    "SPEC2006",
+    "all_profiles",
+    "get_profile",
+    "quick_colocation_demo",
+]
+
+
+def quick_colocation_demo(
+    ls: str = "web_search", batch: str = "zeusmp", seed: int = 42
+) -> dict[str, float]:
+    """Tiny end-to-end demo: measure one pair under Baseline/B/Q modes.
+
+    Returns a summary dict with the batch speedup of B-mode and the
+    latency-sensitive performance factors per mode.
+    """
+    sampling = SamplingConfig(n_samples=2, seed=seed)
+    perf = measure_colocation_performance(
+        get_profile(ls), get_profile(batch), sampling=sampling
+    )
+    return {
+        "ls_solo_uipc": perf.ls_solo_uipc,
+        "b_mode_batch_speedup": perf.batch_speedup(StretchMode.B_MODE),
+        "baseline_ls_factor": perf.ls_perf_factor(StretchMode.BASELINE),
+        "b_mode_ls_factor": perf.ls_perf_factor(StretchMode.B_MODE),
+        "q_mode_ls_factor": perf.ls_perf_factor(StretchMode.Q_MODE),
+    }

@@ -1,0 +1,140 @@
+"""Cluster-level colocation model (the paper's §II deployment setting).
+
+The paper's case studies reason about *clusters*: a latency-sensitive
+service load-balanced over a pool of servers, each of which also hosts
+batch work on the second hardware thread of its SMT cores.  This module
+composes the per-server closed loop (`repro.core.server.ColocatedServer`)
+into such a pool:
+
+* the cluster-level diurnal load divides evenly across servers, scaled by
+  an over-provisioning factor (clusters are sized so that peak load leaves
+  headroom — one of the two reasons the paper gives for ubiquitous slack);
+* each server sees its share with bounded, deterministic per-window jitter
+  (imperfect balancing) and runs its own monitor and Stretch control;
+* cluster metrics aggregate across servers: violation rate, mean B-mode
+  residency, and total batch throughput versus an always-Baseline pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.colocation import ColocationPerformance
+from repro.core.monitor import MonitorConfig
+from repro.core.server import ColocatedServer, ServerTimeline
+from repro.core.stretch import StretchMode
+from repro.util.rng import derive_seed
+from repro.workloads.profiles import WorkloadProfile
+
+__all__ = ["ClusterTimeline", "ClusterSimulator"]
+
+
+@dataclass
+class ClusterTimeline:
+    """Per-server timelines plus cluster-level aggregates."""
+
+    servers: list[ServerTimeline] = field(default_factory=list)
+
+    @property
+    def violation_rate(self) -> float:
+        windows = [w for timeline in self.servers for w in timeline.windows]
+        if not windows:
+            return 0.0
+        return sum(w.qos_violated for w in windows) / len(windows)
+
+    @property
+    def bmode_fraction(self) -> float:
+        windows = [w for timeline in self.servers for w in timeline.windows]
+        if not windows:
+            return 0.0
+        return sum(w.mode is StretchMode.B_MODE for w in windows) / len(windows)
+
+    def batch_throughput_gain(self, baseline_batch_uipc: float) -> float:
+        """Cluster batch throughput gain vs an always-Baseline pool."""
+        gains = [t.batch_throughput_gain(baseline_batch_uipc) for t in self.servers]
+        if not gains:
+            return 0.0
+        return sum(gains) / len(gains)
+
+    def per_server_gains(self, baseline_batch_uipc: float) -> list[float]:
+        return [t.batch_throughput_gain(baseline_batch_uipc) for t in self.servers]
+
+
+class ClusterSimulator:
+    """A pool of identical colocated servers behind a load balancer."""
+
+    def __init__(
+        self,
+        ls_profile: WorkloadProfile,
+        performance: ColocationPerformance,
+        n_servers: int = 8,
+        overprovision: float = 1.2,
+        balance_jitter: float = 0.05,
+        monitor_config: MonitorConfig = MonitorConfig(),
+        q_mode_available: bool = True,
+        seed: int = 0,
+    ):
+        if n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        if overprovision < 1.0:
+            raise ValueError("overprovision must be at least 1.0")
+        if not 0.0 <= balance_jitter < 0.5:
+            raise ValueError("balance_jitter must be in [0, 0.5)")
+        self.ls_profile = ls_profile
+        self.performance = performance
+        self.n_servers = n_servers
+        self.overprovision = overprovision
+        self.balance_jitter = balance_jitter
+        self.seed = int(seed)
+        self._servers = [
+            ColocatedServer(
+                ls_profile,
+                performance,
+                monitor_config=monitor_config,
+                seed=derive_seed(self.seed, "server", k) & 0x7FFFFF,
+                q_mode_available=q_mode_available,
+            )
+            for k in range(n_servers)
+        ]
+
+    def _server_load_fn(
+        self, index: int, cluster_load_fn: Callable[[float], float],
+        window_minutes: float,
+    ) -> Callable[[float], float]:
+        rng = np.random.default_rng(derive_seed(self.seed, "jitter", index))
+        # Pre-draw one jitter multiplier per window (deterministic per server).
+        n_windows = int(round(24 * 60 / window_minutes)) + 1
+        jitter = 1.0 + rng.uniform(-self.balance_jitter, self.balance_jitter,
+                                   size=n_windows)
+
+        def load(hour: float) -> float:
+            window = int(hour * 60 / window_minutes)
+            # Cluster load is expressed relative to cluster peak; each server
+            # sees its equal share relative to its own peak capacity, scaled
+            # down by the over-provisioning headroom.
+            share = cluster_load_fn(hour) / self.overprovision
+            return max(min(share * jitter[window % len(jitter)], 1.2), 0.0)
+
+        return load
+
+    def run_day(
+        self,
+        cluster_load_fn: Callable[[float], float],
+        window_minutes: float = 10.0,
+        requests_per_window: int = 2000,
+    ) -> ClusterTimeline:
+        """Simulate 24 hours across the pool; returns per-server timelines."""
+        timeline = ClusterTimeline()
+        for index, server in enumerate(self._servers):
+            load_fn = self._server_load_fn(index, cluster_load_fn, window_minutes)
+            timeline.servers.append(
+                server.run_day(
+                    load_fn,
+                    window_minutes=window_minutes,
+                    requests_per_window=requests_per_window,
+                )
+            )
+        return timeline

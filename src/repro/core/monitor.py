@@ -1,0 +1,263 @@
+"""CPI²-extended software monitor (paper §IV-C).
+
+Google's CPI² framework watches per-task performance counters to detect
+interference at runtime.  Stretch extends it with a QoS metric — tail
+latency, the representative and readily available choice — reflecting the
+service's performance slack:
+
+* when the monitor sees slack (tail latency comfortably below target) for a
+  few consecutive windows, it engages **B-mode**;
+* on a QoS violation it immediately disengages B-mode, falling back to
+  Baseline partitioning, or **Q-mode** if one is provisioned;
+* if violations persist, it takes CPI²'s corrective action: **throttle the
+  co-runner** for an interval of time.
+
+The monitor is a pure decision-making state machine: feed it one tail-latency
+observation per window, act on the returned :class:`MonitorDecision`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stretch import StretchMode
+from repro.workloads.profiles import QoSSpec
+
+__all__ = [
+    "MonitorConfig",
+    "MonitorDecision",
+    "StretchMonitor",
+    "QueueLengthMonitorConfig",
+    "QueueLengthMonitor",
+]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Thresholds and hysteresis of the software monitor.
+
+    Attributes
+    ----------
+    engage_fraction:
+        B-mode engages when tail latency stays below this fraction of the
+        QoS target (slack exists).
+    engage_windows:
+        Consecutive compliant windows required before engaging B-mode.
+    violation_windows_to_throttle:
+        Consecutive violating windows (after leaving B-mode) before the
+        monitor orders co-runner throttling.
+    throttle_windows:
+        Duration of a throttling interval, in windows.
+    """
+
+    engage_fraction: float = 0.6
+    engage_windows: int = 3
+    violation_windows_to_throttle: int = 3
+    throttle_windows: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.engage_fraction < 1.0:
+            raise ValueError("engage_fraction must be in (0, 1)")
+        if min(self.engage_windows, self.violation_windows_to_throttle,
+               self.throttle_windows) < 1:
+            raise ValueError("window counts must be at least 1")
+
+
+@dataclass(frozen=True)
+class MonitorDecision:
+    """What the system software should do for the next window."""
+
+    mode: StretchMode
+    throttle_corunner: bool = False
+
+
+class StretchMonitor:
+    """Windowed tail-latency state machine driving the Stretch control bits."""
+
+    def __init__(
+        self,
+        qos: QoSSpec,
+        config: MonitorConfig = MonitorConfig(),
+        q_mode_available: bool = True,
+    ):
+        self.qos = qos
+        self.config = config
+        self.q_mode_available = q_mode_available
+        self.mode = StretchMode.BASELINE
+        self.windows_observed = 0
+        self.violations = 0
+        self.throttle_orders = 0
+        self._compliant_streak = 0
+        self._violation_streak = 0
+        self._throttle_remaining = 0
+
+    @property
+    def throttling(self) -> bool:
+        return self._throttle_remaining > 0
+
+    def observe_window(self, tail_latency_ms: float) -> MonitorDecision:
+        """Digest one monitoring window's tail latency; emit a decision."""
+        if tail_latency_ms < 0:
+            raise ValueError("latency cannot be negative")
+        self.windows_observed += 1
+        violated = tail_latency_ms > self.qos.target_ms
+        slack = tail_latency_ms <= self.qos.target_ms * self.config.engage_fraction
+
+        if self._throttle_remaining > 0:
+            self._throttle_remaining -= 1
+            if violated:
+                self.violations += 1
+            return MonitorDecision(self.mode, throttle_corunner=self._throttle_remaining > 0)
+
+        if violated:
+            self.violations += 1
+            self._compliant_streak = 0
+            if self.mode is StretchMode.B_MODE:
+                # First response: give capacity back to the service.
+                self.mode = (
+                    StretchMode.Q_MODE if self.q_mode_available else StretchMode.BASELINE
+                )
+                self._violation_streak = 1
+            else:
+                self._violation_streak += 1
+                if self.mode is StretchMode.BASELINE and self.q_mode_available:
+                    self.mode = StretchMode.Q_MODE
+                if self._violation_streak >= self.config.violation_windows_to_throttle:
+                    # CPI²'s corrective action: throttle the co-runner.
+                    self.throttle_orders += 1
+                    self._throttle_remaining = self.config.throttle_windows
+                    self._violation_streak = 0
+                    return MonitorDecision(self.mode, throttle_corunner=True)
+            return MonitorDecision(self.mode)
+
+        self._violation_streak = 0
+        if slack:
+            self._compliant_streak += 1
+            if (
+                self.mode is not StretchMode.B_MODE
+                and self._compliant_streak >= self.config.engage_windows
+            ):
+                self.mode = StretchMode.B_MODE
+        else:
+            self._compliant_streak = 0
+            # Compliant but tight: prefer Baseline over an engaged B-mode.
+            if self.mode is StretchMode.B_MODE:
+                self.mode = StretchMode.BASELINE
+            elif self.mode is StretchMode.Q_MODE:
+                # Pressure eased; return capacity to the co-runner.
+                self.mode = StretchMode.BASELINE
+        return MonitorDecision(self.mode)
+
+
+@dataclass(frozen=True)
+class QueueLengthMonitorConfig:
+    """Thresholds for the queue-length monitor variant.
+
+    Attributes
+    ----------
+    engage_max_depth:
+        Mean in-system request count below which B-mode may engage — "when
+        queue length is short, high single-thread performance is not
+        necessary" (the Rubik observation the paper cites in §IV-C).  The
+        count includes requests in service, so the threshold should be a
+        fraction of the worker-pool size (default assumes ~8 workers).
+    violate_depth:
+        Depth above which the monitor treats the service as queue-bound and
+        escalates (Baseline / Q-mode, then throttling).
+    engage_windows / violation_windows_to_throttle / throttle_windows:
+        Same hysteresis semantics as :class:`MonitorConfig`.
+    """
+
+    engage_max_depth: float = 4.0
+    violate_depth: float = 12.0
+    engage_windows: int = 3
+    violation_windows_to_throttle: int = 3
+    throttle_windows: int = 10
+
+    def __post_init__(self) -> None:
+        if self.engage_max_depth < 0:
+            raise ValueError("engage_max_depth must be non-negative")
+        if self.violate_depth <= self.engage_max_depth:
+            raise ValueError("violate_depth must exceed engage_max_depth")
+        if min(self.engage_windows, self.violation_windows_to_throttle,
+               self.throttle_windows) < 1:
+            raise ValueError("window counts must be at least 1")
+
+
+class QueueLengthMonitor:
+    """Queue-length-driven Stretch monitor (paper §IV-C's alternative metric).
+
+    Instead of tail latency, the decision input is the mean number of
+    requests in the system over the monitoring window — an indirect but
+    cheaply available slack signal: an empty queue means per-request
+    processing time has plenty of headroom, a deep queue means single-thread
+    performance is needed *now*.
+    """
+
+    def __init__(
+        self,
+        config: QueueLengthMonitorConfig = QueueLengthMonitorConfig(),
+        q_mode_available: bool = True,
+    ):
+        self.config = config
+        self.q_mode_available = q_mode_available
+        self.mode = StretchMode.BASELINE
+        self.windows_observed = 0
+        self.deep_queue_windows = 0
+        self.throttle_orders = 0
+        self._calm_streak = 0
+        self._deep_streak = 0
+        self._throttle_remaining = 0
+
+    @property
+    def throttling(self) -> bool:
+        return self._throttle_remaining > 0
+
+    def observe_window(self, mean_queue_depth: float) -> MonitorDecision:
+        """Digest one window's mean queue depth; emit a decision."""
+        if mean_queue_depth < 0:
+            raise ValueError("queue depth cannot be negative")
+        self.windows_observed += 1
+        deep = mean_queue_depth > self.config.violate_depth
+        calm = mean_queue_depth <= self.config.engage_max_depth
+
+        if self._throttle_remaining > 0:
+            self._throttle_remaining -= 1
+            if deep:
+                self.deep_queue_windows += 1
+            return MonitorDecision(
+                self.mode, throttle_corunner=self._throttle_remaining > 0
+            )
+
+        if deep:
+            self.deep_queue_windows += 1
+            self._calm_streak = 0
+            if self.mode is StretchMode.B_MODE:
+                self.mode = (
+                    StretchMode.Q_MODE if self.q_mode_available else StretchMode.BASELINE
+                )
+                self._deep_streak = 1
+            else:
+                self._deep_streak += 1
+                if self.mode is StretchMode.BASELINE and self.q_mode_available:
+                    self.mode = StretchMode.Q_MODE
+                if self._deep_streak >= self.config.violation_windows_to_throttle:
+                    self.throttle_orders += 1
+                    self._throttle_remaining = self.config.throttle_windows
+                    self._deep_streak = 0
+                    return MonitorDecision(self.mode, throttle_corunner=True)
+            return MonitorDecision(self.mode)
+
+        self._deep_streak = 0
+        if calm:
+            self._calm_streak += 1
+            if (
+                self.mode is not StretchMode.B_MODE
+                and self._calm_streak >= self.config.engage_windows
+            ):
+                self.mode = StretchMode.B_MODE
+        else:
+            self._calm_streak = 0
+            if self.mode is not StretchMode.BASELINE:
+                self.mode = StretchMode.BASELINE
+        return MonitorDecision(self.mode)

@@ -1,0 +1,97 @@
+"""Design-time provisioned ROB partitioning schemes (paper §IV, §VI-A).
+
+A :class:`PartitionScheme` is an N-M split of the 192-entry ROB between the
+latency-sensitive thread (thread 0 by convention) and the batch thread
+(thread 1); the LSQ is split proportionally, as the paper manages it "in
+proportion to the ROB".
+
+The evaluated configurations follow Figure 9:
+
+* ``BASELINE`` — equal 96-96 partitioning (Intel-style);
+* ``B_MODES`` — batch-boost skews 64-128 … 32-160 (batch thread grows);
+* ``Q_MODES`` — QoS-boost skews 128-64 … 160-32 (LS thread grows);
+* the paper's headline configuration is the 56-136 B-mode
+  (``DEFAULT_B_MODE``) and its mirror 136-56 Q-mode (``DEFAULT_Q_MODE``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.config import CoreConfig
+
+__all__ = [
+    "PartitionScheme",
+    "BASELINE",
+    "B_MODES",
+    "Q_MODES",
+    "DEFAULT_B_MODE",
+    "DEFAULT_Q_MODE",
+    "scheme_by_name",
+]
+
+
+@dataclass(frozen=True)
+class PartitionScheme:
+    """One provisioned ROB split: ``ls_entries``-``batch_entries``."""
+
+    ls_entries: int
+    batch_entries: int
+
+    def __post_init__(self) -> None:
+        if self.ls_entries <= 0 or self.batch_entries <= 0:
+            raise ValueError("both partitions need at least one entry")
+
+    @property
+    def name(self) -> str:
+        """The paper's N-M notation (LS first)."""
+        return f"{self.ls_entries}-{self.batch_entries}"
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.ls_entries == self.batch_entries
+
+    @property
+    def skew_toward_batch(self) -> int:
+        """Entries shifted from the LS thread to the batch thread."""
+        return (self.batch_entries - self.ls_entries) // 2
+
+    def apply(self, base: CoreConfig) -> CoreConfig:
+        """Produce a core configuration with this split (LSQ proportional)."""
+        if self.ls_entries + self.batch_entries > base.rob_entries:
+            raise ValueError(
+                f"scheme {self.name} exceeds the {base.rob_entries}-entry ROB"
+            )
+        return base.with_rob_partition(self.ls_entries, self.batch_entries)
+
+    def limits(self, base: CoreConfig) -> tuple[tuple[int, int], tuple[int, int]]:
+        """(ROB limits, LSQ limits) for loading into the limit registers."""
+        config = self.apply(base)
+        return config.rob_limits, config.lsq_limits
+
+
+BASELINE = PartitionScheme(96, 96)
+
+#: Batch-boost configurations of Figure 9 (left), shifting ROB capacity to
+#: the batch thread in steps of 8 entries.
+B_MODES: tuple[PartitionScheme, ...] = tuple(
+    PartitionScheme(192 - m, m) for m in (128, 136, 144, 152, 160)
+)
+
+#: QoS-boost configurations of Figure 9 (right), the mirror images.
+Q_MODES: tuple[PartitionScheme, ...] = tuple(
+    PartitionScheme(m, 192 - m) for m in (128, 136, 144, 152, 160)
+)
+
+#: The paper's headline B-mode (56-136) and Q-mode (136-56).
+DEFAULT_B_MODE = B_MODES[1]
+DEFAULT_Q_MODE = Q_MODES[1]
+
+
+def scheme_by_name(name: str) -> PartitionScheme:
+    """Parse the paper's ``N-M`` notation into a scheme."""
+    try:
+        ls, batch = (int(part) for part in name.split("-"))
+    except ValueError:
+        raise ValueError(f"expected 'N-M' notation, got {name!r}") from None
+    return PartitionScheme(ls, batch)

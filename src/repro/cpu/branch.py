@@ -1,0 +1,162 @@
+"""Branch prediction structures (paper Table II).
+
+A hybrid direction predictor (16K-entry gShare + 4K-entry bimodal, selected
+by a 4K-entry chooser) with a 2K-entry tagged BTB.  As in the paper's
+baseline core, the *tables* are dynamically shared between hardware threads
+(causing cross-thread aliasing, the contention source measured in Figs. 4-5),
+while each thread keeps a private global-history register.
+
+A private-per-thread variant (``private=True``) supports the ideal
+software-scheduling study (Fig. 13), which models contention-free shared
+structures by duplicating them.
+
+The synthetic traces contain no explicit call/return µops, so the
+return-address stack of the modeled core (16 entries, private per thread) is
+not exercised; see DESIGN.md "known deviations".
+"""
+
+from __future__ import annotations
+
+from repro.cpu.config import BranchPredictorConfig
+
+__all__ = ["HybridBranchPredictor", "BranchOutcome"]
+
+_WEAKLY_TAKEN = 2
+
+
+class _PredictorTables:
+    """One set of direction tables + BTB (shared by default, or per thread)."""
+
+    __slots__ = ("gshare", "bimodal", "chooser", "btb_tag", "btb_target",
+                 "gshare_mask", "bimodal_mask", "chooser_mask", "btb_mask")
+
+    def __init__(self, config: BranchPredictorConfig):
+        self.gshare = bytearray([_WEAKLY_TAKEN] * config.gshare_entries)
+        self.bimodal = bytearray([_WEAKLY_TAKEN] * config.bimodal_entries)
+        # The chooser starts weakly favoring the bimodal component, which is
+        # the component checkpoint warming can meaningfully pre-train.
+        self.chooser = bytearray([1] * config.chooser_entries)
+        self.btb_tag = [-1] * config.btb_entries
+        self.btb_target = [0] * config.btb_entries
+        self.gshare_mask = config.gshare_entries - 1
+        self.bimodal_mask = config.bimodal_entries - 1
+        self.chooser_mask = config.chooser_entries - 1
+        self.btb_mask = config.btb_entries - 1
+
+
+class BranchOutcome:
+    """Result of one predict+update step."""
+
+    __slots__ = ("direction_correct", "target_correct")
+
+    def __init__(self, direction_correct: bool, target_correct: bool):
+        self.direction_correct = direction_correct
+        self.target_correct = target_correct
+
+    @property
+    def mispredicted(self) -> bool:
+        """True if the front end must be redirected (direction or target wrong)."""
+        return not (self.direction_correct and self.target_correct)
+
+
+class HybridBranchPredictor:
+    """Hybrid gShare/bimodal predictor with BTB for a dual-thread core."""
+
+    def __init__(self, config: BranchPredictorConfig, n_threads: int = 2,
+                 private: bool = False):
+        self.config = config
+        self.n_threads = n_threads
+        self.private = private
+        count = n_threads if private else 1
+        self._tables = [_PredictorTables(config) for _ in range(count)]
+        self._history = [0] * n_threads
+        self._history_mask = (1 << config.history_bits) - 1
+        self.lookups = [0] * n_threads
+        self.mispredictions = [0] * n_threads
+
+    def _tables_for(self, thread: int) -> _PredictorTables:
+        return self._tables[thread if self.private else 0]
+
+    def predict_and_update(
+        self, thread: int, pc: int, taken: bool, target: int
+    ) -> BranchOutcome:
+        """Predict the branch at ``pc``, then train on the actual outcome.
+
+        Returns whether the predicted direction and (for taken branches) the
+        BTB-provided target matched reality.
+        """
+        t = self._tables_for(thread)
+        history = self._history[thread]
+        pc_idx = pc >> 2
+
+        g_idx = (pc_idx ^ history) & t.gshare_mask
+        b_idx = pc_idx & t.bimodal_mask
+        c_idx = pc_idx & t.chooser_mask
+        g_ctr = t.gshare[g_idx]
+        b_ctr = t.bimodal[b_idx]
+        use_gshare = t.chooser[c_idx] >= 2
+        pred_taken = (g_ctr >= 2) if use_gshare else (b_ctr >= 2)
+
+        direction_correct = pred_taken == taken
+
+        # Train direction tables (saturating 2-bit counters).
+        if taken:
+            if g_ctr < 3:
+                t.gshare[g_idx] = g_ctr + 1
+            if b_ctr < 3:
+                t.bimodal[b_idx] = b_ctr + 1
+        else:
+            if g_ctr > 0:
+                t.gshare[g_idx] = g_ctr - 1
+            if b_ctr > 0:
+                t.bimodal[b_idx] = b_ctr - 1
+        # Train chooser toward whichever component was right.
+        g_right = (g_ctr >= 2) == taken
+        b_right = (b_ctr >= 2) == taken
+        if g_right != b_right:
+            ctr = t.chooser[c_idx]
+            if g_right and ctr < 3:
+                t.chooser[c_idx] = ctr + 1
+            elif b_right and ctr > 0:
+                t.chooser[c_idx] = ctr - 1
+
+        self._history[thread] = ((history << 1) | int(taken)) & self._history_mask
+
+        # BTB: only taken branches need a target from the front end.
+        target_correct = True
+        if taken:
+            btb_idx = pc_idx & t.btb_mask
+            target_correct = t.btb_tag[btb_idx] == pc and t.btb_target[btb_idx] == target
+            t.btb_tag[btb_idx] = pc
+            t.btb_target[btb_idx] = target
+
+        self.lookups[thread] += 1
+        outcome = BranchOutcome(direction_correct, target_correct)
+        if outcome.mispredicted:
+            self.mispredictions[thread] += 1
+        return outcome
+
+    def install(self, thread: int, pc: int, bias_taken: bool, target: int) -> None:
+        """Checkpoint-warm one static branch.
+
+        Saturates the branch's bimodal counter toward its dominant direction
+        and installs its taken-target in the BTB — the state a long
+        functional warmup (the paper's methodology) would have produced.
+        """
+        t = self._tables_for(thread)
+        pc_idx = pc >> 2
+        t.bimodal[pc_idx & t.bimodal_mask] = 3 if bias_taken else 0
+        btb_idx = pc_idx & t.btb_mask
+        t.btb_tag[btb_idx] = pc
+        t.btb_target[btb_idx] = target
+
+    def misprediction_rate(self, thread: int) -> float:
+        """Fraction of this thread's branches that redirected the front end."""
+        if self.lookups[thread] == 0:
+            return 0.0
+        return self.mispredictions[thread] / self.lookups[thread]
+
+    def reset_stats(self) -> None:
+        """Zero the counters (table state is kept — used at warmup boundary)."""
+        self.lookups = [0] * self.n_threads
+        self.mispredictions = [0] * self.n_threads

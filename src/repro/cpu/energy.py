@@ -1,0 +1,144 @@
+"""First-order core energy model (McPAT-flavored, event-based).
+
+The paper's opening motivation is performance per Watt and per TCO dollar;
+its evaluation stops at throughput.  This model closes that loop at first
+order so the energy side of a Stretch decision can be examined:
+
+* **dynamic energy** accrues per microarchitectural event — µop execution,
+  ROB/LSQ allocation, cache accesses and misses, branch lookups — with
+  per-event energies loosely scaled from published 22-32 nm figures;
+* **static power** scales with the sizes of the provisioned structures
+  (ROB/LSQ entries, cache capacity) and accrues per cycle.  Note that
+  Stretch does *not* change total structure sizes — a mode switch moves
+  entries between threads — so static power is mode-invariant; what changes
+  with a mode is how much *work* each joule buys.
+
+Outputs are joules and watts at the configured clock; absolute values are
+order-of-magnitude estimates, and only comparisons between configurations
+of the same model are meaningful (the usual McPAT caveat, inherited).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.metrics import SimulationResult, ThreadResult
+
+__all__ = ["EnergyParameters", "EnergyBreakdown", "EnergyModel"]
+
+_PJ = 1e-12
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Per-event dynamic energies (pJ) and static-power coefficients."""
+
+    execute_pj: float = 8.0            # base per-µop execute + rename
+    rob_entry_pj: float = 1.2          # allocate + release one ROB entry
+    lsq_entry_pj: float = 1.5
+    l1_access_pj: float = 12.0
+    l1_miss_pj: float = 25.0           # fill + tag management
+    llc_access_pj: float = 90.0
+    memory_access_pj: float = 2200.0
+    branch_lookup_pj: float = 3.0
+    flush_pj: float = 150.0            # per pipeline flush event
+    # Static power coefficients (watts per unit of capacity).
+    rob_static_w_per_entry: float = 0.9e-3
+    lsq_static_w_per_entry: float = 1.1e-3
+    cache_static_w_per_kb: float = 0.35e-3
+    base_static_w: float = 0.35        # everything not modeled explicitly
+
+    def __post_init__(self) -> None:
+        for name in ("execute_pj", "rob_entry_pj", "l1_access_pj",
+                     "memory_access_pj", "base_static_w"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy accounting for one simulated window."""
+
+    dynamic_j: float
+    static_j: float
+    cycles: int
+    instructions: int
+    frequency_ghz: float
+
+    @property
+    def total_j(self) -> float:
+        return self.dynamic_j + self.static_j
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def watts(self) -> float:
+        return self.total_j / self.seconds if self.seconds else 0.0
+
+    @property
+    def energy_per_instruction_nj(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.total_j / self.instructions * 1e9
+
+    def performance_per_watt(self) -> float:
+        """Committed instructions per joule (equivalently IPS per watt)."""
+        return self.instructions / self.total_j if self.total_j else 0.0
+
+
+class EnergyModel:
+    """Event-based energy accounting over simulation results."""
+
+    def __init__(self, config: CoreConfig,
+                 parameters: EnergyParameters = EnergyParameters()):
+        self.config = config
+        self.parameters = parameters
+
+    # ------------------------------------------------------------------
+
+    def static_watts(self) -> float:
+        """Static power of the provisioned structures (mode-invariant)."""
+        p = self.parameters
+        c = self.config
+        cache_kb = (c.icache.size_bytes + c.dcache.size_bytes) / 1024
+        return (
+            p.base_static_w
+            + c.rob_entries * p.rob_static_w_per_entry
+            + c.lsq_entries * p.lsq_static_w_per_entry
+            + cache_kb * p.cache_static_w_per_kb
+        )
+
+    def _thread_dynamic_j(self, t: ThreadResult) -> float:
+        p = self.parameters
+        mem_ops = t.loads + t.stores
+        llc_accesses = t.l1d_misses + t.l1i_misses
+        # Without per-level breakdowns, approximate memory reach as the
+        # fraction of LLC accesses that miss a half-capacity partition:
+        # the hierarchy reports only L1 misses, so split conservatively.
+        memory_accesses = 0.35 * llc_accesses
+        events_pj = (
+            t.instructions * (p.execute_pj + p.rob_entry_pj)
+            + mem_ops * (p.lsq_entry_pj + p.l1_access_pj)
+            + t.l1d_misses * p.l1_miss_pj
+            + t.l1i_misses * p.l1_miss_pj
+            + llc_accesses * p.llc_access_pj
+            + memory_accesses * p.memory_access_pj
+            + t.branches * p.branch_lookup_pj
+            + t.branch_mispredicts * p.flush_pj
+        )
+        return events_pj * _PJ
+
+    def breakdown(self, result: SimulationResult) -> EnergyBreakdown:
+        """Account a whole simulation window (all hardware threads)."""
+        dynamic = sum(self._thread_dynamic_j(t) for t in result.threads)
+        seconds = result.cycles / (self.config.uncore.frequency_ghz * 1e9)
+        return EnergyBreakdown(
+            dynamic_j=dynamic,
+            static_j=self.static_watts() * seconds,
+            cycles=result.cycles,
+            instructions=sum(t.instructions for t in result.threads),
+            frequency_ghz=self.config.uncore.frequency_ghz,
+        )

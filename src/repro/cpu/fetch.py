@@ -1,0 +1,85 @@
+"""Fetch/dispatch thread-selection policies.
+
+The baseline core uses ICOUNT (Tullsen et al. [17]): each cycle the thread
+with the fewest in-flight instructions fetches first; if it cannot fill the
+core width the other thread takes the remaining slots (paper §V-A).
+
+``StaticRatioPolicy`` implements the fetch-throttling baseline of §VI-B: for
+each cycle of fetch priority given to thread 0, thread 1 receives M cycles
+(ratio 1:M), mimicking IBM POWER's fetch-priority knob.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["FetchPolicy", "ICountPolicy", "RoundRobinPolicy", "StaticRatioPolicy",
+           "make_fetch_policy"]
+
+
+class FetchPolicy(ABC):
+    """Chooses the per-cycle thread priority order for fetch/dispatch.
+
+    ``whole_cycle`` selects the slot-allocation semantics: False (ICOUNT,
+    round-robin) interleaves dispatch slots between the threads each cycle
+    (ICOUNT2.X-style concurrent fetch); True (fetch throttling) gives the
+    preferred thread the entire cycle's slots, the other thread taking only
+    what the preferred one cannot use (POWER-style fetch-priority cycles).
+    """
+
+    whole_cycle: bool = False
+
+    @abstractmethod
+    def order(self, cycle: int, icounts: list[int]) -> tuple[int, int]:
+        """Return thread indices in priority order for this cycle."""
+
+
+class ICountPolicy(FetchPolicy):
+    """Prefer the thread with fewer in-flight instructions (ties alternate)."""
+
+    def order(self, cycle: int, icounts: list[int]) -> tuple[int, int]:
+        if icounts[0] < icounts[1]:
+            return (0, 1)
+        if icounts[1] < icounts[0]:
+            return (1, 0)
+        return (0, 1) if cycle & 1 else (1, 0)
+
+
+class RoundRobinPolicy(FetchPolicy):
+    """Strict alternation regardless of occupancy."""
+
+    def order(self, cycle: int, icounts: list[int]) -> tuple[int, int]:
+        return (0, 1) if cycle & 1 else (1, 0)
+
+
+class StaticRatioPolicy(FetchPolicy):
+    """1:M fetch-priority ratio between thread 0 and thread 1.
+
+    Out of every ``m0 + m1`` cycles, thread 0 has priority in ``m0`` and
+    thread 1 in ``m1``.  The deprioritized thread still takes leftover slots
+    (fetch throttling controls priority, not admission — which is precisely
+    why the paper finds it cannot stop a thread from clogging the ROB).
+    """
+
+    whole_cycle = True
+
+    def __init__(self, m0: int, m1: int):
+        if m0 <= 0 or m1 <= 0:
+            raise ValueError("ratio terms must be positive")
+        self.m0 = m0
+        self.m1 = m1
+        self._period = m0 + m1
+
+    def order(self, cycle: int, icounts: list[int]) -> tuple[int, int]:
+        return (0, 1) if (cycle % self._period) < self.m0 else (1, 0)
+
+
+def make_fetch_policy(name: str, ratio: tuple[int, int] = (1, 1)) -> FetchPolicy:
+    """Instantiate a policy from a :class:`~repro.cpu.config.CoreConfig` spec."""
+    if name == "icount":
+        return ICountPolicy()
+    if name == "round_robin":
+        return RoundRobinPolicy()
+    if name == "ratio":
+        return StaticRatioPolicy(*ratio)
+    raise ValueError(f"unknown fetch policy {name!r}")

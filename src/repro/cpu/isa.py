@@ -1,0 +1,47 @@
+"""Micro-operation model.
+
+The simulator is trace-driven: a workload is a stream of µops, each carrying
+its operation class, register-dependency distances, program counter, and (for
+memory and control operations) an effective address / branch outcome.  This
+corresponds to the information a functional front-end (Simics, in the paper's
+Flexus setup) would feed the timing model.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["OpClass", "EXEC_LATENCY", "FU_CLASS"]
+
+
+class OpClass(enum.IntEnum):
+    """Operation classes, each mapping onto a functional-unit pool."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP = 2
+    LOAD = 3
+    STORE = 4
+    BRANCH = 5
+
+
+#: Execution latency in cycles once operands are ready, excluding memory
+#: hierarchy time for loads (which is added from the cache model).
+EXEC_LATENCY: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.FP: 4,
+    OpClass.LOAD: 0,  # memory latency supplied by the cache hierarchy
+    OpClass.STORE: 1,  # stores complete at address generation; data drains post-commit
+    OpClass.BRANCH: 1,
+}
+
+#: Functional-unit pool each class issues to (key into per-cycle slot counters).
+FU_CLASS: dict[OpClass, str] = {
+    OpClass.INT_ALU: "int_alu",
+    OpClass.INT_MUL: "int_mul",
+    OpClass.FP: "fpu",
+    OpClass.LOAD: "lsu",
+    OpClass.STORE: "lsu",
+    OpClass.BRANCH: "int_alu",
+}

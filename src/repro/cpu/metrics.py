@@ -1,0 +1,78 @@
+"""Per-thread simulation statistics and derived metrics.
+
+The figure of merit throughout the paper is **UIPC** — committed application
+instructions per cycle (§V-C).  :class:`ThreadResult` also carries the MLP
+occupancy histogram used by Fig. 7: the fraction of cycles with at least K
+distinct-block data misses in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ThreadResult", "SimulationResult", "MLP_BUCKETS"]
+
+#: Highest tracked concurrent-miss count; deeper occupancies saturate here.
+MLP_BUCKETS = 8
+
+
+@dataclass
+class ThreadResult:
+    """Measurement-phase statistics for one hardware thread."""
+
+    thread: int
+    workload: str
+    instructions: int = 0
+    cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1d_misses: int = 0
+    l1i_misses: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    rob_limit: int = 0
+    lsq_limit: int = 0
+    dispatch_stall_rob: int = 0
+    dispatch_stall_lsq: int = 0
+    mlp_cycles: list[int] = field(default_factory=lambda: [0] * (MLP_BUCKETS + 1))
+
+    @property
+    def uipc(self) -> float:
+        """Committed application instructions per cycle (the paper's metric)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1d_mpki(self) -> float:
+        return 1000.0 * self.l1d_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def l1i_mpki(self) -> float:
+        return 1000.0 * self.l1i_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        return self.branch_mispredicts / self.branches if self.branches else 0.0
+
+    def mlp_at_least(self, k: int) -> float:
+        """Fraction of cycles with >= k distinct-block misses in flight (Fig. 7)."""
+        if not 0 <= k <= MLP_BUCKETS:
+            raise ValueError(f"k must be in [0, {MLP_BUCKETS}]")
+        total = sum(self.mlp_cycles)
+        if total == 0:
+            return 0.0
+        return sum(self.mlp_cycles[k:]) / total
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run (one or two threads)."""
+
+    cycles: int
+    threads: tuple[ThreadResult, ...]
+
+    def thread(self, index: int) -> ThreadResult:
+        return self.threads[index]
+
+    @property
+    def total_uipc(self) -> float:
+        return sum(t.uipc for t in self.threads)

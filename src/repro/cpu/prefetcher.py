@@ -1,0 +1,73 @@
+"""PC-indexed stride prefetcher (paper Table II: tracks up to 32 load/store PCs).
+
+Classic reference-prediction-table design: each entry remembers the last
+address and stride observed for one memory-instruction PC, with a 2-bit
+confidence counter.  Once confident, it prefetches ``degree`` lines ahead.
+Prefetches fill the L1-D directly (timing-approximate: the simulator treats
+a prefetched line as resident, modelling a timely prefetch; untimely
+prefetches are not modeled — see DESIGN.md deviations).
+"""
+
+from __future__ import annotations
+
+__all__ = ["StridePrefetcher"]
+
+
+class _Entry:
+    __slots__ = ("pc", "last_addr", "stride", "confidence")
+
+    def __init__(self, pc: int, addr: int):
+        self.pc = pc
+        self.last_addr = addr
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """Reference prediction table with LRU-managed PC entries."""
+
+    def __init__(self, table_size: int = 32, degree: int = 2,
+                 confidence_threshold: int = 2, line_bytes: int = 64):
+        if table_size <= 0 or degree <= 0:
+            raise ValueError("table size and degree must be positive")
+        self.table_size = table_size
+        self.degree = degree
+        self.confidence_threshold = confidence_threshold
+        self.line_bytes = line_bytes
+        self._table: dict[int, _Entry] = {}
+        self.issued = 0
+
+    def train(self, pc: int, addr: int) -> list[int]:
+        """Observe one access; return block addresses to prefetch (maybe empty)."""
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                # Evict the oldest entry (dict preserves insertion order).
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = _Entry(pc, addr)
+            return []
+        stride = addr - entry.last_addr
+        if stride != 0 and stride == entry.stride:
+            if entry.confidence < 3:
+                entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+        entry.last_addr = addr
+        if entry.confidence >= self.confidence_threshold and entry.stride != 0:
+            line = self.line_bytes
+            base_block = addr // line
+            prefetches = []
+            for k in range(1, self.degree + 1):
+                block = (addr + k * entry.stride) // line
+                if block != base_block:
+                    prefetches.append(block)
+            self.issued += len(prefetches)
+            return prefetches
+        return []
+
+    def reset_stats(self) -> None:
+        self.issued = 0
+
+    def __len__(self) -> int:
+        return len(self._table)

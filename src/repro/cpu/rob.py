@@ -1,0 +1,103 @@
+"""Partitionable back-end resources (ROB, LSQ) with limit/usage registers.
+
+This is the hardware substrate Stretch reprograms (paper §IV-B): each thread
+has a *limit register* (maximum entries it may occupy) and a *usage register*
+(entries currently allocated).  Every cycle, allocation for a thread is
+blocked when usage == limit — the only change Stretch requires over Intel's
+equal static partitioning is making the limit registers programmable.
+
+A dynamically shared structure (the paper's Fig. 11 baseline) is expressed by
+setting every thread's limit to the full capacity; the global capacity bound
+is always enforced in addition to the per-thread limits.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PartitionedResource"]
+
+
+class PartitionedResource:
+    """A capacity-limited structure divided between hardware threads."""
+
+    def __init__(self, name: str, capacity: int, limits: tuple[int, ...]):
+        if capacity <= 0:
+            raise ValueError(f"{name}: capacity must be positive")
+        if any(l <= 0 for l in limits):
+            raise ValueError(f"{name}: all limits must be positive")
+        if any(l > capacity for l in limits):
+            raise ValueError(f"{name}: a limit register exceeds capacity {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._limits = list(limits)
+        self._usage = [0] * len(limits)
+        self._total = 0
+        self.peak_usage = [0] * len(limits)
+
+    @property
+    def limits(self) -> tuple[int, ...]:
+        return tuple(self._limits)
+
+    @property
+    def n_threads(self) -> int:
+        return len(self._limits)
+
+    def usage(self, thread: int) -> int:
+        """Value of the thread's usage register."""
+        return self._usage[thread]
+
+    @property
+    def total_usage(self) -> int:
+        return self._total
+
+    def can_allocate(self, thread: int) -> bool:
+        """True if the thread may allocate one more entry this cycle."""
+        return self._usage[thread] < self._limits[thread] and self._total < self.capacity
+
+    def allocate(self, thread: int) -> None:
+        """Allocate one entry; raises if the limit or capacity is exhausted."""
+        if not self.can_allocate(thread):
+            raise RuntimeError(
+                f"{self.name}: thread {thread} allocation beyond limit "
+                f"(usage={self._usage[thread]}, limit={self._limits[thread]}, "
+                f"total={self._total}/{self.capacity})"
+            )
+        self._usage[thread] += 1
+        self._total += 1
+        if self._usage[thread] > self.peak_usage[thread]:
+            self.peak_usage[thread] = self._usage[thread]
+
+    def release(self, thread: int) -> None:
+        """Free one entry at commit."""
+        if self._usage[thread] <= 0:
+            raise RuntimeError(f"{self.name}: thread {thread} releasing with zero usage")
+        self._usage[thread] -= 1
+        self._total -= 1
+
+    def set_limits(self, limits: tuple[int, ...]) -> None:
+        """Reprogram the limit registers (Stretch mode change).
+
+        The caller (the core) is responsible for draining/flushing so that
+        usage fits under the new limits; reprogramming below current usage is
+        rejected, mirroring the drain-then-switch hardware sequence.
+        """
+        if len(limits) != len(self._limits):
+            raise ValueError(f"{self.name}: expected {len(self._limits)} limits")
+        if any(l <= 0 for l in limits):
+            raise ValueError(f"{self.name}: all limits must be positive")
+        if any(l > self.capacity for l in limits):
+            raise ValueError(f"{self.name}: a limit register exceeds capacity")
+        for t, new_limit in enumerate(limits):
+            if self._usage[t] > new_limit:
+                raise RuntimeError(
+                    f"{self.name}: thread {t} usage {self._usage[t]} exceeds new "
+                    f"limit {new_limit}; drain before reprogramming"
+                )
+        self._limits = list(limits)
+
+    def reset_stats(self) -> None:
+        self.peak_usage = [0] * len(self._limits)
+
+    def __repr__(self) -> str:
+        usage = ",".join(str(u) for u in self._usage)
+        limits = ",".join(str(l) for l in self._limits)
+        return f"PartitionedResource({self.name}, usage=[{usage}], limits=[{limits}])"

@@ -1,0 +1,510 @@
+"""Dual-thread SMT out-of-order core timing simulator.
+
+Implements the simulated core of the paper's §V-A:
+
+* every cycle, **thread-selection logic** picks which thread fetches /
+  decodes / dispatches, using ICOUNT by default; if the selected thread
+  cannot fill the core width, the core switches to the other thread;
+* dispatch allocates into the per-thread **ROB and LSQ partitions**
+  (limit/usage registers — the structures Stretch reprograms) and is blocked
+  when a partition, the MSHR quota, or a functional-unit port is exhausted;
+* instruction **completion** is dataflow-driven: ready time is the max of the
+  producers' completion times; memory latency comes from the shared cache
+  hierarchy; branches resolve at execute and a misprediction redirects the
+  thread's front end after the 12-cycle flush penalty;
+* **commit** retires up to 6 µops per cycle in order, round-robin between
+  threads (the selected thread commits first, the other takes leftover
+  bandwidth), freeing ROB/LSQ entries.
+
+The model is cycle-approximate rather than cycle-accurate (DESIGN.md §4):
+issue-queue scheduling is folded into the dataflow ready times, and
+functional-unit contention is enforced at dispatch granularity.  When no
+thread can dispatch or commit, the simulator fast-forwards the clock to the
+next enabling event (a fill or flush completing), which is exact because all
+intervening cycles would be idle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cpu.config import CoreConfig, PartitionPolicy
+from repro.cpu.fetch import make_fetch_policy
+from repro.cpu.branch import HybridBranchPredictor
+from repro.cpu.isa import EXEC_LATENCY, OpClass
+from repro.cpu.metrics import MLP_BUCKETS, SimulationResult, ThreadResult
+from repro.cpu.rob import PartitionedResource
+from repro.cpu.trace import Trace, TraceCursor
+from repro.cpu.uncore import MemoryHierarchy
+
+__all__ = ["SMTCore", "SimulationResult", "ThreadResult"]
+
+_RING_SIZE = 256  # power of two >= MAX_DEP_DISTANCE
+_RING_MASK = _RING_SIZE - 1
+
+_OP_LOAD = int(OpClass.LOAD)
+_OP_STORE = int(OpClass.STORE)
+_OP_BRANCH = int(OpClass.BRANCH)
+_OP_INT_MUL = int(OpClass.INT_MUL)
+_OP_FP = int(OpClass.FP)
+
+_LAT_ALU = EXEC_LATENCY[OpClass.INT_ALU]
+_LAT_MUL = EXEC_LATENCY[OpClass.INT_MUL]
+_LAT_FP = EXEC_LATENCY[OpClass.FP]
+_LAT_STORE = EXEC_LATENCY[OpClass.STORE]
+_LAT_BRANCH = EXEC_LATENCY[OpClass.BRANCH]
+
+
+class _ThreadState:
+    """Private per-thread microarchitectural state."""
+
+    __slots__ = (
+        "cursor", "ring", "seq", "rob_q", "fe_stall_until", "last_fetch_block",
+        "committed", "branches", "mispredicts", "stall_rob", "stall_lsq",
+        "ghosts", "squash_at",
+    )
+
+    def __init__(self, cursor: TraceCursor):
+        self.cursor = cursor
+        self.ring = [0] * _RING_SIZE
+        self.seq = 0
+        self.rob_q: deque[tuple[int, bool]] = deque()
+        self.fe_stall_until = 0
+        self.last_fetch_block = -1
+        self.committed = 0
+        self.branches = 0
+        self.mispredicts = 0
+        self.stall_rob = 0
+        self.stall_lsq = 0
+        # Wrong-path state: ghost µops dispatched past an unresolved
+        # mispredicted branch occupy ROB entries until squashed at
+        # resolution (squash_at).  This is what lets a miss-bound thread
+        # clog a dynamically shared ROB (paper Fig. 11).
+        self.ghosts = 0
+        self.squash_at = 0
+
+    def reset_stats(self) -> None:
+        self.committed = 0
+        self.branches = 0
+        self.mispredicts = 0
+        self.stall_rob = 0
+        self.stall_lsq = 0
+
+
+class SMTCore:
+    """A dual-thread (or single-thread) SMT core bound to workload traces."""
+
+    def __init__(self, config: CoreConfig, traces: tuple[Trace, ...]):
+        if not 1 <= len(traces) <= 2:
+            raise ValueError("SMTCore supports one or two hardware threads")
+        self.config = config
+        self.n_threads = len(traces)
+        self.traces = traces
+        self._threads = [_ThreadState(TraceCursor(t)) for t in traces]
+
+        rob_limits, lsq_limits = self._effective_limits(config)
+        self.rob = PartitionedResource("ROB", config.rob_entries, rob_limits)
+        self.lsq = PartitionedResource("LSQ", config.lsq_entries, lsq_limits)
+        self.hierarchy = MemoryHierarchy(config, n_threads=max(self.n_threads, 2))
+        self.predictor = HybridBranchPredictor(
+            config.branch, n_threads=max(self.n_threads, 2), private=config.private_bp
+        )
+        self.policy = make_fetch_policy(config.fetch_policy, config.fetch_ratio)
+        self.cycle = 0
+        self._mlp_hist = [[0] * (MLP_BUCKETS + 1) for _ in range(self.n_threads)]
+        self.partition_switches = 0
+        #: When set to a list, every dispatched µop appends
+        #: ``(thread, seq, op, pc, dispatch, ready, completion)`` — consumed
+        #: by :mod:`repro.cpu.pipeview` for waterfall rendering.
+        self.event_log: list[tuple[int, int, int, int, int, int, int]] | None = None
+
+    def _effective_limits(self, config: CoreConfig) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        n = self.n_threads if self.n_threads == 2 else 2
+        if config.rob_policy is PartitionPolicy.SHARED:
+            rob = tuple([config.rob_entries] * n)
+            lsq = tuple([config.lsq_entries] * n)
+        else:
+            rob = tuple(config.rob_limits[:n])
+            lsq = tuple(config.lsq_limits[:n])
+        return rob, lsq
+
+    # ------------------------------------------------------------------
+    # Stretch hardware-software interface
+    # ------------------------------------------------------------------
+
+    def set_partitions(self, rob_limits: tuple[int, int], lsq_limits: tuple[int, int]) -> None:
+        """Reprogram the ROB/LSQ limit registers (a Stretch mode change).
+
+        Models the drain-and-flush sequence of §IV-C: both threads stop
+        dispatching, in-flight µops retire, the limit registers are loaded,
+        and both front ends pay the pipeline-flush penalty.
+        """
+        self._drain()
+        self.rob.set_limits(rob_limits)
+        self.lsq.set_limits(lsq_limits)
+        flush_done = self.cycle + self.config.pipeline_flush_cycles
+        for ts in self._threads:
+            ts.fe_stall_until = max(ts.fe_stall_until, flush_done)
+        self.partition_switches += 1
+
+    def _drain(self) -> None:
+        """Retire all in-flight µops without dispatching new ones."""
+        width = self.config.width
+        # Wrong-path ghosts are squashed immediately by the mode-change flush.
+        for t, ts in enumerate(self._threads):
+            for __ in range(ts.ghosts):
+                self.rob.release(t)
+            ts.ghosts = 0
+        while any(ts.rob_q for ts in self._threads):
+            next_event = None
+            budget = width
+            for ts in self._threads:
+                q = ts.rob_q
+                while q and budget and q[0][0] <= self.cycle:
+                    self._commit_one(ts)
+                    budget -= 1
+                if q:
+                    head = q[0][0]
+                    if next_event is None or head < next_event:
+                        next_event = head
+            if any(ts.rob_q for ts in self._threads):
+                self.cycle = max(self.cycle + 1, next_event if next_event else self.cycle + 1)
+
+    def _commit_one(self, ts: _ThreadState) -> None:
+        __, is_mem = ts.rob_q.popleft()
+        thread = self._threads.index(ts)
+        self.rob.release(thread)
+        if is_mem:
+            self.lsq.release(thread)
+        ts.committed += 1
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        instructions: int,
+        warmup_instructions: int = 0,
+        max_cycles: int | None = None,
+        require_all_threads: bool = False,
+    ) -> SimulationResult:
+        """Simulate until a thread commits ``instructions`` measured µops.
+
+        By default the measurement window closes when the *first* thread
+        reaches the target (both threads' UIPC is measured over the same
+        cycle window, which is unbiased and keeps traces from wrapping);
+        with ``require_all_threads=True`` the window closes when every
+        thread has reached it.
+
+        ``warmup_instructions`` are first committed with statistics discarded
+        (cache/predictor state is kept — the paper's functional + detailed
+        warmup).  ``max_cycles`` bounds the measured phase as a safety net;
+        hitting it raises ``RuntimeError``.
+        """
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        if warmup_instructions:
+            # Warmup must complete for EVERY thread — otherwise the slower
+            # thread starts measurement with cold caches and predictors and
+            # its slowdown is overstated.
+            self._simulate_until(warmup_instructions, max_cycles=None,
+                                 require_all=True)
+        # Each run() reports statistics for its own measured window only
+        # (microarchitectural state always persists across runs).
+        self._reset_measurement()
+        start_cycle = self.cycle
+        self._simulate_until(instructions, max_cycles=max_cycles,
+                             require_all=require_all_threads)
+        cycles = self.cycle - start_cycle
+        return self._collect(cycles)
+
+    def _reset_measurement(self) -> None:
+        for ts in self._threads:
+            ts.reset_stats()
+        self.hierarchy.reset_stats()
+        self.predictor.reset_stats()
+        self.rob.reset_stats()
+        self._mlp_hist = [[0] * (MLP_BUCKETS + 1) for _ in range(self.n_threads)]
+
+    def _collect(self, cycles: int) -> SimulationResult:
+        results = []
+        h = self.hierarchy
+        for t, ts in enumerate(self._threads):
+            results.append(
+                ThreadResult(
+                    thread=t,
+                    workload=self.traces[t].name,
+                    instructions=ts.committed,
+                    cycles=cycles,
+                    loads=h.loads[t],
+                    stores=h.stores[t],
+                    l1d_misses=h.l1d_misses[t],
+                    l1i_misses=h.l1i_misses[t],
+                    branches=ts.branches,
+                    branch_mispredicts=ts.mispredicts,
+                    rob_limit=self.rob.limits[t],
+                    lsq_limit=self.lsq.limits[t],
+                    dispatch_stall_rob=ts.stall_rob,
+                    dispatch_stall_lsq=ts.stall_lsq,
+                    mlp_cycles=list(self._mlp_hist[t]),
+                )
+            )
+        return SimulationResult(cycles=cycles, threads=tuple(results))
+
+    def _simulate_until(
+        self, target_committed: int, max_cycles: int | None, require_all: bool = False
+    ) -> None:
+        """Advance the core until thread(s) commit ``target_committed`` µops."""
+        threads = self._threads
+        n = self.n_threads
+        width = self.config.width
+        flush_penalty = self.config.pipeline_flush_cycles
+        max_branches = self.config.max_branches_per_fetch
+        rob = self.rob
+        lsq = self.lsq
+        hierarchy = self.hierarchy
+        predictor = self.predictor
+        policy_order = self.policy.order
+        whole_cycle = self.policy.whole_cycle
+        mshrs = hierarchy.mshrs
+        mlp_hist = self._mlp_hist
+        int_alus = self.config.int_alus
+        int_muls = self.config.int_muls
+        fpus = self.config.fpus
+        lsus = self.config.lsus
+        deadline = None if max_cycles is None else self.cycle + max_cycles
+
+        base_committed = [ts.committed for ts in threads]
+        check = all if require_all else any
+        cycle = self.cycle
+        while True:
+            done = check(
+                ts.committed - base >= target_committed
+                for ts, base in zip(threads, base_committed)
+            )
+            if done:
+                break
+            if deadline is not None and cycle >= deadline:
+                self.cycle = cycle
+                raise RuntimeError(
+                    f"simulation exceeded max_cycles={max_cycles} before committing "
+                    f"{target_committed} µops per thread"
+                )
+
+            committed_this = 0
+            dispatched_this = 0
+
+            # ---- wrong-path squash: mispredicted branch resolved ----
+            for t in range(n):
+                ts = threads[t]
+                if ts.squash_at and cycle >= ts.squash_at:
+                    for __ in range(ts.ghosts):
+                        rob.release(t)
+                    ts.ghosts = 0
+                    # Front-end redirect: refill penalty from resolution.
+                    refill = ts.squash_at + flush_penalty
+                    if ts.fe_stall_until < refill:
+                        ts.fe_stall_until = refill
+                    ts.squash_at = 0
+
+            # ---- commit: round-robin first pick, shared width ----
+            budget = width
+            first = cycle & 1 if n == 2 else 0
+            for t in (first, 1 - first)[:n]:
+                ts = threads[t]
+                q = ts.rob_q
+                while q and budget and q[0][0] <= cycle:
+                    __, is_mem = q.popleft()
+                    rob.release(t)
+                    if is_mem:
+                        lsq.release(t)
+                    ts.committed += 1
+                    budget -= 1
+                    committed_this += 1
+
+            # ---- fetch/dispatch ----
+            # Slots interleave between the threads: the policy's preferred
+            # thread takes even slots, the other odd slots, and any slot the
+            # holder cannot use falls through to the other thread.  This
+            # models concurrent per-cycle fetch/rename of both threads
+            # (ICOUNT2.X-style) rather than strict whole-width priority.
+            if n == 2:
+                order = policy_order(cycle, [rob.usage(0), rob.usage(1)])
+            else:
+                order = (0, 0)
+            budget = width
+            slots_alu = int_alus
+            slots_mul = int_muls
+            slots_fpu = fpus
+            slots_lsu = lsus
+            active = [False, False]
+            branch_quota = [max_branches, max_branches]
+            for t in order[:n]:
+                active[t] = threads[t].fe_stall_until <= cycle
+            turn = 0
+            while budget and (active[0] or active[1]):
+                # Interleaved slots (ICOUNT2.X) or whole-cycle ownership
+                # (fetch throttling) — see FetchPolicy.whole_cycle.
+                t = order[0] if whole_cycle else order[turn & 1]
+                if not active[t]:
+                    t = order[1] if whole_cycle else order[1 - (turn & 1)]
+                turn += 1
+                ts = threads[t]
+                if ts.squash_at > cycle:
+                    # Wrong-path fetch: ghost µops occupy ROB entries until
+                    # the mispredicted branch resolves and squashes them.
+                    if not rob.can_allocate(t):
+                        active[t] = False
+                        continue
+                    rob.allocate(t)
+                    ts.ghosts += 1
+                    budget -= 1
+                    dispatched_this += 1
+                    continue
+                cursor = ts.cursor
+                i = cursor.index
+                op = cursor.op[i]
+                if not rob.can_allocate(t):
+                    ts.stall_rob += 1
+                    active[t] = False
+                    continue
+                is_mem = op == _OP_LOAD or op == _OP_STORE
+                if is_mem:
+                    if not lsq.can_allocate(t):
+                        ts.stall_lsq += 1
+                        active[t] = False
+                        continue
+                    if slots_lsu == 0:
+                        active[t] = False
+                        continue
+                elif op == _OP_BRANCH:
+                    if branch_quota[t] == 0 or slots_alu == 0:
+                        active[t] = False
+                        continue
+                elif op == _OP_INT_MUL:
+                    if slots_mul == 0:
+                        active[t] = False
+                        continue
+                elif op == _OP_FP:
+                    if slots_fpu == 0:
+                        active[t] = False
+                        continue
+                elif slots_alu == 0:
+                    active[t] = False
+                    continue
+
+                # Instruction-side delivery.
+                pc = cursor.pc[i]
+                fetch_block = pc >> 6
+                if fetch_block != ts.last_fetch_block:
+                    ts.last_fetch_block = fetch_block
+                    delay = hierarchy.fetch_block(t, pc)
+                    if delay:
+                        ts.fe_stall_until = cycle + delay
+                        active[t] = False
+                        continue
+
+                # Dataflow ready time.
+                ring = ts.ring
+                seq = ts.seq
+                ready = cycle
+                d = cursor.dep1[i]
+                if d:
+                    r = ring[(seq - d) & _RING_MASK]
+                    if r > ready:
+                        ready = r
+                d = cursor.dep2[i]
+                if d:
+                    r = ring[(seq - d) & _RING_MASK]
+                    if r > ready:
+                        ready = r
+
+                if op == _OP_LOAD:
+                    s = cursor.sid[i]
+                    latency, __ = hierarchy.load(
+                        t, pc if s == 0 else -s, cursor.addr[i], ready
+                    )
+                    completion = ready + latency
+                    slots_lsu -= 1
+                elif op == _OP_STORE:
+                    s = cursor.sid[i]
+                    hierarchy.store(t, pc if s == 0 else -s, cursor.addr[i], ready)
+                    completion = ready + _LAT_STORE
+                    slots_lsu -= 1
+                elif op == _OP_BRANCH:
+                    completion = ready + _LAT_BRANCH
+                    ts.branches += 1
+                    outcome = predictor.predict_and_update(
+                        t, pc, cursor.taken[i], cursor.target[i]
+                    )
+                    branch_quota[t] -= 1
+                    slots_alu -= 1
+                    if not outcome.direction_correct:
+                        # The front end keeps fetching down the wrong path
+                        # until the branch resolves at `completion`; the
+                        # squash + redirect happens then (see the squash
+                        # phase above).
+                        ts.mispredicts += 1
+                        ts.squash_at = completion
+                    elif not outcome.target_correct:
+                        # Direction right but BTB missed: the target is
+                        # recomputed at decode, costing a front-end bubble
+                        # of half the flush depth.
+                        ts.mispredicts += 1
+                        ts.fe_stall_until = cycle + (flush_penalty // 2)
+                        active[t] = False
+                elif op == _OP_INT_MUL:
+                    completion = ready + _LAT_MUL
+                    slots_mul -= 1
+                elif op == _OP_FP:
+                    completion = ready + _LAT_FP
+                    slots_fpu -= 1
+                else:
+                    completion = ready + _LAT_ALU
+                    slots_alu -= 1
+
+                ring[seq & _RING_MASK] = completion
+                ts.seq = seq + 1
+                rob.allocate(t)
+                if is_mem:
+                    lsq.allocate(t)
+                ts.rob_q.append((completion, is_mem))
+                cursor.advance()
+                budget -= 1
+                dispatched_this += 1
+                if self.event_log is not None:
+                    self.event_log.append(
+                        (t, seq, op, pc, cycle, ready, completion)
+                    )
+
+            # ---- clock advance (with idle fast-forward) ----
+            if dispatched_this == 0 and committed_this == 0:
+                next_event = None
+                for ts in threads:
+                    if ts.rob_q:
+                        head = ts.rob_q[0][0]
+                        if next_event is None or head < next_event:
+                            next_event = head
+                    if ts.fe_stall_until > cycle:
+                        ev = ts.fe_stall_until
+                        if next_event is None or ev < next_event:
+                            next_event = ev
+                    if ts.squash_at > cycle:
+                        ev = ts.squash_at
+                        if next_event is None or ev < next_event:
+                            next_event = ev
+                new_cycle = max(cycle + 1, next_event) if next_event else cycle + 1
+            else:
+                new_cycle = cycle + 1
+
+            # MLP accounting: weight the occupancy at this cycle by the gap.
+            gap = new_cycle - cycle
+            for t in range(n):
+                occ = mshrs.occupancy(t, cycle)
+                if occ > MLP_BUCKETS:
+                    occ = MLP_BUCKETS
+                mlp_hist[t][occ] += gap
+            cycle = new_cycle
+
+        self.cycle = cycle

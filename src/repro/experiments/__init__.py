@@ -1,0 +1,19 @@
+"""Experiment harnesses — one module per paper figure/table.
+
+Every module exposes ``run(fidelity=...)`` returning a structured result
+object with a ``format()`` method that prints the same rows/series the paper
+reports.  ``repro.experiments.runner`` provides a CLI over all of them:
+
+.. code-block:: console
+
+   $ stretch-repro --list
+   $ stretch-repro fig09 --fidelity quick
+
+Set the environment variable ``REPRO_FIDELITY`` to ``quick`` (default) or
+``full`` to trade runtime for statistical tightness, and ``REPRO_NO_CACHE=1``
+to disable the on-disk simulation cache.
+"""
+
+from repro.experiments.common import Fidelity, fidelity_from_env
+
+__all__ = ["Fidelity", "fidelity_from_env"]

@@ -1,0 +1,44 @@
+"""Workload characterization (paper §III methodology, all 33 workloads).
+
+Not a numbered paper artifact, but the measurement surface behind §III's
+analysis and this reproduction's calibration: stand-alone UIPC, cache MPKIs,
+branch behavior and MLP for every service and SPEC benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.workloads.characterize import (
+    WorkloadCharacter,
+    characterize_all,
+    format_characterization,
+)
+
+__all__ = ["CharacterizationResult", "run"]
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    characters: dict[str, WorkloadCharacter]
+
+    def character(self, name: str) -> WorkloadCharacter:
+        return self.characters[name]
+
+    def format(self) -> str:
+        services = [c for c in self.characters.values()
+                    if c.kind == "latency-sensitive"]
+        batch = [c for c in self.characters.values() if c.kind == "batch"]
+        avg_service_mlp = sum(c.mlp_ge2 for c in services) / len(services)
+        avg_batch_mlp = sum(c.mlp_ge2 for c in batch) / len(batch)
+        return (
+            format_characterization(self.characters)
+            + f"\nMLP>=2 time: services {avg_service_mlp:.1%} avg vs batch "
+            f"{avg_batch_mlp:.1%} avg — the contrast behind Stretch (§III-C)"
+        )
+
+
+def run(fidelity: Fidelity | None = None) -> CharacterizationResult:
+    fid = fidelity or fidelity_from_env()
+    return CharacterizationResult(characters=characterize_all(fid.sampling))

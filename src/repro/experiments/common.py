@@ -1,0 +1,250 @@
+"""Shared experiment infrastructure.
+
+* :class:`Fidelity` — how many samples / instructions each simulation uses
+  (``quick`` for regression runs, ``full`` for tighter statistics);
+* core-configuration constructors for every sharing regime the paper
+  evaluates (all-shared SMT baseline, share-one-resource-only, all-private
+  ideal scheduling, dynamically shared ROB, fetch throttling, solo);
+* memoized simulation entry points (:func:`solo_uipc`, :func:`pair_uipc`)
+  with an optional on-disk cache, since many figures reuse the same baseline
+  colocation runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.cpu.config import CoreConfig, PartitionPolicy
+from repro.cpu.sampling import SamplingConfig, sample_colocation, sample_solo
+from repro.workloads.cloudsuite import CLOUDSUITE_NAMES
+from repro.workloads.registry import get_profile
+from repro.workloads.spec2006 import SPEC2006_NAMES
+
+__all__ = [
+    "Fidelity",
+    "fidelity_from_env",
+    "LS_WORKLOADS",
+    "BATCH_WORKLOADS",
+    "config_all_shared",
+    "config_solo",
+    "config_share_only",
+    "config_all_private",
+    "config_dynamic_rob",
+    "config_fetch_throttle",
+    "solo_uipc",
+    "pair_uipc",
+]
+
+LS_WORKLOADS: tuple[str, ...] = CLOUDSUITE_NAMES
+BATCH_WORKLOADS: tuple[str, ...] = SPEC2006_NAMES
+
+#: Bump to invalidate on-disk cache entries after model changes.
+CACHE_VERSION = 10
+
+
+@dataclass(frozen=True)
+class Fidelity:
+    """Simulation effort level for the experiment harnesses."""
+
+    name: str
+    sampling: SamplingConfig
+
+    @classmethod
+    def quick(cls, seed: int = 42) -> "Fidelity":
+        return cls("quick", SamplingConfig(n_samples=2, warmup_instructions=5000,
+                                           measure_instructions=6000, seed=seed))
+
+    @classmethod
+    def full(cls, seed: int = 42) -> "Fidelity":
+        return cls("full", SamplingConfig(n_samples=4, warmup_instructions=10000,
+                                          measure_instructions=12000, seed=seed))
+
+
+def fidelity_from_env() -> Fidelity:
+    """Read ``REPRO_FIDELITY`` (quick|full), defaulting to quick."""
+    value = os.environ.get("REPRO_FIDELITY", "quick").lower()
+    if value == "full":
+        return Fidelity.full()
+    if value == "quick":
+        return Fidelity.quick()
+    raise ValueError(f"REPRO_FIDELITY must be 'quick' or 'full', got {value!r}")
+
+
+# ----------------------------------------------------------------------
+# Core configurations for the paper's sharing regimes
+# ----------------------------------------------------------------------
+
+def config_all_shared() -> CoreConfig:
+    """Baseline SMT core: everything shared, ROB/LSQ equally partitioned."""
+    return CoreConfig()
+
+
+def config_solo(rob_entries: int = 192) -> CoreConfig:
+    """Stand-alone execution on a full core (normalization reference)."""
+    return CoreConfig().single_thread(rob_entries)
+
+
+def _private_everything() -> CoreConfig:
+    """Both threads get private full-size structures (nothing under study).
+
+    Each thread owns a full 192-entry ROB / 64-entry LSQ (modeled as a
+    double-capacity structure with full per-thread limits), private L1s and
+    private branch prediction.  Fetch/dispatch/commit bandwidth remains
+    shared — it is inherent to SMT, not a provisioned resource.
+    """
+    base = CoreConfig()
+    return replace(
+        base,
+        rob_entries=base.rob_entries * 2,
+        lsq_entries=base.lsq_entries * 2,
+        rob_limits=(base.rob_entries, base.rob_entries),
+        lsq_limits=(base.lsq_entries, base.lsq_entries),
+        private_l1i=True,
+        private_l1d=True,
+        private_bp=True,
+    )
+
+
+def config_share_only(resource: str) -> CoreConfig:
+    """Private structures for everything except ``resource`` (Figs. 4-5).
+
+    ``resource`` is one of ``rob``, ``l1i``, ``l1d``, ``bp`` (BTB + direction
+    predictor).  Sharing the ROB means the threads fall back to the halved
+    static partitions of the baseline core.
+    """
+    config = _private_everything()
+    base = CoreConfig()
+    if resource == "rob":
+        return replace(
+            config,
+            rob_entries=base.rob_entries,
+            lsq_entries=base.lsq_entries,
+            rob_limits=base.rob_limits,
+            lsq_limits=base.lsq_limits,
+        )
+    if resource == "l1i":
+        return replace(config, private_l1i=False)
+    if resource == "l1d":
+        return replace(config, private_l1d=False)
+    if resource == "bp":
+        return replace(config, private_bp=False)
+    raise ValueError(f"unknown resource {resource!r}; use rob/l1i/l1d/bp")
+
+
+def config_all_private() -> CoreConfig:
+    """Ideal software scheduling (Fig. 13): contention-free shared structures.
+
+    Private L1-I/L1-D/BP per thread; ROB/LSQ keep the baseline equal static
+    partitioning (software scheduling cannot provision core resources).
+    """
+    return replace(
+        CoreConfig(), private_l1i=True, private_l1d=True, private_bp=True
+    )
+
+
+def config_dynamic_rob() -> CoreConfig:
+    """Dynamically shared ROB/LSQ baseline (Fig. 11)."""
+    return replace(CoreConfig(), rob_policy=PartitionPolicy.SHARED)
+
+
+def config_fetch_throttle(m: int) -> CoreConfig:
+    """Fetch throttling 1:M (Fig. 12): thread 1 (batch) gets M cycles of
+    fetch priority for each cycle of the latency-sensitive thread 0."""
+    if m < 1:
+        raise ValueError("throttle ratio must be at least 1:1")
+    return replace(CoreConfig(), fetch_policy="ratio", fetch_ratio=(1, m))
+
+
+# ----------------------------------------------------------------------
+# Memoized simulation entry points
+# ----------------------------------------------------------------------
+
+_memory_cache: dict[str, tuple[float, ...]] = {}
+
+
+def _cache_dir() -> Path | None:
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR")
+    path = Path(root) if root else Path(__file__).resolve().parents[3] / ".repro_cache"
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    return path
+
+
+def _key(kind: str, workloads: tuple[str, ...], config: CoreConfig,
+         sampling: SamplingConfig) -> str:
+    # Keyed on the full profile definitions (not just names) so that profile
+    # recalibrations invalidate stale entries.
+    profiles = tuple(repr(get_profile(name)) for name in workloads)
+    payload = repr((CACHE_VERSION, kind, workloads, profiles, config, sampling))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _cached(key: str) -> tuple[float, ...] | None:
+    hit = _memory_cache.get(key)
+    if hit is not None:
+        return hit
+    directory = _cache_dir()
+    if directory is None:
+        return None
+    path = directory / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        values = tuple(json.loads(path.read_text()))
+    except (ValueError, OSError):
+        return None
+    _memory_cache[key] = values
+    return values
+
+
+def _store(key: str, values: tuple[float, ...]) -> None:
+    _memory_cache[key] = values
+    directory = _cache_dir()
+    if directory is None:
+        return
+    try:
+        (directory / f"{key}.json").write_text(json.dumps(list(values)))
+    except OSError:
+        pass
+
+
+def solo_uipc(workload: str, config: CoreConfig, sampling: SamplingConfig) -> float:
+    """Mean stand-alone UIPC of ``workload`` under ``config`` (memoized)."""
+    key = _key("solo", (workload,), config, sampling)
+    hit = _cached(key)
+    if hit is None:
+        results = sample_solo(get_profile(workload), config, sampling)
+        hit = (sum(r.threads[0].uipc for r in results) / len(results),)
+        _store(key, hit)
+    return hit[0]
+
+
+def pair_uipc(
+    ls_workload: str, batch_workload: str, config: CoreConfig, sampling: SamplingConfig
+) -> tuple[float, float]:
+    """Mean colocated UIPC ``(ls, batch)`` for a pair (memoized).
+
+    Thread 0 runs the latency-sensitive workload, thread 1 the batch one,
+    matching :class:`~repro.core.partitioning.PartitionScheme` orientation.
+    """
+    key = _key("pair", (ls_workload, batch_workload), config, sampling)
+    hit = _cached(key)
+    if hit is None:
+        results = sample_colocation(
+            get_profile(ls_workload), get_profile(batch_workload), config, sampling
+        )
+        n = len(results)
+        hit = (
+            sum(r.threads[0].uipc for r in results) / n,
+            sum(r.threads[1].uipc for r in results) / n,
+        )
+        _store(key, hit)
+    return hit[0], hit[1]

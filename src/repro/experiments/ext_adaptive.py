@@ -1,0 +1,112 @@
+"""Extension: multi-B-mode adaptive control over a diurnal day (§IV-D).
+
+The paper provisions one B-mode and suggests that "multiple configurations
+... would enable finer-grain control over per-thread performance" at the
+cost of "more sophisticated software control".  This harness measures that
+trade exactly: the same colocated server runs a 24-hour Web Search diurnal
+day under
+
+* the two-point monitor (Baseline + the single 56-136 B-mode, optionally
+  Q-mode), and
+* the adaptive policy choosing among all five provisioned B-modes by the
+  measured slack budget,
+
+and reports B-mode residency, QoS violation rate, and daily batch
+throughput gain versus an always-Baseline server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.adaptive import AdaptiveStretchPolicy
+from repro.core.colocation import measure_colocation_performance
+from repro.core.partitioning import B_MODES
+from repro.core.server import ColocatedServer
+from repro.core.stretch import StretchMode
+from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.qos.diurnal import web_search_cluster_load
+from repro.util.tables import format_table
+from repro.workloads.registry import get_profile
+
+__all__ = ["AdaptiveComparison", "run", "BATCH_CORUNNERS"]
+
+BATCH_CORUNNERS = ("zeusmp", "libquantum", "milc")
+
+
+@dataclass(frozen=True)
+class PolicyDay:
+    policy: str
+    batch: str
+    bmode_fraction: float
+    violation_rate: float
+    daily_batch_gain: float
+
+
+@dataclass(frozen=True)
+class AdaptiveComparison:
+    days: list[PolicyDay]
+
+    def mean_gain(self, policy: str) -> float:
+        gains = [d.daily_batch_gain for d in self.days if d.policy == policy]
+        return sum(gains) / len(gains)
+
+    def mean_violations(self, policy: str) -> float:
+        rates = [d.violation_rate for d in self.days if d.policy == policy]
+        return sum(rates) / len(rates)
+
+    def format(self) -> str:
+        table = format_table(
+            ["policy", "co-runner", "B-mode time", "violations", "daily gain"],
+            [[d.policy, d.batch, d.bmode_fraction, d.violation_rate,
+              d.daily_batch_gain] for d in self.days],
+            float_fmt="+.1%",
+            title="Extension: two-point monitor vs adaptive multi-B-mode "
+                  "control (Web Search diurnal day)",
+        )
+        return (
+            f"{table}\n"
+            f"mean daily batch gain: two-point "
+            f"{self.mean_gain('two-point'):+.1%} vs adaptive "
+            f"{self.mean_gain('adaptive'):+.1%} "
+            f"(violations {self.mean_violations('two-point'):.1%} vs "
+            f"{self.mean_violations('adaptive'):.1%})"
+        )
+
+
+def run(fidelity: Fidelity | None = None) -> AdaptiveComparison:
+    fid = fidelity or fidelity_from_env()
+    ls = get_profile("web_search")
+    days: list[PolicyDay] = []
+    for batch_name in BATCH_CORUNNERS:
+        performance = measure_colocation_performance(
+            ls, get_profile(batch_name), sampling=fid.sampling
+        )
+        baseline_uipc = performance.per_mode[StretchMode.BASELINE].batch_uipc
+
+        fixed_server = ColocatedServer(ls, performance, seed=11)
+        fixed = fixed_server.run_day(
+            web_search_cluster_load, window_minutes=15, requests_per_window=1200
+        )
+        days.append(PolicyDay(
+            policy="two-point",
+            batch=batch_name,
+            bmode_fraction=fixed.bmode_fraction,
+            violation_rate=fixed.violation_rate,
+            daily_batch_gain=fixed.batch_throughput_gain(baseline_uipc),
+        ))
+
+        adaptive_server = ColocatedServer(ls, performance, seed=11)
+        policy = AdaptiveStretchPolicy(ls.qos, performance, tuple(B_MODES))
+        adaptive = adaptive_server.run_day_adaptive(
+            web_search_cluster_load, policy,
+            window_minutes=15, requests_per_window=1200,
+        )
+        days.append(PolicyDay(
+            policy="adaptive",
+            batch=batch_name,
+            bmode_fraction=adaptive.bmode_fraction,
+            violation_rate=adaptive.violation_rate,
+            daily_batch_gain=adaptive.batch_throughput_gain(baseline_uipc),
+        ))
+    return AdaptiveComparison(days=days)

@@ -1,0 +1,76 @@
+"""Figure 1: Web Search latency (average / 95th / 99th percentile) vs load.
+
+The paper measures a Nutch/Lucene Web Search engine on an i7-2600K and shows
+that average latency climbs slowly with load (+43% from lowest to highest
+point) while 99th-percentile latency grows by over 2.5x as queueing sets in;
+the 100 ms p99 QoS target is met up to the peak-load point by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.qos.queueing import LatencyStats, ServiceSimulator
+from repro.util.chart import render_chart
+from repro.util.tables import format_table
+from repro.workloads.cloudsuite import cloudsuite_profile
+
+__all__ = ["Fig1Result", "run", "LOAD_POINTS"]
+
+LOAD_POINTS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Latency statistics per load point for Web Search."""
+
+    qos_target_ms: float
+    points: list[tuple[float, LatencyStats]]
+
+    @property
+    def average_growth(self) -> float:
+        """Relative growth of mean latency, lowest to highest load."""
+        return self.points[-1][1].mean / self.points[0][1].mean - 1.0
+
+    @property
+    def p99_growth(self) -> float:
+        """Relative growth of p99 latency, lowest to highest load."""
+        return self.points[-1][1].p99 / self.points[0][1].p99
+
+    def format(self) -> str:
+        rows = [
+            [f"{load:.0%}", stats.mean, stats.p95, stats.p99,
+             "yes" if stats.p99 <= self.qos_target_ms else "NO"]
+            for load, stats in self.points
+        ]
+        table = format_table(
+            ["load", "avg (ms)", "p95 (ms)", "p99 (ms)", "QoS met"],
+            rows,
+            float_fmt=".1f",
+            title="Figure 1: Web Search latency vs load (p99 target "
+                  f"{self.qos_target_ms:.0f} ms)",
+        )
+        chart = render_chart(
+            {
+                "p99": [stats.p99 for __, stats in self.points],
+                "p95": [stats.p95 for __, stats in self.points],
+                "avg": [stats.mean for __, stats in self.points],
+            },
+            x_labels=[f"{load:.0%}" for load, __ in self.points],
+            y_fmt=".0f",
+        )
+        return (
+            f"{table}\n{chart}\n"
+            f"average latency growth: {self.average_growth:+.0%} "
+            f"(paper: +43%); p99 growth: {self.p99_growth:.1f}x (paper: >2.5x)"
+        )
+
+
+def run(fidelity: Fidelity | None = None, n_requests: int = 20000) -> Fig1Result:
+    """Regenerate Figure 1 from the queueing substrate."""
+    __ = fidelity or fidelity_from_env()  # fidelity reserved for API symmetry
+    profile = cloudsuite_profile("web_search")
+    service = ServiceSimulator(profile.qos, n_workers=8, seed=7)
+    points = service.latency_vs_load(LOAD_POINTS, n_requests=n_requests)
+    return Fig1Result(qos_target_ms=profile.qos.target_ms, points=points)

@@ -1,0 +1,73 @@
+"""Figure 2: performance slack of latency-sensitive services vs load.
+
+For each of the four services, the minimum fraction of full-core performance
+that still meets the QoS target, across load points.  The paper reports that
+at 20% load, 55-90% of single-thread performance can be sacrificed, shrinking
+to 30-70% at 50% load and almost nothing near peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import Fidelity, LS_WORKLOADS, fidelity_from_env
+from repro.qos.slack import slack_curve
+from repro.util.chart import render_chart
+from repro.util.tables import format_table
+from repro.workloads.registry import get_profile
+
+__all__ = ["Fig2Result", "run", "LOAD_POINTS"]
+
+LOAD_POINTS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Required-performance curves per service."""
+
+    curves: dict[str, list[tuple[float, float]]]
+
+    def required_at(self, workload: str, load: float) -> float:
+        for point, value in self.curves[workload]:
+            if abs(point - load) < 1e-9:
+                return value
+        raise KeyError(f"load {load} not measured for {workload}")
+
+    def slack_at(self, workload: str, load: float) -> float:
+        return 1.0 - self.required_at(workload, load)
+
+    def format(self) -> str:
+        header = ["load"] + list(self.curves)
+        rows = []
+        for i, load in enumerate(LOAD_POINTS):
+            rows.append(
+                [f"{load:.0%}"] + [self.curves[w][i][1] for w in self.curves]
+            )
+        table = format_table(
+            header, rows, float_fmt=".2f",
+            title="Figure 2: required performance (fraction of full core) to meet QoS",
+        )
+        chart = render_chart(
+            {name: [req for __, req in curve] for name, curve in self.curves.items()},
+            x_labels=[f"{load:.0%}" for load in LOAD_POINTS],
+            y_fmt=".2f",
+        )
+        table = f"{table}\n{chart}"
+        slack20 = [1 - self.curves[w][1][1] for w in self.curves]
+        slack50 = [1 - self.curves[w][4][1] for w in self.curves]
+        return (
+            f"{table}\n"
+            f"slack at 20% load: {min(slack20):.0%}-{max(slack20):.0%} "
+            f"(paper: 55%-90%); at 50%: {min(slack50):.0%}-{max(slack50):.0%} "
+            f"(paper: 30%-70%)"
+        )
+
+
+def run(fidelity: Fidelity | None = None, n_requests: int = 12000) -> Fig2Result:
+    """Regenerate Figure 2 via duty-cycle-style performance modulation."""
+    __ = fidelity or fidelity_from_env()
+    curves = {
+        name: slack_curve(get_profile(name), LOAD_POINTS, n_requests=n_requests)
+        for name in LS_WORKLOADS
+    }
+    return Fig2Result(curves=curves)

@@ -1,0 +1,64 @@
+"""Figure 7: memory-level parallelism of Web Search vs zeusmp.
+
+Fraction of execution time with at least K distinct-cache-block memory
+requests in flight (K = 1..5).  The paper: Web Search exhibits MLP (>= 2
+concurrent misses) only 9% of the time and >= 3 misses 3% of the time, while
+zeusmp shows >= 2 for 55% and >= 3 for 21% of its execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.sampling import sample_solo
+from repro.experiments.common import Fidelity, config_solo, fidelity_from_env
+from repro.util.tables import format_table
+from repro.workloads.registry import get_profile
+
+__all__ = ["Fig7Result", "run", "WORKLOADS"]
+
+WORKLOADS = ("web_search", "zeusmp")
+MLP_LEVELS = (1, 2, 3, 4, 5)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Cumulative in-flight-miss occupancy fractions per workload."""
+
+    #: {workload: {k: fraction of time with >= k misses in flight}}
+    fractions: dict[str, dict[int, float]]
+
+    def mlp_at_least(self, workload: str, k: int) -> float:
+        return self.fractions[workload][k]
+
+    def format(self) -> str:
+        rows = [
+            [f">={k}"] + [self.fractions[w][k] for w in WORKLOADS]
+            for k in MLP_LEVELS
+        ]
+        table = format_table(
+            ["in-flight", *WORKLOADS], rows, float_fmt=".1%",
+            title="Figure 7: fraction of time with >= K memory requests in flight",
+        )
+        return (
+            f"{table}\n"
+            f"paper: web_search >=2 for 9% / >=3 for 3% of time; "
+            f"zeusmp >=2 for 55% / >=3 for 21%"
+        )
+
+
+def run(fidelity: Fidelity | None = None) -> Fig7Result:
+    """Regenerate Figure 7 from MSHR-occupancy histograms."""
+    fid = fidelity or fidelity_from_env()
+    fractions: dict[str, dict[int, float]] = {}
+    for name in WORKLOADS:
+        results = sample_solo(get_profile(name), config_solo(192), fid.sampling)
+        merged = [0.0] * len(MLP_LEVELS)
+        for result in results:
+            thread = result.threads[0]
+            for i, k in enumerate(MLP_LEVELS):
+                merged[i] += thread.mlp_at_least(k)
+        fractions[name] = {
+            k: merged[i] / len(results) for i, k in enumerate(MLP_LEVELS)
+        }
+    return Fig7Result(fractions=fractions)

@@ -1,0 +1,129 @@
+"""Command-line runner over all experiment harnesses.
+
+.. code-block:: console
+
+   $ stretch-repro --list
+   $ stretch-repro fig01 fig02
+   $ stretch-repro all --fidelity full
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import importlib
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.common import Fidelity
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+
+#: Experiment id -> module implementing ``run(fidelity)``.
+EXPERIMENTS: dict[str, str] = {
+    "tables": "repro.experiments.tables",
+    "fig01": "repro.experiments.fig01_latency_vs_load",
+    "fig02": "repro.experiments.fig02_slack",
+    "fig03": "repro.experiments.fig03_colocation_slowdown",
+    "fig04": "repro.experiments.fig04_resource_contention",
+    "fig05": "repro.experiments.fig05_resource_contention_all",
+    "fig06": "repro.experiments.fig06_rob_sensitivity",
+    "fig07": "repro.experiments.fig07_mlp",
+    "fig09": "repro.experiments.fig09_stretch_modes",
+    "fig10": "repro.experiments.fig10_bmode_speedup",
+    "fig11": "repro.experiments.fig11_dynamic_sharing",
+    "fig12": "repro.experiments.fig12_fetch_throttling",
+    "fig13": "repro.experiments.fig13_software_scheduling",
+    "fig14": "repro.experiments.fig14_case_studies",
+    # Extensions beyond the paper's evaluation (its §IV-D discussion points).
+    "ext_two_services": "repro.experiments.ext_two_services",
+    "ext_sensitivity": "repro.experiments.ext_sensitivity",
+    "ext_adaptive": "repro.experiments.ext_adaptive",
+    "ext_energy": "repro.experiments.ext_energy",
+    "characterize": "repro.experiments.characterization",
+}
+
+
+def run_experiment(name: str, fidelity: Fidelity):
+    """Run one experiment by id and return its result object."""
+    try:
+        module_name = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return module.run(fidelity)
+
+
+def result_to_jsonable(result) -> object:
+    """Convert an experiment result into JSON-serializable data.
+
+    Dataclasses flatten recursively; enums and other exotic values fall back
+    to ``str``.  Intended for piping results into external plotting tools.
+    """
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return {
+            field.name: result_to_jsonable(getattr(result, field.name))
+            for field in dataclasses.fields(result)
+        }
+    if isinstance(result, dict):
+        return {str(k): result_to_jsonable(v) for k, v in result.items()}
+    if isinstance(result, (list, tuple)):
+        return [result_to_jsonable(v) for v in result]
+    if isinstance(result, (str, int, float, bool)) or result is None:
+        return result
+    return str(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="stretch-repro",
+        description="Regenerate the tables and figures of the Stretch paper "
+                    "(HPCA'19) from the simulation substrate.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment ids (e.g. fig09), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--fidelity", choices=("quick", "full"), default="quick",
+        help="simulation effort (default: quick)",
+    )
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="also write each result as DIR/<experiment>.json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name, module in EXPERIMENTS.items():
+            doc = importlib.import_module(module).__doc__ or ""
+            first = doc.strip().splitlines()[0] if doc.strip() else ""
+            print(f"{name:8s} {first}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    fidelity = Fidelity.full() if args.fidelity == "full" else Fidelity.quick()
+    json_dir = Path(args.json) if args.json else None
+    if json_dir:
+        json_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        start = time.time()
+        result = run_experiment(name, fidelity)
+        elapsed = time.time() - start
+        print(f"==== {name} ({elapsed:.1f}s) ====")
+        print(result.format())
+        print()
+        if json_dir:
+            payload = {"experiment": name, "fidelity": fidelity.name,
+                       "result": result_to_jsonable(result)}
+            (json_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

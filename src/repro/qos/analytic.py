@@ -1,0 +1,93 @@
+"""Analytic queueing approximations — cross-validation for the simulator.
+
+Closed-form results for the service model underlying
+:class:`~repro.qos.queueing.ServiceSimulator`:
+
+* **Erlang C** (M/M/k): exact waiting probability and mean wait for Poisson
+  arrivals and exponential service;
+* **Allen-Cunneen** (G/G/k): the standard two-moment approximation scaling
+  the M/M/k wait by the arrival/service variability
+  ``(ca² + cs²) / 2``.
+
+The test suite uses these to validate the discrete-event simulator in the
+regimes where the formulas are exact or tight (Poisson arrivals, moderate
+utilization); the simulator is then trusted in the bursty-MMPP regime the
+formulas do not cover.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "erlang_c",
+    "mmk_mean_wait",
+    "mmk_mean_sojourn",
+    "allen_cunneen_wait",
+    "utilization",
+]
+
+
+def utilization(arrival_rate: float, service_time: float, servers: int) -> float:
+    """Offered utilization ``rho = lambda * E[S] / k``."""
+    if arrival_rate <= 0 or service_time <= 0 or servers <= 0:
+        raise ValueError("arrival rate, service time and servers must be positive")
+    return arrival_rate * service_time / servers
+
+
+def erlang_c(arrival_rate: float, service_time: float, servers: int) -> float:
+    """Probability an arriving request must queue (M/M/k, exact).
+
+    Requires a stable system (utilization < 1).
+    """
+    rho = utilization(arrival_rate, service_time, servers)
+    if rho >= 1.0:
+        raise ValueError(f"system unstable: utilization {rho:.3f} >= 1")
+    a = arrival_rate * service_time  # offered load in Erlangs
+    # Sum_{n<k} a^n/n! computed iteratively for numeric stability.
+    term = 1.0
+    total = 1.0
+    for n in range(1, servers):
+        term *= a / n
+        total += term
+    term *= a / servers  # a^k / k!
+    tail = term / (1.0 - rho)
+    return tail / (total + tail)
+
+
+def mmk_mean_wait(arrival_rate: float, service_time: float, servers: int) -> float:
+    """Mean queueing delay (excluding service) of an M/M/k system."""
+    rho = utilization(arrival_rate, service_time, servers)
+    pw = erlang_c(arrival_rate, service_time, servers)
+    return pw * service_time / (servers * (1.0 - rho))
+
+
+def mmk_mean_sojourn(arrival_rate: float, service_time: float, servers: int) -> float:
+    """Mean sojourn time (wait + service) of an M/M/k system."""
+    return mmk_mean_wait(arrival_rate, service_time, servers) + service_time
+
+
+def allen_cunneen_wait(
+    arrival_rate: float,
+    service_time: float,
+    servers: int,
+    ca2: float,
+    cs2: float,
+) -> float:
+    """Allen-Cunneen G/G/k mean-wait approximation.
+
+    ``ca2`` / ``cs2`` are the squared coefficients of variation of the
+    inter-arrival and service time distributions (1.0 recovers M/M/k).
+    """
+    if ca2 < 0 or cs2 < 0:
+        raise ValueError("squared coefficients of variation must be non-negative")
+    return mmk_mean_wait(arrival_rate, service_time, servers) * (ca2 + cs2) / 2.0
+
+
+def mm1_p99_sojourn(arrival_rate: float, service_time: float) -> float:
+    """99th-percentile sojourn of an M/M/1 (exact: exponential sojourn)."""
+    rho = utilization(arrival_rate, service_time, 1)
+    if rho >= 1.0:
+        raise ValueError("system unstable")
+    mean_sojourn = service_time / (1.0 - rho)
+    return -mean_sojourn * math.log(0.01)

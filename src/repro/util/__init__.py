@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG discipline, statistics, table rendering."""
+
+from repro.util.rng import SeedSequenceFactory, derive_seed
+from repro.util.stats import (
+    DistributionSummary,
+    geometric_mean,
+    percentile,
+    summarize,
+)
+from repro.util.tables import format_table
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_seed",
+    "DistributionSummary",
+    "geometric_mean",
+    "percentile",
+    "summarize",
+    "format_table",
+]

@@ -1,0 +1,84 @@
+"""Plain-text line charts for experiment series (Figs. 1, 2, 6 shapes).
+
+Terminal-rendered multi-series charts: one glyph per series, row-per-level
+canvas, labelled y-extremes. Used by experiment ``format()`` methods so the
+*shape* of a curve family — crossings, knees, saturation — is visible
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_chart"]
+
+_SERIES_GLYPHS = "ox+*#@%&"
+
+
+def render_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str] | None = None,
+    height: int = 12,
+    y_fmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render ``series`` (name -> y values) as a monospace line chart.
+
+    All series must share the same length; points map to columns, values to
+    rows.  Collisions print the later series' glyph.  Returns the chart with
+    a legend line; raises on empty or ragged input.
+    """
+    if not series:
+        raise ValueError("no series to render")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    n_points = lengths.pop()
+    if n_points == 0:
+        raise ValueError("series are empty")
+    if height < 3:
+        raise ValueError("height must be at least 3")
+    if len(series) > len(_SERIES_GLYPHS):
+        raise ValueError(f"at most {len(_SERIES_GLYPHS)} series supported")
+
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi <= lo:
+        hi = lo + 1e-9
+    col_width = 3
+    width = n_points * col_width
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (name, values), glyph in zip(series.items(), _SERIES_GLYPHS):
+        for i, value in enumerate(values):
+            row = height - 1 - int(round((value - lo) / (hi - lo) * (height - 1)))
+            canvas[row][i * col_width + 1] = glyph
+
+    top_label = format(hi, y_fmt)
+    bottom_label = format(lo, y_fmt)
+    margin = max(len(top_label), len(bottom_label)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = top_label.rjust(margin - 1)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(margin - 1)
+        else:
+            label = " " * (margin - 1)
+        lines.append(f"{label}|{''.join(row)}")
+    if x_labels is not None:
+        if len(x_labels) != n_points:
+            raise ValueError("x_labels length must match the series length")
+        axis = [" "] * width
+        for i, text in enumerate(x_labels):
+            start = i * col_width
+            for j, ch in enumerate(str(text)[:col_width]):
+                axis[start + j] = ch
+        lines.append(" " * margin + "".join(axis))
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, __), glyph in zip(series.items(), _SERIES_GLYPHS)
+    )
+    lines.append(" " * margin + legend)
+    return "\n".join(lines)

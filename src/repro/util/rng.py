@@ -1,0 +1,65 @@
+"""Deterministic random-number discipline.
+
+Every stochastic component in the reproduction (trace generators, arrival
+processes, cache-warming noise) draws from a :class:`numpy.random.Generator`
+seeded through this module, so that any experiment is exactly reproducible
+from a single root seed.  Child seeds are derived from string labels rather
+than positional order, so adding a new component never perturbs the streams
+of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "SeedSequenceFactory"]
+
+_SEED_MASK = (1 << 63) - 1
+
+
+def derive_seed(root_seed: int, *labels: str | int) -> int:
+    """Derive a deterministic 63-bit child seed from a root seed and labels.
+
+    The derivation hashes ``root_seed`` together with each label, so two
+    distinct label paths always produce statistically independent streams.
+
+    >>> derive_seed(42, "websearch", "trace") == derive_seed(42, "websearch", "trace")
+    True
+    >>> derive_seed(42, "a") != derive_seed(42, "b")
+    True
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(root_seed)).encode())
+    for label in labels:
+        hasher.update(b"/")
+        hasher.update(str(label).encode())
+    return int.from_bytes(hasher.digest()[:8], "little") & _SEED_MASK
+
+
+class SeedSequenceFactory:
+    """Factory producing named, independent :class:`numpy.random.Generator` objects.
+
+    Parameters
+    ----------
+    root_seed:
+        The experiment-level seed.  All generators handed out by this factory
+        are pure functions of ``root_seed`` and the requested label path.
+    """
+
+    def __init__(self, root_seed: int = 0):
+        if root_seed < 0:
+            raise ValueError(f"root_seed must be non-negative, got {root_seed}")
+        self.root_seed = int(root_seed)
+
+    def generator(self, *labels: str | int) -> np.random.Generator:
+        """Return a generator for the given label path."""
+        return np.random.default_rng(derive_seed(self.root_seed, *labels))
+
+    def child(self, *labels: str | int) -> "SeedSequenceFactory":
+        """Return a factory rooted at a derived seed (for nested components)."""
+        return SeedSequenceFactory(derive_seed(self.root_seed, *labels))
+
+    def __repr__(self) -> str:
+        return f"SeedSequenceFactory(root_seed={self.root_seed})"

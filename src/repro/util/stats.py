@@ -1,0 +1,84 @@
+"""Statistics helpers used throughout the experiment harnesses.
+
+The paper reports distributions as violin plots annotated with the median and
+interquartile range (Figs. 3 and 9).  :class:`DistributionSummary` captures the
+same five-number view plus the mean, and is the canonical result type for any
+experiment that aggregates over colocation pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["percentile", "geometric_mean", "DistributionSummary", "summarize"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile (0-100) of ``samples``.
+
+    Uses linear interpolation, matching how tail-latency targets such as
+    "99th percentile below 100 ms" are evaluated in the paper.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample set")
+    return float(np.percentile(arr, q))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values (standard for speedups)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number summary plus mean, mirroring the paper's violin annotations."""
+
+    n: int
+    mean: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range (the black box in the paper's violins)."""
+        return self.p75 - self.p25
+
+    def as_row(self) -> list[float]:
+        """Values in a fixed order convenient for tabular output."""
+        return [self.mean, self.minimum, self.p25, self.median, self.p75, self.maximum]
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:+.1%} min={self.minimum:+.1%} "
+            f"median={self.median:+.1%} max={self.maximum:+.1%}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> DistributionSummary:
+    """Summarize a sample distribution (used for every violin in the paper)."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    return DistributionSummary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        p25=float(np.percentile(arr, 25)),
+        median=float(np.percentile(arr, 50)),
+        p75=float(np.percentile(arr, 75)),
+        maximum=float(arr.max()),
+    )

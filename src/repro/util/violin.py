@@ -1,0 +1,71 @@
+"""Plain-text violin rendering.
+
+The paper presents its distribution results (Figs. 3 and 9) as violin plots
+annotated with median and interquartile range.  This module renders the same
+view in monospace text so experiment harnesses can show the distribution
+*shape* — not just summary numbers — in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.stats import summarize
+
+__all__ = ["render_violin", "render_violin_row"]
+
+_DENSITY_GLYPHS = " .:-=+*#%@"
+
+
+def render_violin(
+    samples: Sequence[float],
+    width: int = 41,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Render the density of ``samples`` as one line of glyphs.
+
+    The line spans ``[lo, hi]`` (defaults: sample min/max); glyph intensity
+    encodes density, ``|`` marks the median.
+    """
+    if width < 5:
+        raise ValueError("width must be at least 5")
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot render an empty sample set")
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1e-9
+    edges = np.linspace(lo, hi, width + 1)
+    counts, __ = np.histogram(np.clip(arr, lo, hi), bins=edges)
+    peak = counts.max() if counts.max() else 1
+    glyphs = [
+        _DENSITY_GLYPHS[int(round((count / peak) * (len(_DENSITY_GLYPHS) - 1)))]
+        for count in counts
+    ]
+    median = float(np.percentile(arr, 50))
+    median_bin = min(int((median - lo) / (hi - lo) * width), width - 1)
+    glyphs[median_bin] = "|"
+    return "".join(glyphs)
+
+
+def render_violin_row(
+    label: str,
+    samples: Sequence[float],
+    width: int = 41,
+    lo: float | None = None,
+    hi: float | None = None,
+    value_fmt: str = "+.1%",
+) -> str:
+    """One labelled violin with min/median/max annotations."""
+    summary = summarize(samples)
+    violin = render_violin(samples, width=width, lo=lo, hi=hi)
+    return (
+        f"{label:<22} [{violin}] "
+        f"min={format(summary.minimum, value_fmt)} "
+        f"med={format(summary.median, value_fmt)} "
+        f"max={format(summary.maximum, value_fmt)}"
+    )

@@ -1,0 +1,31 @@
+"""Synthetic workload substrate.
+
+The paper runs four CloudSuite latency-sensitive services and all 29 SPEC
+CPU2006 benchmarks on a full-system simulator.  Neither CloudSuite's
+SPARC/Solaris software stack nor SPEC binaries are available offline, so this
+package substitutes *statistical workload profiles*: each workload is
+described by the microarchitectural signature the paper's analysis rests on
+(dependency structure / MLP, data and instruction footprints, streaming
+behavior, branch predictability), and a generator synthesizes µop traces with
+those properties.  See DESIGN.md §1 for the substitution rationale.
+"""
+
+from repro.workloads.profiles import QoSSpec, WorkloadKind, WorkloadProfile
+from repro.workloads.generator import TraceGenerator, generate_trace
+from repro.workloads.spec2006 import SPEC2006, spec_profile
+from repro.workloads.cloudsuite import CLOUDSUITE, cloudsuite_profile
+from repro.workloads.registry import all_profiles, get_profile
+
+__all__ = [
+    "QoSSpec",
+    "WorkloadKind",
+    "WorkloadProfile",
+    "TraceGenerator",
+    "generate_trace",
+    "SPEC2006",
+    "spec_profile",
+    "CLOUDSUITE",
+    "cloudsuite_profile",
+    "all_profiles",
+    "get_profile",
+]

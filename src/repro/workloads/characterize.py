@@ -1,0 +1,98 @@
+"""Workload characterization report (the paper's §III methodology).
+
+Runs each profile stand-alone on the full core and reports the
+microarchitectural signature the paper's analysis is built on: UIPC, cache
+MPKIs, branch behavior, and the MLP distribution.  Useful both as a
+library feature (what does this profile actually look like on the core?)
+and as the calibration surface for the synthetic-workload substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.metrics import ThreadResult
+from repro.cpu.sampling import SamplingConfig, sample_solo
+from repro.util.tables import format_table
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.registry import all_profiles
+
+__all__ = ["WorkloadCharacter", "characterize", "characterize_all"]
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """Averaged stand-alone signature of one workload."""
+
+    name: str
+    kind: str
+    uipc: float
+    l1d_mpki: float
+    l1i_mpki: float
+    branch_mpki: float
+    branch_misprediction_rate: float
+    mlp_ge2: float
+    mlp_ge3: float
+
+    def as_row(self) -> list:
+        return [
+            self.name, self.kind, self.uipc, self.l1d_mpki, self.l1i_mpki,
+            self.branch_misprediction_rate, self.mlp_ge2,
+        ]
+
+
+def _merge(name: str, kind: str, threads: list[ThreadResult]) -> WorkloadCharacter:
+    n = len(threads)
+    instructions = sum(t.instructions for t in threads)
+    branches = sum(t.branches for t in threads)
+    return WorkloadCharacter(
+        name=name,
+        kind=kind,
+        uipc=sum(t.uipc for t in threads) / n,
+        l1d_mpki=sum(t.l1d_mpki for t in threads) / n,
+        l1i_mpki=sum(t.l1i_mpki for t in threads) / n,
+        branch_mpki=1000.0 * sum(t.branch_mispredicts for t in threads)
+        / max(instructions, 1),
+        branch_misprediction_rate=sum(t.branch_mispredicts for t in threads)
+        / max(branches, 1),
+        mlp_ge2=sum(t.mlp_at_least(2) for t in threads) / n,
+        mlp_ge3=sum(t.mlp_at_least(3) for t in threads) / n,
+    )
+
+
+def characterize(
+    profile: WorkloadProfile,
+    config: CoreConfig | None = None,
+    sampling: SamplingConfig = SamplingConfig(),
+) -> WorkloadCharacter:
+    """Stand-alone characterization of one workload profile."""
+    core_config = (config or CoreConfig()).single_thread(192)
+    results = sample_solo(profile, core_config, sampling)
+    return _merge(
+        profile.name, profile.kind.value, [r.threads[0] for r in results]
+    )
+
+
+def characterize_all(
+    sampling: SamplingConfig = SamplingConfig(),
+) -> dict[str, WorkloadCharacter]:
+    """Characterize every registered workload (4 services + 29 SPEC)."""
+    return {
+        name: characterize(profile, sampling=sampling)
+        for name, profile in sorted(all_profiles().items())
+    }
+
+
+def format_characterization(characters: dict[str, WorkloadCharacter]) -> str:
+    """Render a characterization table (sorted: services first, then batch)."""
+    ordered = sorted(
+        characters.values(), key=lambda c: (c.kind != "latency-sensitive", c.name)
+    )
+    return format_table(
+        ["workload", "kind", "UIPC", "L1-D MPKI", "L1-I MPKI", "BP miss rate",
+         "MLP>=2"],
+        [c.as_row() for c in ordered],
+        float_fmt=".3f",
+        title="Stand-alone workload characterization (192-entry ROB)",
+    )

@@ -1,0 +1,107 @@
+"""``stretch-trace``: generate, inspect and characterize workload traces.
+
+.. code-block:: console
+
+   $ stretch-trace list                      # all registered workloads
+   $ stretch-trace generate zeusmp -n 100000 -o zeusmp.npz
+   $ stretch-trace info zeusmp.npz           # mix / footprints / streams
+   $ stretch-trace characterize web_search   # run it on the simulated core
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.cpu.isa import OpClass
+from repro.cpu.sampling import SamplingConfig
+from repro.cpu.trace import Trace
+from repro.workloads.characterize import characterize
+from repro.workloads.generator import generate_trace
+from repro.workloads.registry import all_profiles, get_profile
+
+__all__ = ["main"]
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name, profile in sorted(all_profiles().items()):
+        print(f"{name:<18} {profile.kind.value:<18} {profile.description}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    profile = get_profile(args.workload)
+    trace = generate_trace(profile, args.length, seed=args.seed)
+    trace.save(args.output)
+    print(f"wrote {args.length} µops of {profile.name!r} to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    mix = trace.mix
+    is_mem = (trace.op == OpClass.LOAD) | (trace.op == OpClass.STORE)
+    code_kb = len(np.unique(trace.pc >> 6)) * 64 / 1024
+    data_kb = len(np.unique(trace.addr[is_mem] >> 6)) * 64 / 1024
+    streams = int(trace.sid.max())
+    print(f"trace      : {trace.name} ({len(trace)} µops)")
+    for op in OpClass:
+        print(f"  {op.name:<8} {mix[op]:6.1%}")
+    print(f"code lines touched : {code_kb:8.1f} KB")
+    print(f"data lines touched : {data_kb:8.1f} KB")
+    print(f"streams            : {streams}")
+    print(f"branches taken     : {float(trace.taken[trace.op == OpClass.BRANCH].mean()):6.1%}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    profile = get_profile(args.workload)
+    sampling = SamplingConfig(n_samples=args.samples, seed=args.seed)
+    character = characterize(profile, sampling=sampling)
+    print(f"{character.name} ({character.kind})")
+    print(f"  UIPC                 : {character.uipc:.3f}")
+    print(f"  L1-D MPKI            : {character.l1d_mpki:.1f}")
+    print(f"  L1-I MPKI            : {character.l1i_mpki:.1f}")
+    print(f"  BP misprediction rate: {character.branch_misprediction_rate:.1%}")
+    print(f"  MLP >=2 / >=3 time   : {character.mlp_ge2:.1%} / {character.mlp_ge3:.1%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="stretch-trace",
+        description="Workload-trace utilities for the Stretch reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered workload profiles")
+
+    generate = sub.add_parser("generate", help="synthesize and save a trace")
+    generate.add_argument("workload")
+    generate.add_argument("-n", "--length", type=int, default=100_000)
+    generate.add_argument("-s", "--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", required=True)
+
+    info = sub.add_parser("info", help="summarize a saved trace")
+    info.add_argument("trace")
+
+    character = sub.add_parser("characterize",
+                               help="run a workload solo on the simulated core")
+    character.add_argument("workload")
+    character.add_argument("--samples", type=int, default=3)
+    character.add_argument("-s", "--seed", type=int, default=42)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "characterize": _cmd_characterize,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

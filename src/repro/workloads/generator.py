@@ -1,0 +1,387 @@
+"""Synthetic µop-trace generator.
+
+Turns a :class:`~repro.workloads.profiles.WorkloadProfile` into a concrete
+:class:`~repro.cpu.trace.Trace`.  The generator synthesizes:
+
+* a **control-flow skeleton**: a stream of basic blocks drawn Zipf-style from
+  a static code footprint, each ending in a branch whose direction follows a
+  fixed per-branch bias (so real table-based predictors achieve roughly the
+  profile's ``branch_predictability``) and whose dynamic target is the next
+  block (so the BTB sees realistic target churn on large code footprints);
+* a **data reference stream** mixing hot-region reuse (cache-resident),
+  independent cold misses (the MLP carriers), pointer-chase loads (a single
+  serialized chain, the low-MLP server signature), and strided streams
+  (prefetchable, lbm-style);
+* a **register dataflow** with short- and far-range dependency distances.
+
+Everything is derived deterministically from ``(profile, seed)`` via NumPy
+vector operations, so trace generation is cheap relative to simulation.
+
+Address-space layout (per trace; the simulator tags addresses per thread):
+code occupies ``[CODE_BASE, ...)``, the hot data region ``[DATA_BASE, ...)``,
+the cold region above it, and streaming regions above that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.isa import OpClass
+from repro.cpu.trace import Trace
+from repro.workloads.profiles import WorkloadProfile
+
+__all__ = ["TraceGenerator", "generate_trace", "MemoryMap", "CODE_BASE", "DATA_BASE"]
+
+CODE_BASE = 0x0010_0000
+DATA_BASE = 0x1_0000_0000
+
+#: Dependencies farther than this must already have committed (the simulated
+#: ROB holds at most 192 µops), so longer distances carry no timing
+#: information and are clipped.
+MAX_DEP_DISTANCE = 256
+
+_MIN_BLOCK_LEN = 3
+_MAX_BLOCK_LEN = 24
+
+
+def _clipped_geometric_mean_param(target_mean: float) -> float:
+    """Geometric 'mean' parameter whose clipped realization hits ``target_mean``.
+
+    Block lengths are drawn as ``clip(geometric(1/(m-2)) + 2, 3, 24)``; the
+    upper clip drags the realized mean below ``m`` for long-block profiles.
+    Fixed-point iteration on the analytic clipped expectation compensates.
+    """
+    def clipped_mean(m: float) -> float:
+        p = 1.0 / max(m - 2.0, 1.0)
+        ks = np.arange(1, 400)
+        pmf = p * (1.0 - p) ** (ks - 1)
+        values = np.clip(ks + 2, _MIN_BLOCK_LEN, _MAX_BLOCK_LEN)
+        return float((pmf * values).sum() + (1.0 - pmf.sum()) * _MAX_BLOCK_LEN)
+
+    guess = target_mean
+    for __ in range(30):
+        realized = clipped_mean(guess)
+        error = target_mean - realized
+        if abs(error) < 1e-3:
+            break
+        guess = min(max(guess + error, 2.5), 60.0)
+    return guess
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """Byte-address layout of a workload's synthetic data regions.
+
+    Used by the sampling harness to perform statistical checkpoint warming
+    (installing steady-state-resident lines into the LLC before a sample).
+    """
+
+    hot_start: int
+    hot_end: int
+    cold_start: int
+    cold_end: int
+    stream_start: int
+
+    def region_of(self, addr: int) -> str:
+        """Classify a data address: 'hot', 'cold' or 'stream'."""
+        if self.hot_start <= addr < self.hot_end:
+            return "hot"
+        if self.cold_start <= addr < self.cold_end:
+            return "cold"
+        return "stream"
+
+
+class TraceGenerator:
+    """Generates reproducible synthetic traces for one workload profile."""
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 0):
+        self.profile = profile
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+        self._build_static_code()
+        hot_bytes = profile.hot_region_kb * 1024
+        cold_bytes = max(profile.data_footprint_kb * 1024 - hot_bytes, 64)
+        self.memory_map = MemoryMap(
+            hot_start=DATA_BASE,
+            hot_end=DATA_BASE + hot_bytes,
+            cold_start=DATA_BASE + hot_bytes,
+            cold_end=DATA_BASE + hot_bytes + cold_bytes,
+            stream_start=DATA_BASE + hot_bytes + cold_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Static program structure (fixed per workload instance)
+    # ------------------------------------------------------------------
+
+    #: Code-region granularity for the two-level CFG (16 KB of code).
+    _REGION_BYTES = 16 * 1024
+    #: Probability that a taken edge stays within its code region.
+    _LOCAL_JUMP_PROB = 0.98
+
+    def _build_static_code(self) -> None:
+        """Lay out the static control-flow graph.
+
+        Blocks are packed contiguously in the code region and grouped into
+        16 KB *regions* (functions / software phases).  Each block ends in a
+        branch with a *fixed* taken-target and sequential fallthrough, so a
+        BTB can learn targets and direction predictability is controlled
+        purely by the per-branch bias.  Taken edges are region-local with
+        high probability; occasional global edges pick a region Zipf-weighted
+        by ``code_zipf`` — a high exponent (SPEC loop nests) concentrates
+        execution on hot regions that fit the L1-I and BTB, while a low
+        exponent (deep server stacks) spreads it across the footprint,
+        producing the L1-I/BTB pressure characteristic of server workloads.
+        """
+        p = self.profile
+        rng = self._rng
+        footprint_bytes = p.instr_footprint_kb * 1024
+        mean_block_bytes = p.block_len_mean * 4.0
+        self.n_blocks = max(8, int(footprint_bytes / mean_block_bytes))
+        # Static block lengths: geometric around the mean, clipped.  The clip
+        # to [3, 24] shortens the realized mean for long-block profiles, so
+        # the geometric parameter is adjusted until the clipped expectation
+        # matches the profile's block_len_mean.
+        adjusted = _clipped_geometric_mean_param(p.block_len_mean)
+        raw = rng.geometric(1.0 / max(adjusted - 2.0, 1.0), self.n_blocks)
+        self.block_len = np.clip(raw + 2, _MIN_BLOCK_LEN, _MAX_BLOCK_LEN).astype(np.int64)
+
+        region_blocks = max(8, int(self._REGION_BYTES / mean_block_bytes))
+        n_regions = (self.n_blocks + region_blocks - 1) // region_blocks
+
+        # Pack blocks contiguously in the code region.
+        ends = np.cumsum(self.block_len * 4)
+        self.block_base = CODE_BASE + np.concatenate(([0], ends[:-1]))
+        region_of = np.arange(self.n_blocks) // region_blocks
+        region_start = region_of * region_blocks
+        region_size = np.minimum(region_start + region_blocks, self.n_blocks) - region_start
+
+        def zipf_probs(n: int, s: float) -> np.ndarray:
+            w = np.arange(1, n + 1, dtype=np.float64) ** -s
+            return w / w.sum()
+
+        # Local edges: Zipf-lite within the region (hot entry blocks).  The
+        # exponent trades front-end pressure against per-window variance in
+        # the realized branch rate (hot loops trap the walk); 0.6 matches
+        # the calibrated front-end behavior of DESIGN.md.
+        local_offset = rng.choice(
+            region_blocks, size=self.n_blocks, p=zipf_probs(region_blocks, 0.6)
+        )
+        local_target = region_start + local_offset % region_size
+
+        # Global edges: pick a region by popularity, then a block within it.
+        target_region = rng.choice(n_regions, size=self.n_blocks,
+                                   p=zipf_probs(n_regions, p.code_zipf))
+        g_start = target_region * region_blocks
+        g_size = np.minimum(g_start + region_blocks, self.n_blocks) - g_start
+        global_target = g_start + rng.choice(
+            region_blocks, size=self.n_blocks, p=zipf_probs(region_blocks, 0.6)
+        ) % g_size
+
+        is_local = rng.random(self.n_blocks) < self._LOCAL_JUMP_PROB
+        self.succ_taken = np.where(is_local, local_target, global_target)
+
+        # Per-branch direction bias: taken with probability P or 1-P, so a
+        # bimodal/gshare predictor converges to ~P accuracy.
+        signs = rng.random(self.n_blocks) < 0.5
+        self.branch_taken_prob = np.where(
+            signs, p.branch_predictability, 1.0 - p.branch_predictability
+        )
+
+    # ------------------------------------------------------------------
+    # Trace synthesis
+    # ------------------------------------------------------------------
+
+    def generate(self, length: int) -> Trace:
+        """Generate a trace of exactly ``length`` µops."""
+        if length <= 0:
+            raise ValueError(f"trace length must be positive, got {length}")
+        rng = self._rng
+        p = self.profile
+
+        blocks, taken_seq, starts, total = self._walk_cfg(length, rng)
+        seq_len = self.block_len[blocks]
+
+        # Expand block sequence to per-µop arrays.
+        offset = np.arange(total, dtype=np.int64) - np.repeat(starts, seq_len)
+        pc = self.block_base[np.repeat(blocks, seq_len)] + 4 * offset
+
+        op = self._draw_op_classes(total, rng)
+        is_last = np.zeros(total, dtype=bool)
+        is_last[np.cumsum(seq_len) - 1] = True
+        op[is_last] = OpClass.BRANCH
+
+        taken = np.zeros(total, dtype=bool)
+        target = np.zeros(total, dtype=np.int64)
+        taken[is_last] = taken_seq
+        # The architectural taken-target of each branch is static.
+        target[is_last] = self.block_base[self.succ_taken[blocks]]
+
+        addr, sid = self._draw_addresses(op, rng)
+        dep1, dep2 = self._draw_dependencies(op, addr, rng)
+
+        trace = Trace(
+            name=p.name,
+            op=op[:length].astype(np.uint8),
+            dep1=dep1[:length],
+            dep2=dep2[:length],
+            pc=pc[:length],
+            addr=addr[:length],
+            taken=taken[:length],
+            target=target[:length],
+            sid=sid[:length],
+        )
+        return trace
+
+    def _walk_cfg(
+        self, length: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Random-walk the static CFG until ``length`` µops are covered.
+
+        At each block the branch is taken with the block's fixed bias; taken
+        goes to the static successor, not-taken falls through to the next
+        block in address order.
+
+        Returns (block ids, branch outcomes, per-block µop start offsets,
+        total µop count).
+        """
+        max_steps = int(length / _MIN_BLOCK_LEN) + 2
+        uniforms = rng.random(max_steps)
+        block_len = self.block_len
+        succ = self.succ_taken
+        bias = self.branch_taken_prob
+        n_blocks = self.n_blocks
+
+        blocks_list: list[int] = []
+        taken_list: list[bool] = []
+        current = int(rng.integers(n_blocks))
+        covered = 0
+        step = 0
+        while covered < length:
+            blocks_list.append(current)
+            covered += int(block_len[current])
+            is_taken = bool(uniforms[step] < bias[current])
+            taken_list.append(is_taken)
+            current = int(succ[current]) if is_taken else (current + 1) % n_blocks
+            step += 1
+
+        blocks = np.asarray(blocks_list, dtype=np.int64)
+        taken_seq = np.asarray(taken_list, dtype=bool)
+        lengths = block_len[blocks]
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        return blocks, taken_seq, starts, int(lengths.sum())
+
+    def _draw_op_classes(self, total: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw non-branch op classes from the profile mix."""
+        p = self.profile
+        f_branch = p.frac_branch
+        rest = 1.0 - f_branch
+        probs = np.array(
+            [
+                max(rest - p.frac_load - p.frac_store - p.frac_int_mul - p.frac_fp, 0.0),
+                p.frac_int_mul,
+                p.frac_fp,
+                p.frac_load,
+                p.frac_store,
+            ]
+        )
+        probs = probs / probs.sum()
+        classes = np.array(
+            [OpClass.INT_ALU, OpClass.INT_MUL, OpClass.FP, OpClass.LOAD, OpClass.STORE],
+            dtype=np.uint8,
+        )
+        return classes[rng.choice(5, size=total, p=probs)].astype(np.int64)
+
+    def _draw_addresses(
+        self, op: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assign effective addresses (and stream ids) to memory µops.
+
+        Memory accesses are split into four behaviors by profile fractions:
+        strided streams, pointer-chase (loads only), independent cold misses,
+        and hot-region reuse.  Returns ``(addr, sid)`` arrays.
+        """
+        p = self.profile
+        addr = np.zeros(len(op), dtype=np.int64)
+        sid = np.zeros(len(op), dtype=np.int64)
+        is_load = op == OpClass.LOAD
+        is_mem = is_load | (op == OpClass.STORE)
+        mem_idx = np.flatnonzero(is_mem)
+        n_mem = len(mem_idx)
+        if n_mem == 0:
+            return addr, sid
+
+        mm = self.memory_map
+        hot_bytes = mm.hot_end - mm.hot_start
+        cold_bytes = mm.cold_end - mm.cold_start
+        hot_base = mm.hot_start
+        cold_base = mm.cold_start
+        stream_base = mm.stream_start
+
+        u = rng.random(n_mem)
+        cat = np.zeros(n_mem, dtype=np.int8)  # 0=hot, 1=cold, 2=stream, 3=chase
+        edge_stream = p.streaming_frac
+        edge_cold = edge_stream + p.cold_miss_frac
+        edge_chase = edge_cold + p.pointer_chase_frac
+        cat[u < edge_stream] = 2
+        cat[(u >= edge_stream) & (u < edge_cold)] = 1
+        chase_mask = (u >= edge_cold) & (u < edge_chase) & is_load[mem_idx]
+        cat[chase_mask] = 3
+        # Residual hot accesses, plus would-be chase stores, stay category 0.
+
+        hot = cat == 0
+        addr_mem = np.zeros(n_mem, dtype=np.int64)
+        # Hot accesses: uniform over the (cache-resident) hot region.
+        addr_mem[hot] = hot_base + rng.integers(0, hot_bytes, size=int(hot.sum()))
+        # Cold and chase accesses: uniform over the cold region.
+        coldish = (cat == 1) | (cat == 3)
+        addr_mem[coldish] = cold_base + (
+            rng.integers(0, cold_bytes // 64, size=int(coldish.sum())) * 64
+        )
+        # Streaming accesses: round-robin across sequential streams, one cache
+        # line per access so untamed streams thrash L1-D (lbm's signature).
+        streamish = np.flatnonzero(cat == 2)
+        if len(streamish):
+            stream_id = np.arange(len(streamish)) % p.stream_count
+            pos = np.arange(len(streamish)) // p.stream_count
+            region = max(cold_bytes // max(p.stream_count, 1), 1 << 16)
+            addr_mem[streamish] = (
+                stream_base + stream_id * region + (pos * 64) % region
+            )
+            sid[mem_idx[streamish]] = stream_id + 1
+
+        addr[mem_idx] = addr_mem
+        self._chase_positions = mem_idx[cat == 3]
+        return addr, sid
+
+    def _draw_dependencies(
+        self, op: np.ndarray, addr: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw register dependency distances; serialize the chase chain."""
+        p = self.profile
+        total = len(op)
+        near = rng.geometric(1.0 / p.dep_near_mean, size=total)
+        far = rng.geometric(1.0 / p.dep_far_mean, size=total)
+        dep1 = np.where(rng.random(total) < p.dep_short_frac, near, far).astype(np.int64)
+        dep2 = np.where(
+            rng.random(total) < p.dep2_frac,
+            np.where(rng.random(total) < p.dep_short_frac, near[::-1], far[::-1]),
+            0,
+        ).astype(np.int64)
+
+        # Pointer-chase loads form one serialized chain: each depends on the
+        # previous chase load, so their misses cannot overlap (low MLP).
+        chase = getattr(self, "_chase_positions", np.empty(0, dtype=np.int64))
+        if len(chase) > 1:
+            dep1[chase[1:]] = np.diff(chase)
+
+        idx = np.arange(total, dtype=np.int64)
+        dep1 = np.minimum(np.minimum(dep1, idx), MAX_DEP_DISTANCE)
+        dep2 = np.minimum(np.minimum(dep2, idx), MAX_DEP_DISTANCE)
+        return dep1, dep2
+
+
+def generate_trace(profile: WorkloadProfile, length: int, seed: int = 0) -> Trace:
+    """Convenience wrapper: generate one trace for ``profile``."""
+    return TraceGenerator(profile, seed=seed).generate(length)

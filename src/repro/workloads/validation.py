@@ -1,0 +1,162 @@
+"""Trace-vs-profile validation.
+
+A generated trace is supposed to *realize* its profile's statistical
+signature.  This module measures the realized statistics and checks them
+against the profile within tolerances — the guard rail that keeps the
+synthetic-workload substitution honest when profiles or the generator are
+recalibrated.
+
+``validate_trace`` raises :class:`TraceValidationError` listing every
+violated property; ``measure_trace`` returns the realized statistics for
+inspection or reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.isa import OpClass
+from repro.cpu.trace import Trace
+from repro.workloads.profiles import WorkloadProfile
+
+__all__ = ["RealizedStatistics", "TraceValidationError", "measure_trace",
+           "validate_trace"]
+
+
+class TraceValidationError(AssertionError):
+    """A generated trace does not realize its profile's signature."""
+
+    def __init__(self, workload: str, violations: list[str]):
+        self.workload = workload
+        self.violations = violations
+        super().__init__(
+            f"trace for {workload!r} violates its profile: "
+            + "; ".join(violations)
+        )
+
+
+@dataclass(frozen=True)
+class RealizedStatistics:
+    """Measured statistical properties of one trace."""
+
+    n: int
+    frac_load: float
+    frac_store: float
+    frac_branch: float
+    frac_stream_of_mem: float
+    mean_dep1_distance: float
+    code_footprint_kb: float
+    data_footprint_kb: float
+    taken_fraction: float
+    majority_direction_accuracy: float
+
+
+def measure_trace(trace: Trace) -> RealizedStatistics:
+    """Compute the realized statistics of ``trace``."""
+    n = len(trace)
+    op = trace.op
+    is_load = op == OpClass.LOAD
+    is_store = op == OpClass.STORE
+    is_branch = op == OpClass.BRANCH
+    is_mem = is_load | is_store
+    n_mem = int(is_mem.sum())
+
+    br_pc = trace.pc[is_branch]
+    br_taken = trace.taken[is_branch]
+    if len(br_pc):
+        unique, inverse = np.unique(br_pc, return_inverse=True)
+        counts = np.bincount(inverse)
+        votes = np.bincount(inverse, weights=br_taken.astype(float))
+        majority = np.maximum(votes, counts - votes).sum() / counts.sum()
+        taken_fraction = float(br_taken.mean())
+    else:
+        majority = 1.0
+        taken_fraction = 0.0
+
+    deps = trace.dep1[trace.dep1 > 0]
+    return RealizedStatistics(
+        n=n,
+        frac_load=float(is_load.mean()),
+        frac_store=float(is_store.mean()),
+        frac_branch=float(is_branch.mean()),
+        frac_stream_of_mem=float((trace.sid[is_mem] > 0).mean()) if n_mem else 0.0,
+        mean_dep1_distance=float(deps.mean()) if len(deps) else 0.0,
+        code_footprint_kb=len(np.unique(trace.pc >> 6)) * 64 / 1024,
+        data_footprint_kb=(
+            len(np.unique(trace.addr[is_mem] >> 6)) * 64 / 1024 if n_mem else 0.0
+        ),
+        taken_fraction=taken_fraction,
+        majority_direction_accuracy=float(majority),
+    )
+
+
+def validate_trace(
+    trace: Trace,
+    profile: WorkloadProfile,
+    mix_rel_tolerance: float = 0.35,
+    predictability_abs_tolerance: float = 0.08,
+) -> RealizedStatistics:
+    """Check that ``trace`` realizes ``profile``; raise on violations.
+
+    Tolerances are generous by design: short traces carry sampling noise,
+    and the structural invariants (`Trace.validate`) are checked exactly
+    elsewhere.  This guards the *signature*, not the randomness.
+    """
+    trace.validate()
+    stats = measure_trace(trace)
+    violations: list[str] = []
+
+    def check_frac(name: str, realized: float, target: float) -> None:
+        if target == 0.0:
+            if realized > 0.02:
+                violations.append(f"{name}: expected ~0, realized {realized:.3f}")
+            return
+        if abs(realized - target) > mix_rel_tolerance * target:
+            violations.append(
+                f"{name}: target {target:.3f}, realized {realized:.3f}"
+            )
+
+    check_frac("frac_load", stats.frac_load, profile.frac_load)
+    check_frac("frac_store", stats.frac_store, profile.frac_store)
+    # The realized branch rate is phase-dependent: the CFG walk spends
+    # variable time in hot loops (short blocks) vs straight-line sweeps, so
+    # a single window can sit well off the long-run mean.  Guard only
+    # against gross mismatch.
+    ratio = stats.frac_branch / max(profile.frac_branch, 1e-9)
+    if not 0.4 <= ratio <= 2.5:
+        violations.append(
+            f"frac_branch: target {profile.frac_branch:.3f}, realized "
+            f"{stats.frac_branch:.3f} (ratio {ratio:.2f})"
+        )
+    check_frac(
+        "streaming fraction of memory ops",
+        stats.frac_stream_of_mem,
+        profile.streaming_frac,
+    )
+
+    if (
+        abs(stats.majority_direction_accuracy - profile.branch_predictability)
+        > predictability_abs_tolerance
+    ):
+        violations.append(
+            f"branch predictability: target {profile.branch_predictability:.2f},"
+            f" realized {stats.majority_direction_accuracy:.2f}"
+        )
+
+    budget = profile.instr_footprint_kb * 1.3
+    if stats.code_footprint_kb > budget:
+        violations.append(
+            f"code footprint {stats.code_footprint_kb:.0f} KB exceeds "
+            f"{budget:.0f} KB"
+        )
+    if stats.data_footprint_kb > profile.data_footprint_kb * 1.1:
+        violations.append(
+            f"data footprint {stats.data_footprint_kb:.0f} KB exceeds profile "
+            f"{profile.data_footprint_kb} KB"
+        )
+
+    if violations:
+        raise TraceValidationError(profile.name, violations)
+    return stats

@@ -1,0 +1,184 @@
+"""Tests for the multi-configuration adaptive Stretch policy (§IV-D)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveStretchPolicy, SlackBudget
+from repro.core.colocation import ColocationPerformance, ModePerformance
+from repro.core.partitioning import B_MODES, BASELINE
+from repro.core.stretch import StretchMode
+from repro.workloads.profiles import QoSSpec
+
+QOS = QoSSpec(target_ms=100.0, percentile=99.0, base_service_ms=8.0)
+
+
+def performance(baseline_ls=0.55, bmode_ls=0.45) -> ColocationPerformance:
+    return ColocationPerformance(
+        ls_workload="web_search",
+        batch_workload="zeusmp",
+        ls_solo_uipc=0.6,
+        per_mode={
+            StretchMode.BASELINE: ModePerformance(baseline_ls, 0.5),
+            StretchMode.B_MODE: ModePerformance(bmode_ls, 0.6),
+            StretchMode.Q_MODE: ModePerformance(0.58, 0.4),
+        },
+    )
+
+
+def make_policy(**kwargs) -> AdaptiveStretchPolicy:
+    return AdaptiveStretchPolicy(QOS, performance(), tuple(B_MODES), **kwargs)
+
+
+class TestSlackBudget:
+    def test_headroom(self):
+        budget = SlackBudget(tail_latency_ms=40.0, target_ms=100.0,
+                             safety_margin=0.8)
+        assert budget.headroom == pytest.approx(2.0)
+
+    def test_zero_latency_infinite_headroom(self):
+        assert SlackBudget(0.0, 100.0).headroom == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlackBudget(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            SlackBudget(1.0, 100.0, safety_margin=0.0)
+
+
+class TestFactorInterpolation:
+    def test_baseline_anchor(self):
+        policy = make_policy()
+        assert policy.factor_for(BASELINE) == pytest.approx(
+            performance().ls_perf_factor(StretchMode.BASELINE)
+        )
+
+    def test_measured_b_mode_anchor(self):
+        policy = make_policy()
+        # 56-136 is the measured anchor.
+        anchor = next(s for s in B_MODES if s.ls_entries == 56)
+        assert policy.factor_for(anchor) == pytest.approx(
+            performance().ls_perf_factor(StretchMode.B_MODE)
+        )
+
+    def test_monotone_in_partition_size(self):
+        policy = make_policy()
+        factors = [policy.factor_for(s) for s in B_MODES]  # shallow -> deep
+        assert factors == sorted(factors, reverse=True)
+
+
+class TestDecision:
+    def test_violation_escalates(self):
+        decision = make_policy().decide(150.0)
+        assert decision.mode is StretchMode.Q_MODE
+        assert decision.scheme == BASELINE
+
+    def test_huge_slack_picks_deepest(self):
+        decision = make_policy().decide(5.0)
+        assert decision.mode is StretchMode.B_MODE
+        assert decision.scheme == B_MODES[-1]  # 32-160
+
+    def test_tight_latency_stays_baseline(self):
+        decision = make_policy().decide(84.0)
+        assert decision.mode is StretchMode.BASELINE
+        assert decision.scheme == BASELINE
+
+    def test_moderate_slack_picks_intermediate(self):
+        policy = make_policy()
+        deep = policy.decide(5.0).scheme
+        # Find a latency where some but not all skews fit.
+        chosen = {policy.decide(lat).scheme.name for lat in range(10, 90, 5)}
+        assert len(chosen) >= 2
+        assert deep == B_MODES[-1]
+
+    def test_deeper_slack_never_shallower_choice(self):
+        policy = make_policy()
+        previous_depth = None
+        for latency in (80.0, 60.0, 40.0, 20.0, 5.0):
+            scheme = policy.decide(latency).scheme
+            depth = 192 - scheme.ls_entries
+            if previous_depth is not None:
+                assert depth >= previous_depth
+            previous_depth = depth
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy().decide(-1.0)
+
+
+class TestConstruction:
+    def test_requires_b_modes(self):
+        with pytest.raises(ValueError):
+            AdaptiveStretchPolicy(QOS, performance(), ())
+
+    def test_requires_shallow_to_deep_order(self):
+        with pytest.raises(ValueError):
+            AdaptiveStretchPolicy(QOS, performance(), tuple(reversed(B_MODES)))
+
+
+class TestInterpolation:
+    def test_anchors_reproduced(self):
+        from repro.core.partitioning import DEFAULT_B_MODE
+
+        perf = performance()
+        base = perf.interpolate(BASELINE)
+        assert base.ls_uipc == pytest.approx(0.55)
+        assert base.batch_uipc == pytest.approx(0.5)
+        bmode = perf.interpolate(DEFAULT_B_MODE)
+        assert bmode.ls_uipc == pytest.approx(0.45)
+        assert bmode.batch_uipc == pytest.approx(0.6)
+
+    def test_deeper_skew_extrapolates(self):
+        perf = performance()
+        deep = perf.interpolate(B_MODES[-1])  # 32-160
+        assert deep.ls_uipc < 0.45
+        assert deep.batch_uipc > 0.6
+
+    def test_floors_prevent_zero(self):
+        from repro.core.partitioning import PartitionScheme
+
+        perf = performance(baseline_ls=0.5, bmode_ls=0.1)
+        tiny = perf.interpolate(PartitionScheme(8, 184))
+        assert tiny.ls_uipc > 0.0
+
+
+class TestAdaptiveClosedLoop:
+    def test_run_day_adaptive(self):
+        from repro.core.server import ColocatedServer
+        from repro.core.stretch import StretchMode
+        from repro.workloads.registry import get_profile
+
+        ls = get_profile("web_search")
+        perf = performance(baseline_ls=0.55, bmode_ls=0.48)
+        server = ColocatedServer(ls, perf, seed=6)
+        policy = AdaptiveStretchPolicy(ls.qos, perf, tuple(B_MODES))
+        timeline = server.run_day_adaptive(
+            lambda h: 0.3, policy, window_minutes=60, requests_per_window=600
+        )
+        assert len(timeline.windows) == 24
+        # Low constant load: the policy settles into deep B-modes.
+        engaged = [w for w in timeline.windows if w.mode is StretchMode.B_MODE]
+        assert len(engaged) >= 12
+        schemes = {w.scheme for w in engaged}
+        assert schemes & {"40-152", "32-160"}
+
+    def test_adaptive_beats_fixed_at_low_load(self):
+        from repro.core.server import ColocatedServer
+        from repro.core.stretch import StretchMode
+        from repro.workloads.registry import get_profile
+
+        ls = get_profile("web_search")
+        perf = performance(baseline_ls=0.55, bmode_ls=0.48)
+        baseline_uipc = perf.per_mode[StretchMode.BASELINE].batch_uipc
+
+        server = ColocatedServer(ls, perf, seed=6)
+        fixed = server.run_day(lambda h: 0.25, window_minutes=60,
+                               requests_per_window=600)
+        server2 = ColocatedServer(ls, perf, seed=6)
+        policy = AdaptiveStretchPolicy(ls.qos, perf, tuple(B_MODES))
+        adaptive = server2.run_day_adaptive(lambda h: 0.25, policy,
+                                            window_minutes=60,
+                                            requests_per_window=600)
+        # With abundant slack, deeper skews buy more batch throughput than
+        # the single fixed B-mode.
+        assert adaptive.batch_throughput_gain(baseline_uipc) >= (
+            fixed.batch_throughput_gain(baseline_uipc) - 0.01
+        )

@@ -1,0 +1,137 @@
+"""Tests for the hybrid branch predictor and BTB."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.branch import HybridBranchPredictor
+from repro.cpu.config import BranchPredictorConfig
+
+
+def make_predictor(private=False) -> HybridBranchPredictor:
+    return HybridBranchPredictor(BranchPredictorConfig(), private=private)
+
+
+class TestDirectionPrediction:
+    def test_learns_always_taken(self):
+        p = make_predictor()
+        pc, target = 0x1000, 0x2000
+        for _ in range(8):
+            p.predict_and_update(0, pc, True, target)
+        outcome = p.predict_and_update(0, pc, True, target)
+        assert outcome.direction_correct
+
+    def test_learns_never_taken(self):
+        p = make_predictor()
+        pc = 0x1000
+        for _ in range(8):
+            p.predict_and_update(0, pc, False, 0)
+        assert p.predict_and_update(0, pc, False, 0).direction_correct
+
+    def test_biased_branch_accuracy(self):
+        """A 90%-taken branch should be predicted with ~90% accuracy."""
+        rng = np.random.default_rng(0)
+        p = make_predictor()
+        pc, target = 0x4000, 0x8000
+        correct = total = 0
+        for k in range(2000):
+            taken = bool(rng.random() < 0.9)
+            outcome = p.predict_and_update(0, pc, taken, target)
+            if k > 100:
+                total += 1
+                correct += outcome.direction_correct
+        assert correct / total == pytest.approx(0.9, abs=0.05)
+
+    def test_misprediction_rate_tracks(self):
+        p = make_predictor()
+        for _ in range(10):
+            p.predict_and_update(0, 0x100, True, 0x200)
+        assert p.lookups[0] == 10
+        assert 0.0 <= p.misprediction_rate(0) <= 1.0
+
+    def test_misprediction_rate_empty(self):
+        assert make_predictor().misprediction_rate(0) == 0.0
+
+
+class TestBTB:
+    def test_learns_static_target(self):
+        p = make_predictor()
+        pc, target = 0x3000, 0x9000
+        p.predict_and_update(0, pc, True, target)  # first: BTB cold
+        outcome = p.predict_and_update(0, pc, True, target)
+        assert outcome.target_correct
+
+    def test_cold_btb_misses(self):
+        p = make_predictor()
+        outcome = p.predict_and_update(0, 0x3000, True, 0x9000)
+        assert not outcome.target_correct
+        assert outcome.mispredicted
+
+    def test_not_taken_needs_no_target(self):
+        p = make_predictor()
+        outcome = p.predict_and_update(0, 0x3000, False, 0x9000)
+        assert outcome.target_correct
+
+    def test_aliasing_eviction(self):
+        """Two branches mapping to the same BTB set evict each other."""
+        config = BranchPredictorConfig()
+        p = HybridBranchPredictor(config)
+        pc_a = 0x1000
+        pc_b = pc_a + config.btb_entries * 4  # same index, different tag
+        for _ in range(3):
+            p.predict_and_update(0, pc_a, True, 0xA)
+        p.predict_and_update(0, pc_b, True, 0xB)
+        outcome = p.predict_and_update(0, pc_a, True, 0xA)
+        assert not outcome.target_correct
+
+
+class TestSharing:
+    def test_shared_tables_alias_across_threads(self):
+        """With shared tables, thread 1 training perturbs thread 0 state."""
+        shared = make_predictor(private=False)
+        pc = 0x5000
+        for _ in range(8):
+            shared.predict_and_update(0, pc, True, 0x6000)
+        # Thread 1 hammers the same pc with the opposite direction.
+        for _ in range(8):
+            shared.predict_and_update(1, pc, False, 0)
+        outcome = shared.predict_and_update(0, pc, True, 0x6000)
+        assert not outcome.direction_correct
+
+    def test_private_tables_isolate_threads(self):
+        private = make_predictor(private=True)
+        pc = 0x5000
+        for _ in range(8):
+            private.predict_and_update(0, pc, True, 0x6000)
+        for _ in range(8):
+            private.predict_and_update(1, pc, False, 0)
+        outcome = private.predict_and_update(0, pc, True, 0x6000)
+        assert outcome.direction_correct
+
+    def test_history_always_private(self):
+        p = make_predictor()
+        assert len(p._history) == 2
+
+
+class TestInstall:
+    def test_install_warms_direction_and_target(self):
+        p = make_predictor()
+        pc, target = 0x7000, 0x7777
+        p.install(0, pc, bias_taken=True, target=target)
+        outcome = p.predict_and_update(0, pc, True, target)
+        assert outcome.direction_correct and outcome.target_correct
+
+    def test_install_not_taken(self):
+        p = make_predictor()
+        p.install(0, 0x7000, bias_taken=False, target=0)
+        assert p.predict_and_update(0, 0x7000, False, 0).direction_correct
+
+
+class TestStats:
+    def test_reset_keeps_tables(self):
+        p = make_predictor()
+        pc, target = 0x100, 0x200
+        for _ in range(8):
+            p.predict_and_update(0, pc, True, target)
+        p.reset_stats()
+        assert p.lookups[0] == 0
+        assert p.predict_and_update(0, pc, True, target).direction_correct

@@ -1,0 +1,117 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.cpu.caches import SetAssociativeCache
+from repro.cpu.config import CacheConfig
+
+
+def small_cache(ways=2, sets=4) -> SetAssociativeCache:
+    return SetAssociativeCache(64 * ways * sets, 64, ways, name="test")
+
+
+class TestGeometry:
+    def test_from_config(self):
+        cache = SetAssociativeCache.from_config(CacheConfig())
+        assert cache.num_sets == 128
+        assert cache.ways == 8
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, 64, 2)
+
+    def test_non_power_of_two_sets(self):
+        with pytest.raises(ValueError, match="power of two"):
+            SetAssociativeCache(64 * 2 * 3, 64, 2)
+
+
+class TestAccess:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        assert cache.access(0) is False
+        assert cache.misses == 1
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(0) is True
+        assert cache.hits == 1
+
+    def test_lru_eviction(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0)
+        cache.access(1)
+        cache.access(2)  # evicts 0 (LRU)
+        assert cache.access(1) is True
+        assert cache.access(0) is False
+
+    def test_lru_refresh_on_hit(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # 0 becomes MRU
+        cache.access(2)  # evicts 1
+        assert cache.access(0) is True
+        assert cache.access(1) is False
+
+    def test_set_indexing_isolates(self):
+        cache = small_cache(ways=1, sets=4)
+        cache.access(0)
+        cache.access(1)  # different set
+        assert cache.access(0) is True
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate() == pytest.approx(0.5)
+
+    def test_miss_rate_no_accesses(self):
+        assert small_cache().miss_rate() == 0.0
+
+
+class TestProbeAndFill:
+    def test_probe_does_not_install(self):
+        cache = small_cache()
+        assert cache.probe(5) is False
+        assert cache.access(5) is False  # still a miss
+
+    def test_probe_does_not_count(self):
+        cache = small_cache()
+        cache.probe(5)
+        assert cache.accesses == 0
+
+    def test_probe_does_not_touch_lru(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0)
+        cache.access(1)
+        cache.probe(0)   # must NOT refresh 0
+        cache.access(2)  # evicts 0, the true LRU
+        assert cache.probe(0) is False
+
+    def test_fill_installs_silently(self):
+        cache = small_cache()
+        cache.fill(9)
+        assert cache.accesses == 0
+        assert cache.access(9) is True
+
+    def test_fill_respects_capacity(self):
+        cache = small_cache(ways=2, sets=1)
+        for block in range(5):
+            cache.fill(block)
+        assert cache.occupancy() <= 2
+
+
+class TestStats:
+    def test_reset_keeps_contents(self):
+        cache = small_cache()
+        cache.access(3)
+        cache.reset_stats()
+        assert cache.misses == 0
+        assert cache.access(3) is True
+
+    def test_occupancy(self):
+        cache = small_cache(ways=2, sets=2)
+        cache.access(0)
+        cache.access(1)
+        assert cache.occupancy() == 2

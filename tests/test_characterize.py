@@ -1,0 +1,50 @@
+"""Tests for the workload characterization report."""
+
+import pytest
+
+from repro.cpu.sampling import SamplingConfig
+from repro.workloads.characterize import (
+    characterize,
+    format_characterization,
+)
+from repro.workloads.registry import get_profile
+
+SAMPLING = SamplingConfig(n_samples=1, warmup_instructions=2000,
+                          measure_instructions=2000, seed=5)
+
+
+@pytest.fixture(scope="module")
+def ws_character():
+    return characterize(get_profile("web_search"), sampling=SAMPLING)
+
+
+@pytest.fixture(scope="module")
+def zm_character():
+    return characterize(get_profile("zeusmp"), sampling=SAMPLING)
+
+
+class TestCharacterize:
+    def test_fields_populated(self, ws_character):
+        assert ws_character.name == "web_search"
+        assert ws_character.kind == "latency-sensitive"
+        assert ws_character.uipc > 0
+
+    def test_server_vs_batch_signature(self, ws_character, zm_character):
+        # The paper's §III contrast, in one comparison.
+        assert zm_character.mlp_ge2 > ws_character.mlp_ge2
+        assert ws_character.l1i_mpki > zm_character.l1i_mpki
+
+    def test_rates_bounded(self, ws_character):
+        assert 0.0 <= ws_character.branch_misprediction_rate <= 1.0
+        assert 0.0 <= ws_character.mlp_ge3 <= ws_character.mlp_ge2 <= 1.0
+
+    def test_format(self, ws_character, zm_character):
+        text = format_characterization(
+            {c.name: c for c in (ws_character, zm_character)}
+        )
+        lines = text.splitlines()
+        assert "web_search" in text and "zeusmp" in text
+        # Services sort before batch workloads.
+        ws_line = next(i for i, l in enumerate(lines) if "web_search" in l)
+        zm_line = next(i for i, l in enumerate(lines) if "zeusmp" in l)
+        assert ws_line < zm_line

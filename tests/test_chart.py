@@ -1,0 +1,57 @@
+"""Tests for plain-text line charts."""
+
+import pytest
+
+from repro.util.chart import render_chart
+
+
+class TestRenderChart:
+    def test_single_series(self):
+        text = render_chart({"a": [0, 1, 2, 3]})
+        assert "o=a" in text
+        assert text.count("o") >= 4
+
+    def test_monotone_series_descends_on_canvas(self):
+        text = render_chart({"a": [0.0, 1.0]}, height=4)
+        lines = [l for l in text.splitlines() if "|" in l]
+        # The max value is on the top row, the min on the bottom row.
+        assert "o" in lines[0]
+        assert "o" in lines[-1]
+
+    def test_multiple_series_glyphs(self):
+        text = render_chart({"a": [0, 1], "b": [1, 0]})
+        assert "o=a" in text and "x=b" in text
+        assert "x" in text and "o" in text
+
+    def test_y_labels(self):
+        text = render_chart({"a": [2.0, 8.0]}, y_fmt=".1f")
+        assert "8.0" in text and "2.0" in text
+
+    def test_x_labels(self):
+        text = render_chart({"a": [1, 2, 3]}, x_labels=["16", "32", "64"])
+        assert "16" in text and "64" in text
+
+    def test_title(self):
+        text = render_chart({"a": [1]}, title="Figure N")
+        assert text.splitlines()[0] == "Figure N"
+
+    def test_flat_series(self):
+        text = render_chart({"a": [5.0, 5.0, 5.0]})
+        assert "o" in text
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            render_chart({})
+        with pytest.raises(ValueError):
+            render_chart({"a": [1], "b": [1, 2]})
+        with pytest.raises(ValueError):
+            render_chart({"a": []})
+        with pytest.raises(ValueError):
+            render_chart({"a": [1]}, height=1)
+        with pytest.raises(ValueError):
+            render_chart({"a": [1, 2]}, x_labels=["only-one"])
+
+    def test_too_many_series(self):
+        series = {f"s{i}": [0, 1] for i in range(9)}
+        with pytest.raises(ValueError):
+            render_chart(series)

@@ -1,0 +1,93 @@
+"""Tests for the cluster-level colocation model."""
+
+import pytest
+
+from repro.core.colocation import ColocationPerformance, ModePerformance
+from repro.core.stretch import StretchMode
+from repro.core.cluster import ClusterSimulator, ClusterTimeline
+from repro.qos.diurnal import web_search_cluster_load
+from repro.workloads.registry import get_profile
+
+
+def performance_model() -> ColocationPerformance:
+    return ColocationPerformance(
+        ls_workload="web_search",
+        batch_workload="zeusmp",
+        ls_solo_uipc=0.6,
+        per_mode={
+            StretchMode.BASELINE: ModePerformance(0.52, 0.50),
+            StretchMode.B_MODE: ModePerformance(0.46, 0.58),
+            StretchMode.Q_MODE: ModePerformance(0.58, 0.40),
+        },
+    )
+
+
+def make_cluster(**kwargs) -> ClusterSimulator:
+    defaults = dict(n_servers=3, seed=5)
+    defaults.update(kwargs)
+    return ClusterSimulator(get_profile("web_search"), performance_model(),
+                            **defaults)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_cluster(n_servers=0)
+        with pytest.raises(ValueError):
+            make_cluster(overprovision=0.8)
+        with pytest.raises(ValueError):
+            make_cluster(balance_jitter=0.7)
+
+
+class TestRunDay:
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        cluster = ClusterSimulator(
+            get_profile("web_search"), performance_model(), n_servers=3, seed=5
+        )
+        return cluster.run_day(web_search_cluster_load, window_minutes=60,
+                               requests_per_window=500)
+
+    def test_per_server_timelines(self, timeline):
+        assert len(timeline.servers) == 3
+        assert all(len(t.windows) == 24 for t in timeline.servers)
+
+    def test_servers_differ_by_jitter(self, timeline):
+        loads = [
+            tuple(w.load_fraction for w in t.windows) for t in timeline.servers
+        ]
+        assert len(set(loads)) == 3
+
+    def test_offpeak_bmode_engagement(self, timeline):
+        # Over-provisioned cluster spends most of the day below threshold.
+        assert timeline.bmode_fraction > 0.3
+
+    def test_violations_bounded(self, timeline):
+        assert timeline.violation_rate < 0.3
+
+    def test_cluster_gain_positive(self, timeline):
+        gain = timeline.batch_throughput_gain(0.50)
+        assert gain > 0.0
+        per_server = timeline.per_server_gains(0.50)
+        assert len(per_server) == 3
+        assert abs(gain - sum(per_server) / 3) < 1e-12
+
+    def test_reproducible(self):
+        def run():
+            cluster = ClusterSimulator(
+                get_profile("web_search"), performance_model(),
+                n_servers=2, seed=9,
+            )
+            t = cluster.run_day(lambda h: 0.5, window_minutes=120,
+                                requests_per_window=400)
+            return t.violation_rate, t.bmode_fraction
+
+        assert run() == run()
+
+
+class TestEmptyTimeline:
+    def test_aggregates(self):
+        t = ClusterTimeline()
+        assert t.violation_rate == 0.0
+        assert t.bmode_fraction == 0.0
+        assert t.batch_throughput_gain(1.0) == 0.0

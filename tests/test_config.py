@@ -1,0 +1,124 @@
+"""Tests for the simulated-processor configuration (paper Table II)."""
+
+import pytest
+
+from repro.cpu.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    PartitionPolicy,
+    UncoreConfig,
+)
+
+
+class TestCacheConfig:
+    def test_defaults_match_table2(self):
+        c = CacheConfig()
+        assert c.size_bytes == 64 * 1024
+        assert c.line_bytes == 64
+        assert c.ways == 8
+        assert c.num_sets == 128
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000)
+
+    def test_mshr_quota_check(self):
+        with pytest.raises(ValueError):
+            CacheConfig(mshrs=4, mshrs_per_thread=5)
+
+
+class TestBranchPredictorConfig:
+    def test_defaults_match_table2(self):
+        b = BranchPredictorConfig()
+        assert b.gshare_entries == 16 * 1024
+        assert b.bimodal_entries == 4 * 1024
+        assert b.btb_entries == 2 * 1024
+
+    @pytest.mark.parametrize("field", [
+        "gshare_entries", "bimodal_entries", "chooser_entries", "btb_entries",
+    ])
+    def test_non_power_of_two_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            BranchPredictorConfig(**{field: 1000})
+
+
+class TestUncoreConfig:
+    def test_memory_latency_cycles(self):
+        u = UncoreConfig()
+        # 75 ns at 2.5 GHz = 187.5 -> 188 cycles.
+        assert u.memory_latency_cycles == 188
+
+    def test_llc_size_matches_table2(self):
+        assert UncoreConfig().llc_size_bytes == 8 * 1024 * 1024
+
+
+class TestCoreConfig:
+    def test_defaults_match_table2(self):
+        c = CoreConfig()
+        assert c.width == 6
+        assert c.rob_entries == 192
+        assert c.rob_limits == (96, 96)
+        assert c.lsq_entries == 64
+        assert c.lsq_limits == (32, 32)
+        assert c.pipeline_flush_cycles == 12
+        assert c.fetch_policy == "icount"
+
+    def test_limit_exceeding_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(rob_limits=(200, 96))
+        with pytest.raises(ValueError):
+            CoreConfig(lsq_limits=(96, 32))
+
+    def test_nonpositive_limits_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(rob_limits=(0, 96))
+
+    def test_bad_fetch_policy(self):
+        with pytest.raises(ValueError):
+            CoreConfig(fetch_policy="magic")
+
+    def test_bad_fetch_ratio(self):
+        with pytest.raises(ValueError):
+            CoreConfig(fetch_ratio=(0, 4))
+
+    def test_with_rob_partition_sets_limits(self):
+        c = CoreConfig().with_rob_partition(56, 136)
+        assert c.rob_limits == (56, 136)
+
+    def test_with_rob_partition_lsq_proportional(self):
+        c = CoreConfig().with_rob_partition(56, 136)
+        # LSQ scales in proportion to the ROB (paper §IV footnote).
+        assert c.lsq_limits == (56 * 64 // 192, 136 * 64 // 192)
+        assert sum(c.lsq_limits) <= c.lsq_entries
+
+    def test_with_rob_partition_overflow(self):
+        with pytest.raises(ValueError):
+            CoreConfig().with_rob_partition(100, 100)
+
+    def test_single_thread_full_rob(self):
+        c = CoreConfig().single_thread(192)
+        assert c.rob_limits[0] == 192
+        assert c.lsq_limits[0] == 64
+
+    def test_single_thread_small_rob(self):
+        c = CoreConfig().single_thread(48)
+        assert c.rob_limits[0] == 48
+        assert c.lsq_limits[0] == 48 * 64 // 192
+
+    def test_single_thread_out_of_range(self):
+        with pytest.raises(ValueError):
+            CoreConfig().single_thread(0)
+        with pytest.raises(ValueError):
+            CoreConfig().single_thread(500)
+
+    def test_shared_policy_accepted(self):
+        c = CoreConfig(rob_policy=PartitionPolicy.SHARED)
+        assert c.rob_policy is PartitionPolicy.SHARED
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CoreConfig().width = 8  # type: ignore[misc]
+
+    def test_hashable_for_caching(self):
+        assert hash(CoreConfig()) == hash(CoreConfig())

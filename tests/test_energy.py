@@ -1,0 +1,97 @@
+"""Tests for the first-order energy model."""
+
+import pytest
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.energy import EnergyBreakdown, EnergyModel, EnergyParameters
+from repro.cpu.metrics import SimulationResult, ThreadResult
+from repro.cpu.sampling import SamplingConfig, sample_colocation
+from repro.workloads.registry import get_profile
+
+
+def make_result(instructions=1000, cycles=800, **overrides) -> SimulationResult:
+    data = dict(thread=0, workload="w", instructions=instructions, cycles=cycles,
+                loads=300, stores=100, l1d_misses=20, l1i_misses=5,
+                branches=150, branch_mispredicts=10)
+    data.update(overrides)
+    return SimulationResult(cycles=cycles, threads=(ThreadResult(**data),))
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        EnergyParameters()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(execute_pj=-1.0)
+
+
+class TestStaticPower:
+    def test_scales_with_rob_size(self):
+        small = EnergyModel(CoreConfig(rob_entries=128, rob_limits=(64, 64)))
+        big = EnergyModel(CoreConfig(rob_entries=192))
+        assert big.static_watts() > small.static_watts()
+
+    def test_mode_invariant(self):
+        """Stretch moves entries between threads; total static power is fixed."""
+        base = EnergyModel(CoreConfig())
+        bmode = EnergyModel(CoreConfig().with_rob_partition(56, 136))
+        assert base.static_watts() == pytest.approx(bmode.static_watts())
+
+
+class TestBreakdown:
+    def test_fields(self):
+        model = EnergyModel(CoreConfig())
+        breakdown = model.breakdown(make_result())
+        assert breakdown.dynamic_j > 0
+        assert breakdown.static_j > 0
+        assert breakdown.total_j == pytest.approx(
+            breakdown.dynamic_j + breakdown.static_j
+        )
+        assert breakdown.watts > 0
+        assert breakdown.energy_per_instruction_nj > 0
+
+    def test_more_misses_more_energy(self):
+        model = EnergyModel(CoreConfig())
+        low = model.breakdown(make_result(l1d_misses=5))
+        high = model.breakdown(make_result(l1d_misses=200))
+        assert high.dynamic_j > low.dynamic_j
+
+    def test_longer_window_more_static(self):
+        model = EnergyModel(CoreConfig())
+        short = model.breakdown(make_result(cycles=500))
+        long = model.breakdown(make_result(cycles=5000))
+        assert long.static_j > short.static_j
+
+    def test_perf_per_watt(self):
+        model = EnergyModel(CoreConfig())
+        b = model.breakdown(make_result())
+        assert b.performance_per_watt() == pytest.approx(b.instructions / b.total_j)
+
+    def test_zero_division_guards(self):
+        b = EnergyBreakdown(dynamic_j=0.0, static_j=0.0, cycles=0,
+                            instructions=0, frequency_ghz=2.5)
+        assert b.watts == 0.0
+        assert b.energy_per_instruction_nj == 0.0
+        assert b.performance_per_watt() == 0.0
+
+
+class TestStretchEnergyStory:
+    def test_b_mode_improves_perf_per_watt(self):
+        """B-mode raises combined throughput on ~the same hardware budget,
+        so instructions-per-joule improves for an MLP-bound co-runner."""
+        sampling = SamplingConfig(n_samples=2, warmup_instructions=3000,
+                                  measure_instructions=3000, seed=8)
+        ws, zm = get_profile("web_search"), get_profile("zeusmp")
+        base_cfg = CoreConfig()
+        bmode_cfg = base_cfg.with_rob_partition(56, 136)
+        base = sample_colocation(ws, zm, base_cfg, sampling)
+        bmode = sample_colocation(ws, zm, bmode_cfg, sampling)
+
+        def ipj(cfg, results):
+            model = EnergyModel(cfg)
+            breakdowns = [model.breakdown(r) for r in results]
+            return (sum(b.instructions for b in breakdowns)
+                    / sum(b.total_j for b in breakdowns))
+
+        assert ipj(bmode_cfg, bmode) > ipj(base_cfg, base) * 0.98

@@ -1,0 +1,65 @@
+"""End-to-end runs of the example scripts (the user-facing front door)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "stand-alone full-core UIPC" in out
+        assert "b-mode" in out and "q-mode" in out
+        assert "batch speedup" in out
+
+    def test_quickstart_custom_pair(self):
+        out = run_example("quickstart.py", "data_serving", "gamess")
+        assert "data_serving" in out and "gamess" in out
+
+    def test_quickstart_rejects_batch_as_ls(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py"), "zeusmp", "mcf"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode != 0
+
+    def test_slack_analysis(self):
+        out = run_example("slack_analysis.py")
+        assert "latency vs load" in out
+        assert "Minimum performance" in out
+        assert "duty cycle" in out
+
+    def test_datacenter_colocation(self):
+        out = run_example("datacenter_colocation.py")
+        assert "Simulating 24 hours" in out
+        assert "B-mode engaged" in out
+        assert "violation rate" in out.lower()
+
+    def test_design_space_exploration(self):
+        out = run_example("design_space_exploration.py")
+        assert "56-136" in out and "32-160" in out
+        assert "QoS-safe" in out
+
+    def test_datacenter_adaptive_flag(self):
+        out = run_example("datacenter_colocation.py", "zeusmp", "--adaptive")
+        assert "adaptive multi-B-mode policy" in out
+        assert "B-mode engaged" in out
+
+    def test_cluster_capacity(self):
+        out = run_example("cluster_capacity.py", timeout=400)
+        assert "over-provisioning" in out
+        assert "batch gain" in out

@@ -1,0 +1,153 @@
+"""Tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.cpu.config import PartitionPolicy
+from repro.experiments import common
+from repro.experiments.common import (
+    Fidelity,
+    config_all_private,
+    config_all_shared,
+    config_dynamic_rob,
+    config_fetch_throttle,
+    config_share_only,
+    config_solo,
+    fidelity_from_env,
+    pair_uipc,
+    solo_uipc,
+)
+
+
+class TestFidelity:
+    def test_quick_smaller_than_full(self):
+        q, f = Fidelity.quick(), Fidelity.full()
+        assert q.sampling.n_samples <= f.sampling.n_samples
+        assert q.sampling.measure_instructions < f.sampling.measure_instructions
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FIDELITY", raising=False)
+        assert fidelity_from_env().name == "quick"
+
+    def test_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "full")
+        assert fidelity_from_env().name == "full"
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "ultra")
+        with pytest.raises(ValueError):
+            fidelity_from_env()
+
+
+class TestConfigConstructors:
+    def test_all_shared_is_default(self):
+        config = config_all_shared()
+        assert config.rob_limits == (96, 96)
+        assert not config.private_l1i and not config.private_l1d
+
+    def test_solo(self):
+        assert config_solo().rob_limits[0] == 192
+        assert config_solo(48).rob_limits[0] == 48
+
+    def test_share_only_rob(self):
+        config = config_share_only("rob")
+        assert config.rob_limits == (96, 96)
+        assert config.private_l1i and config.private_l1d and config.private_bp
+
+    def test_share_only_l1i(self):
+        config = config_share_only("l1i")
+        assert not config.private_l1i
+        assert config.private_l1d and config.private_bp
+        # Everything else private & full-size: per-thread full ROB.
+        assert config.rob_limits == (192, 192)
+
+    def test_share_only_l1d(self):
+        config = config_share_only("l1d")
+        assert not config.private_l1d and config.private_l1i
+
+    def test_share_only_bp(self):
+        config = config_share_only("bp")
+        assert not config.private_bp and config.private_l1i
+
+    def test_share_only_unknown(self):
+        with pytest.raises(ValueError):
+            config_share_only("alus")
+
+    def test_all_private_keeps_equal_rob(self):
+        config = config_all_private()
+        assert config.rob_limits == (96, 96)
+        assert config.private_l1i and config.private_l1d and config.private_bp
+
+    def test_dynamic_rob(self):
+        assert config_dynamic_rob().rob_policy is PartitionPolicy.SHARED
+
+    def test_fetch_throttle(self):
+        config = config_fetch_throttle(8)
+        assert config.fetch_policy == "ratio"
+        assert config.fetch_ratio == (1, 8)
+        with pytest.raises(ValueError):
+            config_fetch_throttle(0)
+
+
+class TestMemoization:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(common, "_memory_cache", {})
+
+    def _sampling(self):
+        from repro.cpu.sampling import SamplingConfig
+
+        return SamplingConfig(n_samples=1, warmup_instructions=500,
+                              measure_instructions=500, seed=2)
+
+    def test_solo_memoized(self, monkeypatch):
+        calls = {"n": 0}
+        original = common.sample_solo
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(common, "sample_solo", counting)
+        sampling = self._sampling()
+        first = solo_uipc("gamess", config_solo(), sampling)
+        second = solo_uipc("gamess", config_solo(), sampling)
+        assert first == second
+        assert calls["n"] == 1
+
+    def test_disk_cache_survives_memory_flush(self, monkeypatch):
+        sampling = self._sampling()
+        value = pair_uipc("web_search", "gamess", config_all_shared(), sampling)
+        monkeypatch.setattr(common, "_memory_cache", {})
+        calls = {"n": 0}
+        original = common.sample_colocation
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(common, "sample_colocation", counting)
+        assert pair_uipc("web_search", "gamess", config_all_shared(), sampling) == value
+        assert calls["n"] == 0
+
+    def test_no_cache_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert common._cache_dir() is None
+
+    def test_distinct_configs_distinct_keys(self):
+        sampling = self._sampling()
+        a = common._key("solo", ("gamess",), config_solo(), sampling)
+        b = common._key("solo", ("gamess",), config_solo(96), sampling)
+        assert a != b
+
+    def test_key_depends_on_profile_definition(self, monkeypatch):
+        sampling = self._sampling()
+        before = common._key("solo", ("gamess",), config_solo(), sampling)
+        from dataclasses import replace
+
+        import repro.workloads.registry as registry
+
+        tweaked = replace(registry.get_profile("gamess"), cold_miss_frac=0.09)
+        monkeypatch.setattr(common, "get_profile", lambda name: tweaked)
+        after = common._key("solo", ("gamess",), config_solo(), sampling)
+        assert before != after

@@ -1,0 +1,168 @@
+"""Smoke tests: every experiment harness runs end-to-end on a tiny slice.
+
+Workload lists are monkeypatched down to one service and two batch
+benchmarks, and the sampling budget is minimal — these tests verify the
+harness plumbing and output formatting, not paper fidelity (the benchmark
+suite does that at full scale).
+"""
+
+import pytest
+
+from repro.core.partitioning import B_MODES, Q_MODES
+from repro.cpu.sampling import SamplingConfig
+from repro.experiments.common import Fidelity
+
+TINY = Fidelity(
+    "tiny",
+    SamplingConfig(n_samples=1, warmup_instructions=800,
+                   measure_instructions=800, seed=13),
+)
+
+LS_SUBSET = ("web_search",)
+BATCH_SUBSET = ("zeusmp", "gamess")
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+def shrink(monkeypatch, module, ls=True, batch=True):
+    if ls:
+        monkeypatch.setattr(module, "LS_WORKLOADS", LS_SUBSET)
+    if batch:
+        monkeypatch.setattr(module, "BATCH_WORKLOADS", BATCH_SUBSET)
+
+
+class TestLightExperiments:
+    def test_fig01(self):
+        from repro.experiments import fig01_latency_vs_load as fig01
+
+        result = fig01.run(TINY, n_requests=3000)
+        assert len(result.points) == len(fig01.LOAD_POINTS)
+        assert result.p99_growth >= 1.0
+        assert "Figure 1" in result.format()
+
+    def test_fig02(self, monkeypatch):
+        from repro.experiments import fig02_slack as fig02
+
+        monkeypatch.setattr(fig02, "LS_WORKLOADS", LS_SUBSET)
+        result = fig02.run(TINY, n_requests=3000)
+        assert result.required_at("web_search", 0.2) <= result.required_at(
+            "web_search", 0.9
+        )
+        assert 0 <= result.slack_at("web_search", 0.2) <= 1
+        assert "Figure 2" in result.format()
+
+    def test_fig07(self):
+        from repro.experiments import fig07_mlp as fig07
+
+        result = fig07.run(TINY)
+        assert result.mlp_at_least("zeusmp", 2) > result.mlp_at_least("web_search", 2)
+        assert "Figure 7" in result.format()
+
+    def test_tables(self):
+        from repro.experiments import tables
+
+        result = tables.run()
+        text = result.format()
+        assert "Table I" in text and "Table II" in text and "Table III" in text
+        assert "192 entries total" in text
+        assert "100 ms" in text
+
+
+class TestSimulationExperiments:
+    def test_fig03(self, monkeypatch):
+        from repro.experiments import fig03_colocation_slowdown as fig03
+
+        shrink(monkeypatch, fig03)
+        result = fig03.run(TINY)
+        assert set(result.pairs) == set(LS_SUBSET)
+        assert len(result.pairs["web_search"]) == len(BATCH_SUBSET)
+        assert "Figure 3" in result.format()
+
+    def test_fig04(self, monkeypatch):
+        from repro.experiments import fig04_resource_contention as fig04
+
+        monkeypatch.setattr(fig04, "BATCH_WORKLOADS", BATCH_SUBSET)
+        result = fig04.run(TINY)
+        assert set(result.by_resource) == set(fig04.RESOURCES)
+        assert "Figure 4" in result.format()
+
+    def test_fig05(self, monkeypatch):
+        from repro.experiments import fig04_resource_contention as fig04
+        from repro.experiments import fig05_resource_contention_all as fig05
+
+        monkeypatch.setattr(fig04, "BATCH_WORKLOADS", BATCH_SUBSET)
+        monkeypatch.setattr(fig05, "LS_WORKLOADS", LS_SUBSET)
+        result = fig05.run(TINY)
+        assert set(result.per_service) == set(LS_SUBSET)
+        assert result.avg_batch_slowdown("rob") is not None
+        assert "Figure 5" in result.format()
+
+    def test_fig06(self, monkeypatch):
+        from repro.experiments import fig06_rob_sensitivity as fig06
+
+        monkeypatch.setattr(fig06, "LS_WORKLOADS", LS_SUBSET)
+        monkeypatch.setattr(fig06, "BATCH_WORKLOADS", BATCH_SUBSET)
+        monkeypatch.setattr(fig06, "ROB_SIZES", [48, 96, 192])
+        result = fig06.run(TINY)
+        assert result.slowdown("zeusmp", 192) == pytest.approx(0.0)
+        assert result.slowdown("zeusmp", 48) > 0.0
+
+    def test_fig09(self, monkeypatch):
+        from repro.experiments import fig09_stretch_modes as fig09
+
+        shrink(monkeypatch, fig09)
+        result = fig09.run(TINY, schemes=(B_MODES[1], Q_MODES[1]))
+        assert set(result.by_scheme) == {"56-136", "136-56"}
+        assert len(result.batch_speedups("56-136")) == len(BATCH_SUBSET)
+
+    def test_fig10(self, monkeypatch):
+        from repro.experiments import fig10_bmode_speedup as fig10
+
+        shrink(monkeypatch, fig10)
+        result = fig10.run(TINY)
+        speedups = [s for __, s in result.speedups["web_search"]]
+        assert speedups == sorted(speedups, reverse=True)
+        assert "Figure 10" in result.format()
+
+    def test_fig11(self, monkeypatch):
+        from repro.experiments import fig11_dynamic_sharing as fig11
+
+        shrink(monkeypatch, fig11)
+        result = fig11.run(TINY)
+        assert len(result.all_batch_slowdowns()) == len(BATCH_SUBSET)
+        assert "Figure 11" in result.format()
+
+    def test_fig12(self, monkeypatch):
+        from repro.experiments import fig12_fetch_throttling as fig12
+
+        shrink(monkeypatch, fig12)
+        monkeypatch.setattr(fig12, "THROTTLE_RATIOS", (4,))
+        result = fig12.run(TINY)
+        assert set(result.by_policy) == {"FT 1:4", "Stretch"}
+        assert "Figure 12" in result.format()
+
+    def test_fig13(self, monkeypatch):
+        from repro.experiments import fig13_software_scheduling as fig13
+
+        shrink(monkeypatch, fig13)
+        result = fig13.run(TINY)
+        for policy in fig13.POLICIES:
+            assert "web_search" in result.speedups[policy]
+        assert "Figure 13" in result.format()
+
+    def test_fig14(self, monkeypatch):
+        from repro.experiments import fig14_case_studies as fig14
+
+        monkeypatch.setattr(fig14, "BATCH_WORKLOADS", BATCH_SUBSET)
+        result = fig14.run(TINY)
+        ws = result.row("web_search_cluster")
+        yt = result.row("youtube_cluster")
+        assert 9.0 <= ws.hours_enabled <= 13.0
+        assert 15.0 <= yt.hours_enabled <= 19.0
+        assert ws.daily_gain == pytest.approx(
+            ws.bmode_gain * ws.hours_enabled / 24.0
+        )
+        assert "case studies" in result.format()

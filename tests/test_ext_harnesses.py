@@ -1,0 +1,81 @@
+"""Smoke tests for the extension experiment harnesses (tiny scale)."""
+
+import pytest
+
+from repro.cpu.sampling import SamplingConfig
+from repro.experiments.common import Fidelity
+
+TINY = Fidelity(
+    "tiny",
+    SamplingConfig(n_samples=1, warmup_instructions=1500,
+                   measure_instructions=2000, seed=5),
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestSensitivity:
+    def test_runs_and_formats(self, monkeypatch):
+        from repro.experiments import ext_sensitivity as ext
+
+        monkeypatch.setattr(ext, "PAIRS", (("web_search", "zeusmp"),))
+        result = ext.run(TINY)
+        assert len(result.points) == 9  # 3 axes x 3 values
+        assert {p.axis for p in result.points} == {
+            "mshrs/thread", "memory ns", "ROB entries"
+        }
+        assert "sensitivity" in result.format()
+
+    def test_along_filters(self, monkeypatch):
+        from repro.experiments import ext_sensitivity as ext
+
+        monkeypatch.setattr(ext, "PAIRS", (("web_search", "gamess"),))
+        result = ext.run(TINY)
+        assert len(result.along("memory ns")) == 3
+        assert result.along("nonexistent") == []
+
+
+class TestAdaptive:
+    def test_runs_and_formats(self, monkeypatch):
+        from repro.experiments import ext_adaptive as ext
+
+        monkeypatch.setattr(ext, "BATCH_CORUNNERS", ("zeusmp",))
+        result = ext.run(TINY)
+        assert {d.policy for d in result.days} == {"two-point", "adaptive"}
+        assert result.mean_gain("adaptive") == pytest.approx(
+            [d.daily_batch_gain for d in result.days
+             if d.policy == "adaptive"][0]
+        )
+        assert "adaptive" in result.format()
+
+    def test_violation_rates_bounded(self, monkeypatch):
+        from repro.experiments import ext_adaptive as ext
+
+        monkeypatch.setattr(ext, "BATCH_CORUNNERS", ("gamess",))
+        result = ext.run(TINY)
+        for day in result.days:
+            assert 0.0 <= day.violation_rate <= 1.0
+            assert 0.0 <= day.bmode_fraction <= 1.0
+
+
+class TestEnergy:
+    def test_runs_and_formats(self, monkeypatch):
+        from repro.experiments import ext_energy as ext
+
+        monkeypatch.setattr(ext, "PAIRS", (("web_search", "zeusmp"),))
+        result = ext.run(TINY)
+        assert len(result.rows) == 2
+        assert result.ipj_gain("web_search+zeusmp") == result.mean_ipj_gain()
+        assert "instr/J" in result.format()
+
+    def test_modes_share_static_power_story(self, monkeypatch):
+        from repro.experiments import ext_energy as ext
+
+        monkeypatch.setattr(ext, "PAIRS", (("web_search", "gamess"),))
+        result = ext.run(TINY)
+        watts = {r.mode: r.watts for r in result.rows}
+        # Dynamic work differs but the power envelopes stay comparable.
+        assert abs(watts["B-mode"] - watts["Baseline"]) / watts["Baseline"] < 0.3

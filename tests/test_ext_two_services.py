@@ -1,0 +1,71 @@
+"""Tests for the two-latency-sensitive-services extension (§IV-D)."""
+
+import pytest
+
+from repro.core.partitioning import DEFAULT_Q_MODE, PartitionScheme
+from repro.cpu.sampling import SamplingConfig
+from repro.experiments import ext_two_services as ext
+from repro.experiments.common import Fidelity
+
+# LS-vs-LS deltas are a few percent, well inside small-budget noise, so this
+# module runs at the experiment harness's regular quick fidelity.
+TINY = Fidelity(
+    "small",
+    SamplingConfig(n_samples=3, warmup_instructions=6000,
+                   measure_instructions=6000, seed=42),
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    import os
+
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("cache"))
+    return ext.run(TINY)
+
+
+class TestTwoServices:
+    def test_all_pairs_measured(self, result):
+        assert len(result.rows) == len(ext.SERVICE_PAIRS)
+
+    def test_factors_in_unit_range(self, result):
+        for row in result.rows:
+            for value in (row.equal_factor_loaded, row.skew_factor_loaded,
+                          row.equal_factor_background, row.skew_factor_background):
+                assert 0.0 < value <= 1.0
+
+    def test_skew_helps_loaded_thread(self, result):
+        gains = [row.skew_factor_loaded - row.equal_factor_loaded
+                 for row in result.rows]
+        assert sum(gains) / len(gains) > -0.01
+        assert max(gains) > 0.0
+
+    def test_background_pays(self, result):
+        losses = [row.equal_factor_background - row.skew_factor_background
+                  for row in result.rows]
+        assert sum(losses) / len(losses) > -0.02
+
+    def test_safe_loads_in_range(self, result):
+        for row in result.rows:
+            assert 0.0 <= row.equal_safe_load <= 1.0
+            assert 0.0 <= row.skew_safe_load <= 1.0
+
+    def test_row_lookup(self, result):
+        loaded, background = ext.SERVICE_PAIRS[0]
+        assert result.row(loaded, background).loaded == loaded
+        with pytest.raises(KeyError):
+            result.row("nope", "nada")
+
+    def test_format(self, result):
+        text = result.format()
+        assert DEFAULT_Q_MODE.name in text
+        assert "loaded" in text
+
+    def test_custom_scheme(self):
+        result = ext.run(TINY, scheme=PartitionScheme(128, 64))
+        assert result.scheme.name == "128-64"

@@ -1,0 +1,96 @@
+"""Tests for fetch/dispatch thread-selection policies."""
+
+import pytest
+
+from repro.cpu.fetch import (
+    ICountPolicy,
+    RoundRobinPolicy,
+    StaticRatioPolicy,
+    make_fetch_policy,
+)
+
+
+class TestICount:
+    def test_prefers_fewer_inflight(self):
+        p = ICountPolicy()
+        assert p.order(0, [10, 50]) == (0, 1)
+        assert p.order(0, [50, 10]) == (1, 0)
+
+    def test_ties_alternate(self):
+        p = ICountPolicy()
+        orders = {p.order(c, [5, 5]) for c in (0, 1)}
+        assert orders == {(0, 1), (1, 0)}
+
+
+class TestRoundRobin:
+    def test_alternates_regardless_of_counts(self):
+        p = RoundRobinPolicy()
+        assert p.order(0, [0, 100]) != p.order(1, [0, 100])
+
+
+class TestStaticRatio:
+    def test_one_to_three_pattern(self):
+        p = StaticRatioPolicy(1, 3)
+        primaries = [p.order(c, [0, 0])[0] for c in range(8)]
+        # 1 cycle thread0 priority, 3 cycles thread1, repeating.
+        assert primaries == [0, 1, 1, 1, 0, 1, 1, 1]
+
+    def test_one_to_one(self):
+        p = StaticRatioPolicy(1, 1)
+        assert p.order(0, [0, 0])[0] == 0
+        assert p.order(1, [0, 0])[0] == 1
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            StaticRatioPolicy(0, 4)
+
+
+class TestFactory:
+    def test_icount(self):
+        assert isinstance(make_fetch_policy("icount"), ICountPolicy)
+
+    def test_round_robin(self):
+        assert isinstance(make_fetch_policy("round_robin"), RoundRobinPolicy)
+
+    def test_ratio(self):
+        policy = make_fetch_policy("ratio", (1, 8))
+        assert isinstance(policy, StaticRatioPolicy)
+        assert policy.m1 == 8
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_fetch_policy("mystery")
+
+
+class TestWholeCycleSemantics:
+    def test_ratio_policy_owns_whole_cycles(self):
+        assert StaticRatioPolicy(1, 4).whole_cycle is True
+
+    def test_interleaving_policies(self):
+        assert ICountPolicy().whole_cycle is False
+        assert RoundRobinPolicy().whole_cycle is False
+
+    def test_throttling_starves_in_core(self):
+        """A 1:16 ratio materially slows the deprioritized thread.
+
+        Uses the dynamically shared ROB (the paper's fetch-throttling
+        setting): with static partitions the co-runner's window fills and
+        the deprioritized thread picks up the leftover cycles anyway.
+        """
+        from dataclasses import replace
+
+        from repro.cpu.config import CoreConfig, PartitionPolicy
+        from repro.cpu.sampling import SamplingConfig, mean_uipc, sample_colocation
+        from repro.workloads.registry import get_profile
+
+        sampling = SamplingConfig(n_samples=1, warmup_instructions=2000,
+                                  measure_instructions=2000, seed=4)
+        shared = CoreConfig(rob_policy=PartitionPolicy.SHARED)
+        ws, zm = get_profile("web_search"), get_profile("zeusmp")
+        fair = sample_colocation(ws, zm, shared, sampling)
+        throttled = sample_colocation(
+            ws, zm,
+            replace(shared, fetch_policy="ratio", fetch_ratio=(1, 16)),
+            sampling,
+        )
+        assert mean_uipc(throttled, 0) < mean_uipc(fair, 0)

@@ -1,0 +1,167 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.isa import OpClass
+from repro.workloads.generator import (
+    CODE_BASE,
+    DATA_BASE,
+    MAX_DEP_DISTANCE,
+    TraceGenerator,
+    generate_trace,
+)
+from repro.workloads.registry import get_profile
+
+
+@pytest.fixture(scope="module")
+def ws_trace():
+    return generate_trace(get_profile("web_search"), 20000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def lbm_trace():
+    return generate_trace(get_profile("lbm"), 20000, seed=3)
+
+
+class TestBasics:
+    def test_exact_length(self, ws_trace):
+        assert len(ws_trace) == 20000
+
+    def test_validates(self, ws_trace, lbm_trace):
+        ws_trace.validate()
+        lbm_trace.validate()
+
+    def test_deterministic_per_seed(self):
+        p = get_profile("mcf")
+        a = generate_trace(p, 2000, seed=11)
+        b = generate_trace(p, 2000, seed=11)
+        assert np.array_equal(a.op, b.op)
+        assert np.array_equal(a.addr, b.addr)
+        assert np.array_equal(a.taken, b.taken)
+
+    def test_seed_changes_trace(self):
+        p = get_profile("mcf")
+        a = generate_trace(p, 2000, seed=11)
+        b = generate_trace(p, 2000, seed=12)
+        assert not np.array_equal(a.addr, b.addr)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(get_profile("mcf"), 0)
+
+
+class TestInstructionMix:
+    def test_branch_fraction_near_profile(self, ws_trace):
+        p = get_profile("web_search")
+        measured = np.mean(ws_trace.op == OpClass.BRANCH)
+        assert measured == pytest.approx(p.frac_branch, rel=0.35)
+
+    def test_load_fraction_near_profile(self, ws_trace):
+        p = get_profile("web_search")
+        measured = np.mean(ws_trace.op == OpClass.LOAD)
+        assert measured == pytest.approx(p.frac_load, rel=0.25)
+
+    def test_store_fraction_near_profile(self, lbm_trace):
+        p = get_profile("lbm")
+        measured = np.mean(lbm_trace.op == OpClass.STORE)
+        assert measured == pytest.approx(p.frac_store, rel=0.25)
+
+
+class TestControlFlow:
+    def test_pcs_in_code_region(self, ws_trace):
+        assert np.all(ws_trace.pc >= CODE_BASE)
+        assert np.all(ws_trace.pc < DATA_BASE)
+
+    def test_code_footprint_bounded_by_profile(self, ws_trace):
+        p = get_profile("web_search")
+        touched_bytes = len(np.unique(ws_trace.pc >> 6)) * 64
+        assert touched_bytes <= p.instr_footprint_kb * 1024 * 1.25
+
+    def test_branches_have_targets(self, ws_trace):
+        is_br = ws_trace.op == OpClass.BRANCH
+        assert np.all(ws_trace.target[is_br] >= CODE_BASE)
+
+    def test_branch_targets_static_per_pc(self, ws_trace):
+        """A branch PC always jumps to the same (BTB-learnable) target."""
+        is_br = np.asarray(ws_trace.op == OpClass.BRANCH)
+        pcs = ws_trace.pc[is_br]
+        targets = ws_trace.target[is_br]
+        mapping = {}
+        for pc, tgt in zip(pcs.tolist(), targets.tolist()):
+            assert mapping.setdefault(pc, tgt) == tgt
+
+    def test_direction_bias_matches_predictability(self, ws_trace):
+        """Per-branch majority direction frequency ~ branch_predictability."""
+        p = get_profile("web_search")
+        is_br = np.asarray(ws_trace.op == OpClass.BRANCH)
+        pcs = ws_trace.pc[is_br]
+        takens = ws_trace.taken[is_br]
+        unique, inverse = np.unique(pcs, return_inverse=True)
+        counts = np.bincount(inverse)
+        votes = np.bincount(inverse, weights=takens.astype(float))
+        hot = counts >= 20
+        majority = np.maximum(votes[hot], counts[hot] - votes[hot]) / counts[hot]
+        assert majority.mean() == pytest.approx(p.branch_predictability, abs=0.05)
+
+
+class TestDataStream:
+    def test_mem_addresses_in_data_region(self, ws_trace):
+        is_mem = np.asarray(
+            (ws_trace.op == OpClass.LOAD) | (ws_trace.op == OpClass.STORE)
+        )
+        assert np.all(ws_trace.addr[is_mem] >= DATA_BASE)
+
+    def test_chase_chain_serialized(self):
+        """Pointer-chase loads form one dependency chain."""
+        p = get_profile("web_search")
+        generator = TraceGenerator(p, seed=5)
+        trace = generator.generate(20000)
+        chase = generator._chase_positions
+        chase = chase[chase < len(trace)]  # drop positions past truncation
+        assert len(chase) > 5
+        diffs = np.diff(chase)
+        dep = trace.dep1[chase[1:]]
+        expected = np.minimum(diffs, MAX_DEP_DISTANCE)
+        assert np.array_equal(dep, expected)
+
+    def test_stream_strides_constant(self, lbm_trace):
+        for sid in range(1, get_profile("lbm").stream_count + 1):
+            sel = np.flatnonzero(np.asarray(lbm_trace.sid) == sid)
+            if len(sel) < 3:
+                continue
+            strides = np.diff(lbm_trace.addr[sel])
+            # Constant 64B stride except at region wrap.
+            assert np.mean(strides == 64) > 0.95
+
+    def test_sid_zero_for_non_stream(self, ws_trace):
+        p = get_profile("web_search")
+        if p.streaming_frac == 0.0:
+            assert np.all(ws_trace.sid == 0)
+
+    def test_memory_map_regions_ordered(self):
+        g = TraceGenerator(get_profile("zeusmp"), seed=1)
+        mm = g.memory_map
+        assert mm.hot_start < mm.hot_end <= mm.cold_start < mm.cold_end
+        assert mm.cold_end == mm.stream_start
+
+    def test_memory_map_classification(self):
+        g = TraceGenerator(get_profile("zeusmp"), seed=1)
+        mm = g.memory_map
+        assert mm.region_of(mm.hot_start) == "hot"
+        assert mm.region_of(mm.cold_start) == "cold"
+        assert mm.region_of(mm.stream_start + 64) == "stream"
+
+
+class TestDependencies:
+    def test_dep_distances_clipped(self, ws_trace):
+        assert int(ws_trace.dep1.max()) <= MAX_DEP_DISTANCE
+        assert int(ws_trace.dep2.max()) <= MAX_DEP_DISTANCE
+
+    def test_dep_distances_within_trace(self, ws_trace):
+        idx = np.arange(len(ws_trace))
+        assert np.all(ws_trace.dep1 <= idx)
+        assert np.all(ws_trace.dep2 <= idx)
+
+    def test_some_dependencies_exist(self, ws_trace):
+        assert np.mean(ws_trace.dep1 > 0) > 0.5

@@ -1,0 +1,37 @@
+"""Tests for the µop model constants."""
+
+from repro.cpu.isa import EXEC_LATENCY, FU_CLASS, OpClass
+
+
+class TestOpClass:
+    def test_six_classes(self):
+        assert len(OpClass) == 6
+
+    def test_values_are_compact(self):
+        assert sorted(int(op) for op in OpClass) == list(range(6))
+
+
+class TestExecLatency:
+    def test_all_classes_covered(self):
+        assert set(EXEC_LATENCY) == set(OpClass)
+
+    def test_loads_defer_to_cache_model(self):
+        assert EXEC_LATENCY[OpClass.LOAD] == 0
+
+    def test_simple_alu_single_cycle(self):
+        assert EXEC_LATENCY[OpClass.INT_ALU] == 1
+
+    def test_long_ops_slower_than_alu(self):
+        assert EXEC_LATENCY[OpClass.INT_MUL] > EXEC_LATENCY[OpClass.INT_ALU]
+        assert EXEC_LATENCY[OpClass.FP] > EXEC_LATENCY[OpClass.INT_ALU]
+
+
+class TestFUClasses:
+    def test_all_classes_covered(self):
+        assert set(FU_CLASS) == set(OpClass)
+
+    def test_memory_ops_share_lsu(self):
+        assert FU_CLASS[OpClass.LOAD] == FU_CLASS[OpClass.STORE] == "lsu"
+
+    def test_known_pools(self):
+        assert set(FU_CLASS.values()) == {"int_alu", "int_mul", "fpu", "lsu"}

@@ -1,0 +1,69 @@
+"""Tests for per-thread metrics."""
+
+import pytest
+
+from repro.cpu.metrics import MLP_BUCKETS, SimulationResult, ThreadResult
+
+
+def make_result(**overrides) -> ThreadResult:
+    data = dict(thread=0, workload="w", instructions=1000, cycles=500)
+    data.update(overrides)
+    return ThreadResult(**data)
+
+
+class TestThreadResult:
+    def test_uipc(self):
+        assert make_result().uipc == pytest.approx(2.0)
+
+    def test_uipc_zero_cycles(self):
+        assert make_result(cycles=0).uipc == 0.0
+
+    def test_mpki(self):
+        r = make_result(l1d_misses=50, l1i_misses=10)
+        assert r.l1d_mpki == pytest.approx(50.0)
+        assert r.l1i_mpki == pytest.approx(10.0)
+
+    def test_mpki_zero_instructions(self):
+        assert make_result(instructions=0, l1d_misses=5).l1d_mpki == 0.0
+
+    def test_branch_misprediction_rate(self):
+        r = make_result(branches=100, branch_mispredicts=7)
+        assert r.branch_misprediction_rate == pytest.approx(0.07)
+
+    def test_branch_rate_no_branches(self):
+        assert make_result().branch_misprediction_rate == 0.0
+
+    def test_mlp_at_least(self):
+        hist = [50, 30, 15, 5] + [0] * (MLP_BUCKETS - 3)
+        r = make_result(mlp_cycles=hist)
+        assert r.mlp_at_least(0) == pytest.approx(1.0)
+        assert r.mlp_at_least(1) == pytest.approx(0.5)
+        assert r.mlp_at_least(2) == pytest.approx(0.2)
+        assert r.mlp_at_least(3) == pytest.approx(0.05)
+
+    def test_mlp_at_least_empty(self):
+        assert make_result().mlp_at_least(2) == 0.0
+
+    def test_mlp_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_result().mlp_at_least(MLP_BUCKETS + 1)
+
+    def test_mlp_monotone_decreasing(self):
+        hist = [10, 9, 8, 7, 6, 5, 4, 3, 2]
+        r = make_result(mlp_cycles=hist)
+        values = [r.mlp_at_least(k) for k in range(MLP_BUCKETS + 1)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestSimulationResult:
+    def test_total_uipc(self):
+        result = SimulationResult(
+            cycles=100,
+            threads=(make_result(cycles=100, instructions=100),
+                     make_result(thread=1, cycles=100, instructions=300)),
+        )
+        assert result.total_uipc == pytest.approx(4.0)
+
+    def test_thread_accessor(self):
+        result = SimulationResult(cycles=1, threads=(make_result(),))
+        assert result.thread(0).workload == "w"

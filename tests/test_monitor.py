@@ -1,0 +1,120 @@
+"""Tests for the CPI²-extended Stretch software monitor."""
+
+import pytest
+
+from repro.core.monitor import MonitorConfig, StretchMonitor
+from repro.core.stretch import StretchMode
+from repro.workloads.profiles import QoSSpec
+
+QOS = QoSSpec(target_ms=100.0, percentile=99.0, base_service_ms=5.0)
+
+
+def make_monitor(q_mode=True, **config) -> StretchMonitor:
+    return StretchMonitor(QOS, MonitorConfig(**config), q_mode_available=q_mode)
+
+
+class TestConfigValidation:
+    def test_engage_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(engage_fraction=1.5)
+
+    def test_window_counts_positive(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(engage_windows=0)
+
+
+class TestEngagement:
+    def test_starts_in_baseline(self):
+        assert make_monitor().mode is StretchMode.BASELINE
+
+    def test_engages_b_mode_after_streak(self):
+        m = make_monitor(engage_windows=3)
+        for _ in range(2):
+            assert m.observe_window(20.0).mode is StretchMode.BASELINE
+        assert m.observe_window(20.0).mode is StretchMode.B_MODE
+
+    def test_streak_must_be_consecutive(self):
+        m = make_monitor(engage_windows=3)
+        m.observe_window(20.0)
+        m.observe_window(20.0)
+        m.observe_window(85.0)  # compliant but no slack: resets the streak
+        assert m.observe_window(20.0).mode is StretchMode.BASELINE
+
+    def test_no_engagement_without_slack(self):
+        m = make_monitor(engage_windows=2)
+        for _ in range(10):
+            decision = m.observe_window(90.0)  # below target, above 75%
+        assert decision.mode is not StretchMode.B_MODE
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            make_monitor().observe_window(-1.0)
+
+
+class TestViolationResponse:
+    def engaged(self, **kwargs) -> StretchMonitor:
+        m = make_monitor(**kwargs)
+        for _ in range(m.config.engage_windows):
+            m.observe_window(10.0)
+        assert m.mode is StretchMode.B_MODE
+        return m
+
+    def test_violation_disengages_b_mode(self):
+        m = self.engaged()
+        decision = m.observe_window(150.0)
+        assert decision.mode is StretchMode.Q_MODE  # Q provisioned
+
+    def test_violation_without_q_mode(self):
+        m = self.engaged(q_mode=False)
+        decision = m.observe_window(150.0)
+        assert decision.mode is StretchMode.BASELINE
+
+    def test_persistent_violation_throttles(self):
+        m = self.engaged(violation_windows_to_throttle=2)
+        m.observe_window(150.0)  # leaves B-mode
+        decision = m.observe_window(150.0)
+        assert decision.throttle_corunner
+        assert m.throttle_orders == 1
+
+    def test_throttle_lasts_configured_windows(self):
+        m = self.engaged(violation_windows_to_throttle=1, throttle_windows=3)
+        m.observe_window(150.0)  # first response: leave B-mode
+        decision = m.observe_window(150.0)  # persists -> throttle
+        assert decision.throttle_corunner
+        states = [m.observe_window(10.0).throttle_corunner for _ in range(3)]
+        assert states == [True, True, False]
+
+    def test_violations_counted(self):
+        m = make_monitor()
+        m.observe_window(150.0)
+        m.observe_window(150.0)
+        assert m.violations == 2
+
+
+class TestRecovery:
+    def test_q_mode_relaxes_to_baseline(self):
+        m = make_monitor()
+        m.observe_window(150.0)  # -> Q-mode
+        assert m.mode is StretchMode.Q_MODE
+        decision = m.observe_window(85.0)  # compliant, no slack
+        assert decision.mode is StretchMode.BASELINE
+
+    def test_full_cycle_back_to_b_mode(self):
+        m = make_monitor(engage_windows=2)
+        m.observe_window(150.0)  # violation
+        for _ in range(2):
+            decision = m.observe_window(10.0)
+        assert decision.mode is StretchMode.B_MODE
+
+    def test_b_mode_steps_down_when_slack_shrinks(self):
+        m = make_monitor(engage_windows=1)
+        m.observe_window(10.0)
+        assert m.mode is StretchMode.B_MODE
+        decision = m.observe_window(85.0)  # compliant but tight
+        assert decision.mode is StretchMode.BASELINE
+
+    def test_windows_observed_counter(self):
+        m = make_monitor()
+        for _ in range(5):
+            m.observe_window(10.0)
+        assert m.windows_observed == 5

@@ -1,0 +1,96 @@
+"""Tests for the MSHR file (per-thread quotas, coalescing, stalls)."""
+
+import pytest
+
+from repro.cpu.caches import MSHRFile
+
+
+class TestConstruction:
+    def test_valid(self):
+        MSHRFile(10, 5)
+
+    def test_quota_exceeds_total(self):
+        with pytest.raises(ValueError):
+            MSHRFile(4, 5)
+
+    def test_nonpositive(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0, 0)
+
+
+class TestAcquire:
+    def test_fill_time(self):
+        m = MSHRFile(10, 5)
+        assert m.acquire(0, block=1, now=100, latency=50) == 150
+
+    def test_coalescing_same_block(self):
+        m = MSHRFile(10, 5)
+        first = m.acquire(0, 1, now=0, latency=100)
+        second = m.acquire(0, 1, now=10, latency=100)
+        assert second == first
+        assert m.coalesced[0] == 1
+
+    def test_distinct_blocks_independent(self):
+        m = MSHRFile(10, 5)
+        a = m.acquire(0, 1, now=0, latency=100)
+        b = m.acquire(0, 2, now=5, latency=100)
+        assert (a, b) == (100, 105)
+
+    def test_quota_stall_delays_start(self):
+        m = MSHRFile(10, 5)
+        fills = [m.acquire(0, block, now=0, latency=100) for block in range(5)]
+        assert fills == [100] * 5
+        # Sixth concurrent miss waits for the earliest fill to retire.
+        sixth = m.acquire(0, 99, now=0, latency=100)
+        assert sixth == 200
+        assert m.stalls[0] >= 1
+
+    def test_quota_per_thread(self):
+        m = MSHRFile(10, 5)
+        for block in range(5):
+            m.acquire(0, block, now=0, latency=100)
+        # Thread 1 has its own quota: no stall.
+        assert m.acquire(1, 50, now=0, latency=100) == 100
+        assert m.stalls[1] == 0
+
+    def test_total_capacity_bound(self):
+        m = MSHRFile(8, 5, n_threads=2)
+        for block in range(5):
+            m.acquire(0, block, now=0, latency=100)
+        for block in range(3):
+            m.acquire(1, 100 + block, now=0, latency=100)
+        # File full (5 + 3 = 8): thread 1 under quota but must wait.
+        fill = m.acquire(1, 999, now=0, latency=100)
+        assert fill == 200
+
+    def test_expiry_frees_entries(self):
+        m = MSHRFile(10, 5)
+        for block in range(5):
+            m.acquire(0, block, now=0, latency=100)
+        # At t=150 all fills have retired: no stall.
+        assert m.acquire(0, 99, now=150, latency=100) == 250
+        assert m.stalls[0] == 0
+
+
+class TestOccupancy:
+    def test_counts_inflight(self):
+        m = MSHRFile(10, 5)
+        m.acquire(0, 1, now=0, latency=100)
+        m.acquire(0, 2, now=0, latency=50)
+        assert m.occupancy(0, now=10) == 2
+        assert m.occupancy(0, now=60) == 1
+        assert m.occupancy(0, now=200) == 0
+
+    def test_total_occupancy(self):
+        m = MSHRFile(10, 5)
+        m.acquire(0, 1, now=0, latency=100)
+        m.acquire(1, 2, now=0, latency=100)
+        assert m.total_occupancy(now=50) == 2
+
+    def test_reset_stats(self):
+        m = MSHRFile(10, 5)
+        m.acquire(0, 1, now=0, latency=10)
+        m.acquire(0, 1, now=0, latency=10)
+        m.reset_stats()
+        assert m.coalesced == [0, 0]
+        assert m.stalls == [0, 0]

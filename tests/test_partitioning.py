@@ -1,0 +1,85 @@
+"""Tests for the Stretch partition schemes (paper §VI-A configurations)."""
+
+import pytest
+
+from repro.core.partitioning import (
+    B_MODES,
+    BASELINE,
+    DEFAULT_B_MODE,
+    DEFAULT_Q_MODE,
+    Q_MODES,
+    PartitionScheme,
+    scheme_by_name,
+)
+from repro.cpu.config import CoreConfig
+
+
+class TestScheme:
+    def test_name_notation(self):
+        assert PartitionScheme(56, 136).name == "56-136"
+
+    def test_baseline(self):
+        assert BASELINE.name == "96-96"
+        assert BASELINE.is_baseline
+
+    def test_positive_entries(self):
+        with pytest.raises(ValueError):
+            PartitionScheme(0, 192)
+
+    def test_skew_toward_batch(self):
+        assert PartitionScheme(56, 136).skew_toward_batch == 40
+        assert BASELINE.skew_toward_batch == 0
+        assert PartitionScheme(136, 56).skew_toward_batch == -40
+
+    def test_apply_sets_rob_limits(self):
+        config = DEFAULT_B_MODE.apply(CoreConfig())
+        assert config.rob_limits == (56, 136)
+
+    def test_apply_scales_lsq(self):
+        config = DEFAULT_B_MODE.apply(CoreConfig())
+        assert sum(config.lsq_limits) <= config.lsq_entries
+        assert config.lsq_limits[1] > config.lsq_limits[0]
+
+    def test_apply_overflow(self):
+        with pytest.raises(ValueError):
+            PartitionScheme(100, 100).apply(CoreConfig())
+
+    def test_limits_helper(self):
+        rob, lsq = DEFAULT_B_MODE.limits(CoreConfig())
+        assert rob == (56, 136)
+        assert lsq == CoreConfig().with_rob_partition(56, 136).lsq_limits
+
+
+class TestPaperConfigurations:
+    def test_b_mode_skews_match_figure9(self):
+        assert [s.name for s in B_MODES] == [
+            "64-128", "56-136", "48-144", "40-152", "32-160"
+        ]
+
+    def test_q_mode_skews_match_figure9(self):
+        assert [s.name for s in Q_MODES] == [
+            "128-64", "136-56", "144-48", "152-40", "160-32"
+        ]
+
+    def test_defaults_are_papers_headline_modes(self):
+        assert DEFAULT_B_MODE.name == "56-136"
+        assert DEFAULT_Q_MODE.name == "136-56"
+
+    def test_all_schemes_fill_the_rob(self):
+        for scheme in (*B_MODES, *Q_MODES, BASELINE):
+            assert scheme.ls_entries + scheme.batch_entries == 192
+
+    def test_q_modes_mirror_b_modes(self):
+        for b, q in zip(B_MODES, Q_MODES):
+            assert (b.ls_entries, b.batch_entries) == (q.batch_entries, q.ls_entries)
+
+
+class TestParsing:
+    def test_round_trip(self):
+        assert scheme_by_name("56-136") == PartitionScheme(56, 136)
+
+    def test_bad_format(self):
+        with pytest.raises(ValueError):
+            scheme_by_name("56x136")
+        with pytest.raises(ValueError):
+            scheme_by_name("banana")

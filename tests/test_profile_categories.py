@@ -1,0 +1,87 @@
+"""Guard rails on the calibrated profile population.
+
+DESIGN.md's substitution argument rests on the *population* of profiles
+carrying the right categorical signatures.  These tests pin those category
+properties so a future recalibration cannot silently invert them.
+"""
+
+from repro.workloads.cloudsuite import CLOUDSUITE
+from repro.workloads.spec2006 import SPEC2006
+
+#: The paper's high-ROB-sensitivity batch group (Fig. 4: >15% ROB loss).
+MEMORY_GROUP = {
+    "zeusmp", "lbm", "libquantum", "milc", "leslie3d", "GemsFDTD", "bwaves",
+    "soplex", "sphinx3", "mcf", "omnetpp", "cactusADM", "wrf", "gcc",
+    "xalancbmk",
+}
+
+#: Compute-bound benchmarks with minimal window appetite.
+COMPUTE_GROUP = {"gamess", "povray", "namd", "calculix", "tonto"}
+
+
+class TestBatchCategories:
+    def test_groups_cover_known_names(self):
+        assert MEMORY_GROUP <= set(SPEC2006)
+        assert COMPUTE_GROUP <= set(SPEC2006)
+        assert not MEMORY_GROUP & COMPUTE_GROUP
+
+    def test_memory_group_has_dense_independent_misses(self):
+        for name in MEMORY_GROUP:
+            profile = SPEC2006[name]
+            assert profile.cold_miss_frac >= 0.03, name
+
+    def test_compute_group_has_sparse_misses(self):
+        for name in COMPUTE_GROUP:
+            profile = SPEC2006[name]
+            assert profile.cold_miss_frac <= 0.015, name
+            assert profile.data_footprint_kb <= 4 * 1024, name
+
+    def test_memory_group_outweighs_compute_group(self):
+        memory_avg = sum(SPEC2006[n].cold_miss_frac for n in MEMORY_GROUP) / len(
+            MEMORY_GROUP
+        )
+        compute_avg = sum(SPEC2006[n].cold_miss_frac for n in COMPUTE_GROUP) / len(
+            COMPUTE_GROUP
+        )
+        assert memory_avg > 3 * compute_avg
+
+    def test_memory_group_footprints_exceed_llc_partition(self):
+        """Independent misses must reach memory, not just the LLC."""
+        for name in MEMORY_GROUP:
+            assert SPEC2006[name].data_footprint_kb >= 8 * 1024, name
+
+    def test_lbm_is_the_streaming_outlier(self):
+        lbm = SPEC2006["lbm"]
+        assert lbm.streaming_frac >= 0.4
+        assert lbm.frac_store >= 0.2  # streaming *stores* (the L1-D bully)
+
+    def test_batch_pointer_chasing_is_rare(self):
+        heavy_chasers = [n for n, p in SPEC2006.items()
+                         if p.pointer_chase_frac > 0.02]
+        assert len(heavy_chasers) == 0
+
+
+class TestServiceCategories:
+    def test_services_chase_pointers(self):
+        for name, profile in CLOUDSUITE.items():
+            assert profile.pointer_chase_frac >= 0.015, name
+
+    def test_services_have_large_code_footprints(self):
+        smallest_service = min(p.instr_footprint_kb for p in CLOUDSUITE.values())
+        largest_batch = max(p.instr_footprint_kb for p in SPEC2006.values())
+        assert smallest_service >= largest_batch
+
+    def test_services_have_sparse_independent_misses(self):
+        for name, profile in CLOUDSUITE.items():
+            assert profile.cold_miss_frac <= 0.03, name
+
+    def test_services_spread_code_accesses(self):
+        """Server stacks use a low region-popularity exponent (L1-I pressure)."""
+        max_service_zipf = max(p.code_zipf for p in CLOUDSUITE.values())
+        min_batch_zipf = min(p.code_zipf for p in SPEC2006.values())
+        assert max_service_zipf < min_batch_zipf
+
+    def test_every_service_has_queueing_headroom(self):
+        for name, profile in CLOUDSUITE.items():
+            qos = profile.qos
+            assert qos.base_service_ms * 4 <= qos.target_ms, name

@@ -1,0 +1,74 @@
+"""Property-based tests: every valid profile yields a valid trace."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.isa import OpClass
+from repro.workloads.generator import MAX_DEP_DISTANCE, generate_trace
+from repro.workloads.profiles import WorkloadKind, WorkloadProfile
+
+
+@st.composite
+def batch_profiles(draw) -> WorkloadProfile:
+    frac_load = draw(st.floats(0.05, 0.35))
+    frac_store = draw(st.floats(0.0, 0.2))
+    frac_fp = draw(st.floats(0.0, 0.3))
+    streaming = draw(st.floats(0.0, 0.4))
+    cold = draw(st.floats(0.0, 0.1))
+    chase = draw(st.floats(0.0, min(0.2, 1.0 - streaming - cold)))
+    footprint = draw(st.integers(64, 8192))
+    return WorkloadProfile(
+        name="hypo",
+        kind=WorkloadKind.BATCH,
+        description="hypothesis-generated",
+        frac_load=frac_load,
+        frac_store=frac_store,
+        frac_int_mul=draw(st.floats(0.0, 0.05)),
+        frac_fp=frac_fp if frac_load + frac_store + frac_fp < 0.9 else 0.0,
+        dep_short_frac=draw(st.floats(0.2, 0.9)),
+        dep_near_mean=draw(st.floats(1.5, 6.0)),
+        dep_far_mean=draw(st.floats(8.0, 64.0)),
+        dep2_frac=draw(st.floats(0.0, 0.8)),
+        data_footprint_kb=footprint,
+        hot_region_kb=draw(st.integers(8, min(64, footprint))),
+        streaming_frac=streaming,
+        stream_count=draw(st.integers(1, 8)),
+        cold_miss_frac=cold,
+        pointer_chase_frac=chase,
+        instr_footprint_kb=draw(st.integers(4, 256)),
+        block_len_mean=draw(st.floats(3.0, 18.0)),
+        branch_predictability=draw(st.floats(0.5, 1.0)),
+        code_zipf=draw(st.floats(0.0, 2.0)),
+    )
+
+
+class TestGeneratorProperties:
+    @given(batch_profiles(), st.integers(64, 4000), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_traces_always_valid(self, profile, length, seed):
+        trace = generate_trace(profile, length, seed=seed)
+        assert len(trace) == length
+        trace.validate()  # raises on any structural violation
+
+    @given(batch_profiles(), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_dep_distances_bounded(self, profile, seed):
+        trace = generate_trace(profile, 1500, seed=seed)
+        assert int(trace.dep1.max()) <= MAX_DEP_DISTANCE
+        assert int(trace.dep2.max()) <= MAX_DEP_DISTANCE
+
+    @given(batch_profiles(), st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_memory_ops_have_addresses(self, profile, seed):
+        trace = generate_trace(profile, 1500, seed=seed)
+        is_mem = (trace.op == OpClass.LOAD) | (trace.op == OpClass.STORE)
+        assert (trace.addr[is_mem] > 0).all() or not is_mem.any()
+
+    @given(batch_profiles())
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_trace(self, profile):
+        import numpy as np
+
+        a = generate_trace(profile, 600, seed=5)
+        b = generate_trace(profile, 600, seed=5)
+        assert np.array_equal(a.op, b.op) and np.array_equal(a.addr, b.addr)

@@ -1,0 +1,54 @@
+"""Property-based tests for the queueing substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qos.queueing import ServiceSimulator
+from repro.workloads.profiles import QoSSpec
+
+
+def make_service(target=100.0, base=8.0, cv=1.0, workers=8):
+    return ServiceSimulator(
+        QoSSpec(target_ms=target, percentile=99.0, base_service_ms=base,
+                service_cv=cv),
+        n_workers=workers, seed=3,
+    )
+
+
+class TestQueueingProperties:
+    @given(st.floats(0.01, 0.6), st.floats(0.01, 0.6))
+    @settings(max_examples=20, deadline=None)
+    def test_latency_monotone_in_rate(self, a, b):
+        """Under common random numbers, sojourn time is monotone in rate."""
+        service = make_service()
+        lo, hi = sorted((a, b))
+        stats_lo = service.run(lo, n_requests=1200)
+        stats_hi = service.run(hi, n_requests=1200)
+        assert stats_hi.p99 >= stats_lo.p99 - 1e-9
+        assert stats_hi.mean >= stats_lo.mean - 1e-9
+
+    @given(st.floats(0.1, 1.0), st.floats(0.1, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_latency_monotone_in_perf_factor(self, a, b):
+        """Slower cores (smaller factor) never reduce sojourn times."""
+        service = make_service()
+        lo, hi = sorted((a, b))
+        fast = service.run(0.1, perf_factor=hi, n_requests=1200)
+        slow = service.run(0.1, perf_factor=lo, n_requests=1200)
+        assert slow.p99 >= fast.p99 - 1e-9
+
+    @given(st.floats(0.02, 0.8))
+    @settings(max_examples=20, deadline=None)
+    def test_sojourn_at_least_service(self, rate):
+        """Mean sojourn can never be below the mean service time's scale."""
+        service = make_service()
+        stats = service.run(rate, n_requests=1200)
+        assert stats.mean >= 8.0 * 0.5  # lognormal mean 8 ms, generous slack
+        assert stats.p99 >= stats.p95 >= stats.p50
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=10, deadline=None)
+    def test_more_workers_never_hurt(self, extra):
+        base = make_service(workers=2).run(0.15, n_requests=1200)
+        bigger = make_service(workers=2 + extra).run(0.15, n_requests=1200)
+        assert bigger.p99 <= base.p99 + 1e-9

@@ -1,0 +1,107 @@
+"""Analytic queueing formulas + cross-validation of the simulator."""
+
+import pytest
+
+from repro.qos.analytic import (
+    allen_cunneen_wait,
+    erlang_c,
+    mm1_p99_sojourn,
+    mmk_mean_sojourn,
+    mmk_mean_wait,
+    utilization,
+)
+from repro.qos.queueing import MMPPConfig, ServiceSimulator
+from repro.workloads.profiles import QoSSpec
+
+
+class TestFormulas:
+    def test_utilization(self):
+        assert utilization(2.0, 1.0, 4) == pytest.approx(0.5)
+
+    def test_utilization_validation(self):
+        with pytest.raises(ValueError):
+            utilization(0.0, 1.0, 4)
+
+    def test_erlang_c_single_server_equals_rho(self):
+        # For k=1, P(wait) = rho exactly.
+        assert erlang_c(0.6, 1.0, 1) == pytest.approx(0.6)
+
+    def test_erlang_c_bounds(self):
+        p = erlang_c(3.0, 1.0, 5)
+        assert 0.0 < p < 1.0
+
+    def test_erlang_c_decreases_with_servers(self):
+        assert erlang_c(3.0, 1.0, 8) < erlang_c(3.0, 1.0, 5)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_c(5.0, 1.0, 4)
+
+    def test_mm1_mean_wait_closed_form(self):
+        # M/M/1: W_q = rho * S / (1 - rho).
+        rho, s = 0.5, 2.0
+        assert mmk_mean_wait(rho / s, s, 1) == pytest.approx(rho * s / (1 - rho))
+
+    def test_sojourn_adds_service(self):
+        wait = mmk_mean_wait(2.0, 1.0, 4)
+        assert mmk_mean_sojourn(2.0, 1.0, 4) == pytest.approx(wait + 1.0)
+
+    def test_allen_cunneen_recovers_mmk(self):
+        assert allen_cunneen_wait(2.0, 1.0, 4, ca2=1.0, cs2=1.0) == pytest.approx(
+            mmk_mean_wait(2.0, 1.0, 4)
+        )
+
+    def test_allen_cunneen_scales_with_variability(self):
+        low = allen_cunneen_wait(2.0, 1.0, 4, ca2=0.5, cs2=0.5)
+        high = allen_cunneen_wait(2.0, 1.0, 4, ca2=2.0, cs2=2.0)
+        assert high == pytest.approx(4 * low)
+
+    def test_mm1_p99(self):
+        p99 = mm1_p99_sojourn(0.5, 1.0)
+        assert p99 == pytest.approx(-2.0 * __import__("math").log(0.01))
+
+
+class TestSimulatorCrossValidation:
+    """The discrete-event simulator must agree with theory where theory is
+    exact: Poisson-like arrivals (flat MMPP), exponential-ish service."""
+
+    def make_service(self, cv=1.0, workers=4):
+        qos = QoSSpec(target_ms=10_000.0, percentile=99.0, base_service_ms=10.0,
+                      service_cv=cv)
+        # Nearly-flat MMPP ~ Poisson.
+        mmpp = MMPPConfig(calm_rate=0.999, burst_rate=1.001, burst_fraction=0.5,
+                          mean_dwell_requests=50)
+        return ServiceSimulator(qos, n_workers=workers, mmpp=mmpp, seed=11)
+
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+    def test_mean_sojourn_matches_allen_cunneen(self, rho):
+        workers, service_ms = 4, 10.0
+        cv = 1.0
+        rate = rho * workers / service_ms
+        service = self.make_service(cv=cv, workers=workers)
+        stats = service.run(rate, n_requests=30000)
+        # Lognormal service with cv=1 -> cs2 = 1; Poisson arrivals -> ca2 = 1.
+        expected = service_ms + allen_cunneen_wait(rate, service_ms, workers,
+                                                   ca2=1.0, cs2=cv * cv)
+        assert stats.mean == pytest.approx(expected, rel=0.15)
+
+    def test_low_variability_waits_less(self):
+        workers, service_ms, rho = 2, 10.0, 0.7
+        rate = rho * workers / service_ms
+        smooth = self.make_service(cv=0.3, workers=workers).run(rate, n_requests=20000)
+        spiky = self.make_service(cv=1.5, workers=workers).run(rate, n_requests=20000)
+        assert smooth.mean < spiky.mean
+
+    def test_bursty_arrivals_exceed_poisson_tail(self):
+        """The MMPP default is *burstier* than Poisson — the simulator's
+        reason to exist beyond the formulas."""
+        workers, service_ms, rho = 4, 10.0, 0.7
+        rate = rho * workers / service_ms
+        qos = QoSSpec(target_ms=10_000.0, percentile=99.0,
+                      base_service_ms=service_ms, service_cv=1.0)
+        bursty = ServiceSimulator(qos, n_workers=workers, seed=11)
+        poissonish = self.make_service(cv=1.0, workers=workers)
+        assert (
+            bursty.run(rate, n_requests=20000).p99
+            > poissonish.run(rate, n_requests=20000).p99
+        )

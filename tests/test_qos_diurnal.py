@@ -1,0 +1,82 @@
+"""Tests for the diurnal load models and case studies (Figure 14)."""
+
+import pytest
+
+from repro.qos.diurnal import (
+    DiurnalCaseStudy,
+    web_search_cluster_load,
+    youtube_cluster_load,
+)
+
+
+class TestLoadCurves:
+    @pytest.mark.parametrize("load_fn", [web_search_cluster_load, youtube_cluster_load])
+    def test_range(self, load_fn):
+        for k in range(0, 24 * 4):
+            value = load_fn(k / 4)
+            assert 0.0 < value <= 1.0
+
+    @pytest.mark.parametrize("load_fn", [web_search_cluster_load, youtube_cluster_load])
+    def test_peak_reaches_one(self, load_fn):
+        assert max(load_fn(h) for h in range(24)) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("load_fn", [web_search_cluster_load, youtube_cluster_load])
+    def test_wraps_around_midnight(self, load_fn):
+        assert load_fn(24.0) == pytest.approx(load_fn(0.0))
+        assert load_fn(25.5) == pytest.approx(load_fn(1.5))
+
+    def test_interpolation_between_hours(self):
+        a, b = web_search_cluster_load(3.0), web_search_cluster_load(4.0)
+        mid = web_search_cluster_load(3.5)
+        assert min(a, b) <= mid <= max(a, b)
+
+    def test_web_search_plateau_shape(self):
+        """Daytime plateau near peak, overnight trough (paper Fig. 14a)."""
+        assert web_search_cluster_load(12.5) > 0.9
+        assert web_search_cluster_load(4.0) < 0.4
+
+    def test_youtube_peaks_at_2pm(self):
+        assert youtube_cluster_load(13.0) == max(
+            youtube_cluster_load(h) for h in range(24)
+        )
+
+
+class TestCaseStudy:
+    def test_web_search_hours_match_paper(self):
+        study = DiurnalCaseStudy("ws", bmode_batch_gain=0.11)
+        hours = study.hours_enabled(web_search_cluster_load)
+        assert hours == pytest.approx(11.0, abs=1.5)  # paper: ~11 h
+
+    def test_youtube_hours_match_paper(self):
+        study = DiurnalCaseStudy("yt", bmode_batch_gain=0.11)
+        hours = study.hours_enabled(youtube_cluster_load)
+        assert hours == pytest.approx(17.0, abs=1.5)  # paper: ~17 h
+
+    def test_daily_gain_formula(self):
+        study = DiurnalCaseStudy("x", bmode_batch_gain=0.12)
+        hours = study.hours_enabled(web_search_cluster_load)
+        expected = 0.12 * hours / 24.0
+        assert study.daily_throughput_gain(web_search_cluster_load) == pytest.approx(
+            expected
+        )
+
+    def test_always_low_load_gets_full_gain(self):
+        study = DiurnalCaseStudy("flat", bmode_batch_gain=0.2)
+        assert study.daily_throughput_gain(lambda h: 0.3) == pytest.approx(0.2)
+
+    def test_always_peak_gets_nothing(self):
+        study = DiurnalCaseStudy("hot", bmode_batch_gain=0.2)
+        assert study.daily_throughput_gain(lambda h: 0.99) == 0.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalCaseStudy("x", bmode_batch_gain=0.1, threshold=0.0)
+
+    def test_small_negative_gain_allowed(self):
+        # Measured gains can be slightly negative at low fidelity.
+        study = DiurnalCaseStudy("x", bmode_batch_gain=-0.1)
+        assert study.daily_throughput_gain(lambda h: 0.3) == pytest.approx(-0.1)
+
+    def test_impossible_gain_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalCaseStudy("x", bmode_batch_gain=-1.0)

@@ -1,0 +1,76 @@
+"""Tests for the performance-slack analysis (Figure 2 machinery)."""
+
+import pytest
+
+from repro.qos.queueing import ServiceSimulator
+from repro.qos.slack import DutyCycleModulator, required_performance, slack_curve
+from repro.workloads.profiles import QoSSpec
+from repro.workloads.registry import get_profile
+
+QOS = QoSSpec(target_ms=100.0, percentile=99.0, base_service_ms=8.0, service_cv=1.0)
+
+
+class TestDutyCycleModulator:
+    def test_full_duty_full_performance(self):
+        assert DutyCycleModulator().performance(1.0) == 1.0
+
+    def test_proportional_minus_overhead(self):
+        m = DutyCycleModulator(switch_overhead=0.02)
+        assert m.performance(0.5) == pytest.approx(0.49)
+
+    def test_inverse(self):
+        m = DutyCycleModulator(switch_overhead=0.02)
+        duty = m.duty_for_performance(0.49)
+        assert m.performance(duty) == pytest.approx(0.49)
+
+    def test_inverse_near_one(self):
+        m = DutyCycleModulator(switch_overhead=0.02)
+        assert m.duty_for_performance(0.99) == 1.0
+
+    def test_bounds(self):
+        m = DutyCycleModulator()
+        with pytest.raises(ValueError):
+            m.performance(0.0)
+        with pytest.raises(ValueError):
+            m.duty_for_performance(1.5)
+
+    def test_overhead_bounds(self):
+        with pytest.raises(ValueError):
+            DutyCycleModulator(switch_overhead=0.9)
+
+
+class TestRequiredPerformance:
+    @pytest.fixture(scope="class")
+    def service(self):
+        return ServiceSimulator(QOS, n_workers=8, seed=1)
+
+    def test_monotone_in_load(self, service):
+        low = required_performance(service, 0.2, n_requests=5000)
+        high = required_performance(service, 0.8, n_requests=5000)
+        assert high >= low
+
+    def test_result_meets_qos(self, service):
+        load = 0.5
+        required = required_performance(service, load, n_requests=5000)
+        peak = service.peak_load(n_requests=5000)
+        stats = service.run(peak * load, required, 5000)
+        assert service.meets_qos(stats)
+
+    def test_low_load_leaves_slack(self, service):
+        required = required_performance(service, 0.1, n_requests=5000)
+        assert required < 0.6
+
+    def test_bad_load(self, service):
+        with pytest.raises(ValueError):
+            required_performance(service, 0.0)
+
+
+class TestSlackCurve:
+    def test_returns_requested_points(self):
+        curve = slack_curve(get_profile("web_search"), [0.2, 0.5], n_requests=4000)
+        assert [load for load, __ in curve] == [0.2, 0.5]
+        assert all(0.0 < req <= 1.0 for __, req in curve)
+
+    def test_batch_workload_rejected(self):
+        with pytest.raises(ValueError):
+            slack_curve(get_profile("zeusmp"), [0.5])

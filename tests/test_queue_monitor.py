@@ -1,0 +1,107 @@
+"""Tests for the queue-length monitor variant and queue-depth statistics."""
+
+import pytest
+
+from repro.core.monitor import QueueLengthMonitor, QueueLengthMonitorConfig
+from repro.core.stretch import StretchMode
+from repro.qos.queueing import ServiceSimulator
+from repro.workloads.profiles import QoSSpec
+
+QOS = QoSSpec(target_ms=100.0, percentile=99.0, base_service_ms=8.0)
+
+
+class TestQueueDepthStats:
+    def test_low_load_shallow_queue(self):
+        service = ServiceSimulator(QOS, n_workers=8, seed=2)
+        stats = service.run(0.02, n_requests=3000)
+        assert stats.mean_queue_depth < 1.0
+
+    def test_high_load_deep_queue(self):
+        service = ServiceSimulator(QOS, n_workers=8, seed=2)
+        low = service.run(0.05, n_requests=3000)
+        high = service.run(0.9, n_requests=3000)
+        assert high.mean_queue_depth > low.mean_queue_depth
+        assert high.p95_queue_depth >= high.mean_queue_depth
+
+
+class TestQueueLengthMonitorConfig:
+    def test_threshold_ordering(self):
+        with pytest.raises(ValueError):
+            QueueLengthMonitorConfig(engage_max_depth=5.0, violate_depth=4.0)
+
+    def test_negative_depth(self):
+        with pytest.raises(ValueError):
+            QueueLengthMonitorConfig(engage_max_depth=-1.0)
+
+
+class TestQueueLengthMonitor:
+    def make(self, **kwargs) -> QueueLengthMonitor:
+        return QueueLengthMonitor(QueueLengthMonitorConfig(**kwargs))
+
+    def test_calm_queue_engages_b_mode(self):
+        m = self.make(engage_windows=2)
+        m.observe_window(0.1)
+        decision = m.observe_window(0.1)
+        assert decision.mode is StretchMode.B_MODE
+
+    def test_moderate_queue_stays_baseline(self):
+        m = self.make(engage_windows=1, engage_max_depth=0.5, violate_depth=4.0)
+        decision = m.observe_window(2.0)
+        assert decision.mode is StretchMode.BASELINE
+
+    def test_deep_queue_escalates_from_b_mode(self):
+        m = self.make(engage_windows=1)
+        m.observe_window(0.0)
+        assert m.mode is StretchMode.B_MODE
+        decision = m.observe_window(20.0)
+        assert decision.mode is StretchMode.Q_MODE
+
+    def test_deep_queue_without_q_mode(self):
+        m = QueueLengthMonitor(QueueLengthMonitorConfig(engage_windows=1),
+                               q_mode_available=False)
+        m.observe_window(0.0)
+        decision = m.observe_window(20.0)
+        assert decision.mode is StretchMode.BASELINE
+
+    def test_persistent_deep_queue_throttles(self):
+        m = self.make(engage_windows=1, violation_windows_to_throttle=2,
+                      throttle_windows=2)
+        m.observe_window(0.0)       # engage B
+        m.observe_window(20.0)      # deep: -> Q (streak 1)
+        decision = m.observe_window(20.0)  # deep persists (streak 2)
+        assert decision.throttle_corunner
+        assert m.throttle_orders == 1
+
+    def test_recovery_to_baseline_then_b(self):
+        m = self.make(engage_windows=2)
+        m.observe_window(20.0)      # deep -> Q
+        decision = m.observe_window(6.0)  # moderate -> baseline
+        assert decision.mode is StretchMode.BASELINE
+        m.observe_window(0.1)
+        decision = m.observe_window(0.1)
+        assert decision.mode is StretchMode.B_MODE
+
+    def test_counters(self):
+        m = self.make()
+        m.observe_window(20.0)
+        m.observe_window(20.0)
+        assert m.deep_queue_windows == 2
+        assert m.windows_observed == 2
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().observe_window(-0.1)
+
+    def test_agrees_with_latency_monitor_on_regimes(self):
+        """Queue-length and latency monitors make the same call at the
+        extremes of the load range (the paper's claim that queue length is a
+        usable slack proxy)."""
+        service = ServiceSimulator(QOS, n_workers=8, seed=2)
+        peak = service.peak_load(n_requests=6000)
+        m = self.make(engage_windows=1)
+        low = service.run(peak * 0.2, n_requests=4000)
+        decision_low = m.observe_window(low.mean_queue_depth)
+        assert decision_low.mode is StretchMode.B_MODE
+        high = service.run(peak * 1.3, n_requests=4000)
+        decision_high = m.observe_window(high.mean_queue_depth)
+        assert decision_high.mode is not StretchMode.B_MODE

@@ -1,0 +1,106 @@
+"""Tests for the partitionable ROB/LSQ resource (limit/usage registers)."""
+
+import pytest
+
+from repro.cpu.rob import PartitionedResource
+
+
+def make(limits=(96, 96), capacity=192) -> PartitionedResource:
+    return PartitionedResource("ROB", capacity, limits)
+
+
+class TestConstruction:
+    def test_valid(self):
+        r = make()
+        assert r.limits == (96, 96)
+        assert r.capacity == 192
+
+    def test_limit_over_capacity(self):
+        with pytest.raises(ValueError):
+            make(limits=(200, 96))
+
+    def test_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            make(limits=(0, 96))
+
+    def test_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PartitionedResource("x", 0, (1,))
+
+    def test_shared_style_limits(self):
+        # Dynamically shared: both limits equal capacity.
+        r = make(limits=(192, 192))
+        assert r.limits == (192, 192)
+
+
+class TestAllocation:
+    def test_allocate_release_cycle(self):
+        r = make()
+        r.allocate(0)
+        assert r.usage(0) == 1
+        assert r.total_usage == 1
+        r.release(0)
+        assert r.usage(0) == 0
+
+    def test_limit_blocks_thread(self):
+        r = make(limits=(2, 96))
+        r.allocate(0)
+        r.allocate(0)
+        assert not r.can_allocate(0)
+        assert r.can_allocate(1)
+
+    def test_allocate_beyond_limit_raises(self):
+        r = make(limits=(1, 96))
+        r.allocate(0)
+        with pytest.raises(RuntimeError):
+            r.allocate(0)
+
+    def test_capacity_blocks_even_under_limit(self):
+        r = PartitionedResource("x", 4, (4, 4))
+        for _ in range(3):
+            r.allocate(0)
+        r.allocate(1)
+        # Thread 1 is below its limit (1 < 4) but the structure is full.
+        assert not r.can_allocate(1)
+
+    def test_release_without_usage_raises(self):
+        with pytest.raises(RuntimeError):
+            make().release(0)
+
+    def test_peak_usage_tracking(self):
+        r = make()
+        for _ in range(5):
+            r.allocate(0)
+        r.release(0)
+        assert r.peak_usage[0] == 5
+        r.reset_stats()
+        assert r.peak_usage == [0, 0]
+
+
+class TestReprogramming:
+    def test_set_limits(self):
+        r = make()
+        r.set_limits((56, 136))
+        assert r.limits == (56, 136)
+
+    def test_set_limits_below_usage_rejected(self):
+        r = make()
+        for _ in range(10):
+            r.allocate(0)
+        with pytest.raises(RuntimeError, match="drain"):
+            r.set_limits((5, 187))
+
+    def test_set_limits_wrong_arity(self):
+        with pytest.raises(ValueError):
+            make().set_limits((96,))
+
+    def test_set_limits_over_capacity(self):
+        with pytest.raises(ValueError):
+            make().set_limits((300, 10))
+
+    def test_set_limits_nonpositive(self):
+        with pytest.raises(ValueError):
+            make().set_limits((0, 192))
+
+    def test_repr(self):
+        assert "ROB" in repr(make())

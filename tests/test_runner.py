@@ -1,0 +1,88 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.experiments.common import Fidelity
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        expected = {"tables", "fig01", "fig02", "fig03", "fig04", "fig05",
+                    "fig06", "fig07", "fig09", "fig10", "fig11", "fig12",
+                    "fig13", "fig14", "ext_two_services", "ext_sensitivity",
+                    "ext_adaptive", "ext_energy", "characterize"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_modules_importable_with_run(self):
+        import importlib
+
+        for module_name in EXPERIMENTS.values():
+            module = importlib.import_module(module_name)
+            assert callable(module.run)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99", Fidelity.quick())
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out and "fig14" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig01" in capsys.readouterr().out
+
+    def test_runs_light_experiment(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_dispatch(self):
+        result = run_experiment("tables", Fidelity.quick())
+        assert "Table I" in result.format()
+
+
+class TestJsonExport:
+    def test_result_to_jsonable_dataclass(self):
+        import dataclasses
+        import enum
+
+        from repro.experiments.runner import result_to_jsonable
+
+        class Color(enum.Enum):
+            RED = "red"
+
+        @dataclasses.dataclass
+        class Inner:
+            x: float
+
+        @dataclasses.dataclass
+        class Outer:
+            name: str
+            inner: Inner
+            values: list
+            mapping: dict
+            color: Color
+
+        payload = result_to_jsonable(
+            Outer("n", Inner(1.5), [1, (2, 3)], {"k": Inner(2.0)}, Color.RED)
+        )
+        assert payload == {
+            "name": "n",
+            "inner": {"x": 1.5},
+            "values": [1, [2, 3]],
+            "mapping": {"k": {"x": 2.0}},
+            "color": "Color.RED",
+        }
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        import json
+
+        assert main(["tables", "--json", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "tables.json").read_text())
+        assert data["experiment"] == "tables"
+        assert "Table II" in data["result"]["tables"]["table2"]

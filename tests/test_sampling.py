@@ -1,0 +1,96 @@
+"""Tests for the sampling methodology (SimFlex-style)."""
+
+import pytest
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.sampling import (
+    SamplingConfig,
+    mean_uipc,
+    sample_colocation,
+    sample_solo,
+)
+from repro.workloads.registry import get_profile
+
+
+class TestSamplingConfig:
+    def test_defaults_valid(self):
+        SamplingConfig()
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(n_samples=0)
+        with pytest.raises(ValueError):
+            SamplingConfig(measure_instructions=0)
+
+    def test_trace_length_covers_run(self):
+        c = SamplingConfig(warmup_instructions=1000, measure_instructions=1000)
+        assert c.trace_length > 2 * (c.warmup_instructions + c.measure_instructions)
+
+    def test_max_cycles_scales(self):
+        c = SamplingConfig(measure_instructions=100)
+        assert c.max_cycles == 100 * c.max_cycles_per_instruction
+
+    def test_hashable(self):
+        assert hash(SamplingConfig()) == hash(SamplingConfig())
+
+
+class TestSampleSolo:
+    def test_one_result_per_sample(self, tiny_sampling, web_search_profile):
+        results = sample_solo(
+            web_search_profile, CoreConfig().single_thread(192), tiny_sampling
+        )
+        assert len(results) == tiny_sampling.n_samples
+
+    def test_reproducible(self, tiny_sampling, zeusmp_profile):
+        config = CoreConfig().single_thread(192)
+        a = sample_solo(zeusmp_profile, config, tiny_sampling)
+        b = sample_solo(zeusmp_profile, config, tiny_sampling)
+        assert mean_uipc(a) == mean_uipc(b)
+
+    def test_samples_differ(self, zeusmp_profile):
+        sampling = SamplingConfig(n_samples=2, warmup_instructions=500,
+                                  measure_instructions=500, seed=1)
+        results = sample_solo(zeusmp_profile, CoreConfig().single_thread(192), sampling)
+        assert results[0].threads[0].uipc != results[1].threads[0].uipc
+
+    def test_checkpoint_warming_improves_llc(self, zeusmp_profile):
+        base = dict(n_samples=1, warmup_instructions=1500,
+                    measure_instructions=1500, seed=3)
+        warm = sample_solo(zeusmp_profile, CoreConfig().single_thread(192),
+                           SamplingConfig(checkpoint_warming=True, **base))
+        cold = sample_solo(zeusmp_profile, CoreConfig().single_thread(192),
+                           SamplingConfig(checkpoint_warming=False, **base))
+        assert mean_uipc(warm) > mean_uipc(cold)
+
+
+class TestSampleColocation:
+    def test_thread_assignment(self, tiny_sampling, web_search_profile, zeusmp_profile):
+        results = sample_colocation(
+            web_search_profile, zeusmp_profile, CoreConfig(), tiny_sampling
+        )
+        assert results[0].threads[0].workload == "web_search"
+        assert results[0].threads[1].workload == "zeusmp"
+
+    def test_both_threads_reach_target(self, tiny_sampling, web_search_profile,
+                                       zeusmp_profile):
+        results = sample_colocation(
+            web_search_profile, zeusmp_profile, CoreConfig(), tiny_sampling
+        )
+        for result in results:
+            assert all(
+                t.instructions >= tiny_sampling.measure_instructions
+                for t in result.threads
+            )
+
+
+class TestMeanUipc:
+    def test_average(self, tiny_sampling, gamess_profile):
+        results = sample_solo(
+            gamess_profile, CoreConfig().single_thread(192), tiny_sampling
+        )
+        expected = sum(r.threads[0].uipc for r in results) / len(results)
+        assert mean_uipc(results) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_uipc([])

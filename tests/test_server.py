@@ -1,0 +1,99 @@
+"""Tests for the closed-loop colocated server simulation."""
+
+import pytest
+
+from repro.core.colocation import ColocationPerformance, ModePerformance
+from repro.core.monitor import MonitorConfig
+from repro.core.server import ColocatedServer, ServerTimeline, WindowRecord
+from repro.core.stretch import StretchMode
+from repro.workloads.registry import get_profile
+
+
+def performance_model() -> ColocationPerformance:
+    """Hand-built per-mode model (avoids slow core simulation in tests)."""
+    return ColocationPerformance(
+        ls_workload="web_search",
+        batch_workload="zeusmp",
+        ls_solo_uipc=0.6,
+        per_mode={
+            StretchMode.BASELINE: ModePerformance(ls_uipc=0.52, batch_uipc=0.50),
+            StretchMode.B_MODE: ModePerformance(ls_uipc=0.45, batch_uipc=0.60),
+            StretchMode.Q_MODE: ModePerformance(ls_uipc=0.58, batch_uipc=0.40),
+        },
+    )
+
+
+def make_server(**kwargs) -> ColocatedServer:
+    return ColocatedServer(
+        get_profile("web_search"), performance_model(), seed=9, **kwargs
+    )
+
+
+class TestConstruction:
+    def test_requires_matching_model(self):
+        with pytest.raises(ValueError, match="performance model"):
+            ColocatedServer(get_profile("data_serving"), performance_model())
+
+    def test_requires_qos(self):
+        with pytest.raises(ValueError):
+            ColocatedServer(get_profile("zeusmp"), performance_model())
+
+
+class TestRunDay:
+    def test_window_count(self):
+        timeline = make_server().run_day(
+            lambda h: 0.3, window_minutes=60, requests_per_window=400
+        )
+        assert len(timeline.windows) == 24
+
+    def test_low_load_engages_b_mode(self):
+        timeline = make_server().run_day(
+            lambda h: 0.25, window_minutes=30, requests_per_window=600
+        )
+        assert timeline.bmode_fraction > 0.5
+        assert timeline.violation_rate < 0.2
+
+    def test_overload_avoids_b_mode(self):
+        timeline = make_server().run_day(
+            lambda h: 1.1, window_minutes=30, requests_per_window=600
+        )
+        assert timeline.bmode_fraction < 0.3
+
+    def test_diurnal_switches_modes(self):
+        def load(hour: float) -> float:
+            return 0.25 if hour < 12 else 0.95
+
+        timeline = make_server().run_day(load, window_minutes=30,
+                                         requests_per_window=600)
+        morning = [w for w in timeline.windows if w.hour < 12]
+        evening = [w for w in timeline.windows if w.hour >= 12.5]
+        morning_b = sum(w.mode is StretchMode.B_MODE for w in morning) / len(morning)
+        evening_b = sum(w.mode is StretchMode.B_MODE for w in evening) / len(evening)
+        assert morning_b > evening_b
+
+    def test_batch_gain_positive_at_low_load(self):
+        timeline = make_server().run_day(
+            lambda h: 0.25, window_minutes=30, requests_per_window=600
+        )
+        gain = timeline.batch_throughput_gain(0.50)
+        assert gain > 0.05
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            make_server().run_day(lambda h: 0.3, window_minutes=0)
+
+
+class TestTimeline:
+    def test_empty_timeline_metrics(self):
+        t = ServerTimeline()
+        assert t.violation_rate == 0.0
+        assert t.bmode_fraction == 0.0
+        assert t.batch_throughput_gain(1.0) == 0.0
+
+    def test_record_fields(self):
+        record = WindowRecord(
+            hour=1.0, load_fraction=0.5, mode=StretchMode.BASELINE,
+            tail_latency_ms=50.0, qos_violated=False, throttled=False,
+            batch_uipc=0.5,
+        )
+        assert record.mode is StretchMode.BASELINE

@@ -1,0 +1,109 @@
+"""Tests for the trace representation and cursor."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.isa import OpClass
+from repro.cpu.trace import Trace, TraceCursor
+
+
+def make_trace(n=8, **overrides) -> Trace:
+    columns = dict(
+        name="t",
+        op=np.full(n, OpClass.INT_ALU, dtype=np.uint8),
+        dep1=np.zeros(n, dtype=np.int64),
+        dep2=np.zeros(n, dtype=np.int64),
+        pc=np.arange(n, dtype=np.int64) * 4,
+        addr=np.zeros(n, dtype=np.int64),
+        taken=np.zeros(n, dtype=bool),
+        target=np.zeros(n, dtype=np.int64),
+        sid=np.zeros(n, dtype=np.int64),
+    )
+    columns.update(overrides)
+    return Trace(**columns)
+
+
+class TestTrace:
+    def test_len(self):
+        assert len(make_trace(5)) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_trace(0)
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(ValueError, match="dep1"):
+            make_trace(4, dep1=np.zeros(3, dtype=np.int64))
+
+    def test_mix_sums_to_one(self):
+        trace = make_trace(10)
+        assert sum(trace.mix.values()) == pytest.approx(1.0)
+
+    def test_mix_counts(self):
+        op = np.array([OpClass.LOAD, OpClass.LOAD, OpClass.STORE, OpClass.INT_ALU],
+                      dtype=np.uint8)
+        trace = make_trace(4, op=op,
+                           addr=np.array([8, 16, 24, 0], dtype=np.int64))
+        assert trace.mix[OpClass.LOAD] == pytest.approx(0.5)
+
+    def test_validate_ok(self):
+        make_trace(6).validate()
+
+    def test_validate_dep_before_start(self):
+        dep = np.zeros(4, dtype=np.int64)
+        dep[0] = 1  # µop 0 cannot depend on µop -1
+        with pytest.raises(ValueError, match="before the trace start"):
+            make_trace(4, dep1=dep).validate()
+
+    def test_validate_negative_dep(self):
+        dep = np.zeros(4, dtype=np.int64)
+        dep[2] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            make_trace(4, dep1=dep).validate()
+
+    def test_validate_addr_on_non_mem(self):
+        addr = np.zeros(4, dtype=np.int64)
+        addr[1] = 64  # INT_ALU with an address
+        with pytest.raises(ValueError, match="addr"):
+            make_trace(4, addr=addr).validate()
+
+    def test_validate_sid_on_non_mem(self):
+        sid = np.zeros(4, dtype=np.int64)
+        sid[1] = 2
+        with pytest.raises(ValueError, match="sid"):
+            make_trace(4, sid=sid).validate()
+
+    def test_validate_bad_opclass(self):
+        op = np.full(4, 17, dtype=np.uint8)
+        with pytest.raises(ValueError, match="op class"):
+            make_trace(4, op=op).validate()
+
+
+class TestTraceCursor:
+    def test_sequential_advance(self):
+        cursor = TraceCursor(make_trace(4))
+        assert [cursor.advance() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_wraps_cyclically(self):
+        cursor = TraceCursor(make_trace(3))
+        indices = [cursor.advance() for _ in range(7)]
+        assert indices == [0, 1, 2, 0, 1, 2, 0]
+        assert cursor.consumed == 7
+
+    def test_start_offset(self):
+        cursor = TraceCursor(make_trace(4), start=2)
+        assert cursor.advance() == 2
+
+    def test_start_offset_wraps(self):
+        cursor = TraceCursor(make_trace(4), start=6)
+        assert cursor.peek() == 2
+
+    def test_peek_does_not_consume(self):
+        cursor = TraceCursor(make_trace(4))
+        assert cursor.peek() == 0
+        assert cursor.consumed == 0
+
+    def test_columns_are_plain_lists(self):
+        cursor = TraceCursor(make_trace(4))
+        for name in ("op", "dep1", "dep2", "pc", "addr", "taken", "target", "sid"):
+            assert isinstance(getattr(cursor, name), list)

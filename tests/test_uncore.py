@@ -1,0 +1,171 @@
+"""Tests for the memory hierarchy (L1s, LLC partitions, memory)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.uncore import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(CoreConfig())
+
+
+class TestLoads:
+    def test_l1_hit_latency(self, hierarchy):
+        hierarchy.install_data(0, 0x1000, l1=True)
+        latency, missed = hierarchy.load(0, pf_key=1, addr=0x1000, issue_cycle=0)
+        assert latency == hierarchy.l1_hit_latency
+        assert not missed
+
+    def test_llc_hit_latency(self, hierarchy):
+        hierarchy.install_data(0, 0x1000, l1=False)  # LLC only
+        latency, missed = hierarchy.load(0, pf_key=1, addr=0x1000, issue_cycle=0)
+        assert missed
+        assert latency == hierarchy.l1_hit_latency + hierarchy.llc_latency
+
+    def test_memory_latency(self, hierarchy):
+        latency, missed = hierarchy.load(0, pf_key=1, addr=0x9000, issue_cycle=0)
+        assert missed
+        assert latency == (
+            hierarchy.l1_hit_latency + hierarchy.llc_latency + hierarchy.memory_latency
+        )
+
+    def test_second_load_hits_l1(self, hierarchy):
+        hierarchy.load(0, 1, 0x5000, 0)
+        latency, missed = hierarchy.load(0, 1, 0x5000, 300)
+        assert not missed
+        assert latency == hierarchy.l1_hit_latency
+
+    def test_mshr_limits_concurrent_misses(self, hierarchy):
+        quota = CoreConfig().dcache.mshrs_per_thread
+        latencies = [
+            hierarchy.load(0, 1, 0x10000 + 64 * i, 0)[0] for i in range(quota + 1)
+        ]
+        # The (quota+1)-th concurrent miss is delayed by a structural stall.
+        assert latencies[-1] > latencies[0]
+
+    def test_load_counters(self, hierarchy):
+        hierarchy.load(0, 1, 0x100, 0)
+        assert hierarchy.loads[0] == 1
+        assert hierarchy.l1d_misses[0] == 1
+
+
+class TestStores:
+    def test_store_allocates_line(self, hierarchy):
+        assert hierarchy.store(0, 1, 0x2000, 0) is True  # miss
+        assert hierarchy.store(0, 1, 0x2000, 1) is False  # now resident
+
+    def test_store_never_consumes_mshr(self, hierarchy):
+        for i in range(12):
+            hierarchy.store(0, 1, 0x20000 + 64 * i, 0)
+        assert hierarchy.mshrs.occupancy(0, 0) == 0
+
+
+class TestSharingAndIsolation:
+    def test_shared_l1d_threads_contend(self):
+        h = MemoryHierarchy(CoreConfig())
+        assert h.l1d[0] is h.l1d[1]
+
+    def test_private_l1d_isolates(self):
+        h = MemoryHierarchy(replace(CoreConfig(), private_l1d=True))
+        assert h.l1d[0] is not h.l1d[1]
+
+    def test_private_l1i_flag_independent(self):
+        h = MemoryHierarchy(replace(CoreConfig(), private_l1i=True))
+        assert h.l1i[0] is not h.l1i[1]
+        assert h.l1d[0] is h.l1d[1]
+
+    def test_llc_partitions_always_private(self, hierarchy):
+        assert hierarchy.llc[0] is not hierarchy.llc[1]
+
+    def test_thread_address_spaces_disjoint(self, hierarchy):
+        """Same virtual address on both threads: no accidental sharing."""
+        hierarchy.load(0, 1, 0x4000, 0)
+        __, missed = hierarchy.load(1, 1, 0x4000, 0)
+        assert missed  # thread 1 does not hit thread 0's line
+
+    def test_shared_l1_capacity_contention(self, hierarchy):
+        """Thread 1 streaming evicts thread 0's shared-L1 lines."""
+        hierarchy.load(0, 1, 0x4000, 0)
+        for i in range(3000):  # far beyond 64 KB
+            hierarchy.store(1, 2, 0x100000 + 64 * i, 0)
+        __, missed = hierarchy.load(0, 1, 0x4000, 10**6)
+        assert missed
+
+
+class TestInstructionSide:
+    def test_fetch_hit_no_delay(self, hierarchy):
+        hierarchy.install_code(0, 0x100, l1=True)
+        assert hierarchy.fetch_block(0, 0x100) == 0
+
+    def test_fetch_miss_delay(self, hierarchy):
+        delay = hierarchy.fetch_block(0, 0x40000)
+        assert delay >= hierarchy.llc_latency
+        assert hierarchy.l1i_misses[0] == 1
+
+
+class TestPrefetching:
+    def test_stream_key_triggers_prefetch(self, hierarchy):
+        misses = 0
+        for i in range(20):
+            __, missed = hierarchy.load(0, pf_key=-1, addr=0x80000 + 64 * i,
+                                        issue_cycle=i * 400)
+            misses += missed
+        assert misses <= 5  # steady-state stream hits via prefetcher
+
+    def test_positive_pc_does_not_train(self, hierarchy):
+        misses = 0
+        for i in range(20):
+            __, missed = hierarchy.load(0, pf_key=1, addr=0x80000 + 64 * i,
+                                        issue_cycle=i * 400)
+            misses += missed
+        assert misses == 20
+
+
+class TestWarmingAndStats:
+    def test_install_code_goes_to_llc(self, hierarchy):
+        hierarchy.install_code(0, 0x300)
+        delay = hierarchy.fetch_block(0, 0x300)
+        assert delay == hierarchy.llc_latency  # L1-I miss, LLC hit
+
+    def test_mlp_occupancy(self, hierarchy):
+        hierarchy.load(0, 1, 0x100, 0)
+        hierarchy.load(0, 1, 0x10000, 0)
+        assert hierarchy.mlp_occupancy(0, 1) == 2
+
+    def test_reset_stats_keeps_contents(self, hierarchy):
+        hierarchy.load(0, 1, 0x100, 0)
+        hierarchy.reset_stats()
+        assert hierarchy.l1d_misses == [0, 0]
+        __, missed = hierarchy.load(0, 1, 0x100, 500)
+        assert not missed
+
+
+class TestLLCSharing:
+    def test_partitioned_by_default(self):
+        h = MemoryHierarchy(CoreConfig())
+        assert h.llc[0] is not h.llc[1]
+
+    def test_shared_llc_option(self):
+        from repro.cpu.config import UncoreConfig
+
+        config = replace(CoreConfig(), uncore=UncoreConfig(llc_partitioned=False))
+        h = MemoryHierarchy(config)
+        assert h.llc[0] is h.llc[1]
+        assert h.llc[0].num_sets * h.llc[0].ways * 64 == 8 * 1024 * 1024
+
+    def test_shared_llc_cross_thread_contention(self):
+        from repro.cpu.config import UncoreConfig
+
+        config = replace(CoreConfig(), uncore=UncoreConfig(llc_partitioned=False))
+        h = MemoryHierarchy(config)
+        h.install_data(0, 0x4000)
+        # Thread 1 streams far past 8 MB, evicting thread 0's LLC line.
+        for i in range(8 * 1024 * 1024 // 64 + 2048):
+            h.install_data(1, 0x100000 + 64 * i)
+        latency, missed = h.load(0, 1, 0x4000, 0)
+        assert missed
+        assert latency > h.l1_hit_latency + h.llc_latency  # memory, not LLC

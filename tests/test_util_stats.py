@@ -1,0 +1,94 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.util.stats import DistributionSummary, geometric_mean, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_of_known_values(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_extremes(self):
+        data = [10, 20, 30]
+        assert percentile(data, 0) == 10
+        assert percentile(data, 100) == 30
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == pytest.approx(5.0)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 101)
+        with pytest.raises(ValueError):
+            percentile([1, 2], -1)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geometric_mean([7.5]) == pytest.approx(7.5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_less_than_arithmetic_mean(self):
+        data = [1.0, 2.0, 9.0]
+        assert geometric_mean(data) < sum(data) / len(data)
+
+
+class TestSummarize:
+    def test_five_number_summary(self):
+        s = summarize(range(1, 101))
+        assert s.n == 100
+        assert s.minimum == 1
+        assert s.maximum == 100
+        assert s.median == pytest.approx(50.5)
+        assert s.mean == pytest.approx(50.5)
+        assert s.p25 < s.median < s.p75
+
+    def test_iqr(self):
+        s = summarize([0, 0, 0, 10, 10, 10])
+        assert s.iqr == pytest.approx(s.p75 - s.p25)
+
+    def test_single_value(self):
+        s = summarize([3.0])
+        assert s.minimum == s.maximum == s.median == 3.0
+        assert s.iqr == 0.0
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_row_order(self):
+        s = summarize([1.0, 2.0, 3.0])
+        row = s.as_row()
+        assert row == [s.mean, s.minimum, s.p25, s.median, s.p75, s.maximum]
+
+    def test_str_contains_key_fields(self):
+        text = str(summarize([0.1, 0.2]))
+        assert "mean=" in text and "median=" in text
+
+    def test_frozen(self):
+        s = summarize([1.0])
+        with pytest.raises(Exception):
+            s.mean = 2.0  # type: ignore[misc]
+
+    def test_nan_free_for_finite_input(self):
+        s = summarize([0.5] * 10)
+        assert all(math.isfinite(v) for v in s.as_row())

@@ -1,0 +1,44 @@
+"""Tests for plain-text table rendering."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["h"], [["v"]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]], float_fmt=".2f")
+        assert "0.12" in text
+
+    def test_percent_formatting(self):
+        text = format_table(["v"], [[0.5]], float_fmt=".0%")
+        assert "50%" in text
+
+    def test_mixed_types(self):
+        text = format_table(["a", "b"], [[1, 0.5], ["x", 0.25]], float_fmt=".1f")
+        assert "0.5" in text and "x" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_columns_aligned(self):
+        text = format_table(["col"], [["a"], ["bbbb"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to equal width

@@ -1,0 +1,69 @@
+"""Tests for trace-vs-profile validation."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import generate_trace
+from repro.workloads.registry import all_profiles, get_profile
+from repro.workloads.validation import (
+    TraceValidationError,
+    measure_trace,
+    validate_trace,
+)
+
+
+class TestMeasure:
+    def test_fields_consistent(self):
+        trace = generate_trace(get_profile("zeusmp"), 8000, seed=2)
+        stats = measure_trace(trace)
+        assert stats.n == 8000
+        assert 0 <= stats.frac_load <= 1
+        assert 0 <= stats.frac_stream_of_mem <= 1
+        assert stats.mean_dep1_distance > 0
+        assert 0.5 <= stats.majority_direction_accuracy <= 1.0
+
+
+class TestValidate:
+    @pytest.mark.parametrize("name", ["web_search", "zeusmp", "lbm", "gamess",
+                                      "mcf", "libquantum", "perlbench"])
+    def test_generated_traces_realize_profiles(self, name):
+        profile = get_profile(name)
+        trace = generate_trace(profile, 30000, seed=7)
+        stats = validate_trace(trace, profile)
+        assert stats.n == 30000
+
+    def test_every_registered_profile_validates(self):
+        for name, profile in sorted(all_profiles().items()):
+            trace = generate_trace(profile, 12000, seed=11)
+            validate_trace(trace, profile)
+
+    def test_mismatched_profile_rejected(self):
+        """A gamess trace must not pass as lbm (streaming signature)."""
+        trace = generate_trace(get_profile("gamess"), 20000, seed=3)
+        with pytest.raises(TraceValidationError, match="streaming"):
+            validate_trace(trace, get_profile("lbm"))
+
+    def test_predictability_mismatch_detected(self):
+        profile = get_profile("gobmk")  # 0.88 predictability
+        trace = generate_trace(profile, 20000, seed=3)
+        wrong = replace(profile, branch_predictability=0.99)
+        with pytest.raises(TraceValidationError, match="predictability"):
+            validate_trace(trace, wrong)
+
+    def test_error_lists_violations(self):
+        trace = generate_trace(get_profile("gamess"), 20000, seed=3)
+        try:
+            validate_trace(trace, get_profile("lbm"))
+        except TraceValidationError as error:
+            assert error.workload == "lbm"
+            assert len(error.violations) >= 1
+        else:  # pragma: no cover
+            pytest.fail("expected TraceValidationError")
+
+    def test_structural_violations_propagate(self):
+        trace = generate_trace(get_profile("gamess"), 2000, seed=3)
+        corrupted = replace(trace, dep1=np.full(2000, -1, dtype=np.int64))
+        with pytest.raises(ValueError):
+            validate_trace(corrupted, get_profile("gamess"))

@@ -1,0 +1,47 @@
+"""Tests for plain-text violin rendering."""
+
+import pytest
+
+from repro.util.violin import render_violin, render_violin_row
+
+
+class TestRenderViolin:
+    def test_width(self):
+        assert len(render_violin([1, 2, 3], width=20)) == 20
+
+    def test_median_marker_present(self):
+        assert "|" in render_violin([1, 2, 3, 4, 5])
+
+    def test_concentration_shows_peak(self):
+        line = render_violin([0.0] * 50 + [1.0], width=10)
+        # Dense left edge, sparse right side.
+        assert line[0] in "|@%#"
+        assert line[5] == " "
+
+    def test_explicit_bounds_clip(self):
+        line = render_violin([0.5], width=10, lo=0.0, hi=1.0)
+        assert "|" in line
+
+    def test_degenerate_range(self):
+        line = render_violin([2.0, 2.0], width=10)
+        assert "|" in line
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_violin([])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_violin([1.0], width=2)
+
+
+class TestRenderViolinRow:
+    def test_contains_label_and_stats(self):
+        row = render_violin_row("batch", [0.1, 0.2, 0.3])
+        assert row.startswith("batch")
+        assert "med=+20.0%" in row
+        assert "min=+10.0%" in row and "max=+30.0%" in row
+
+    def test_custom_format(self):
+        row = render_violin_row("x", [1.0, 2.0], value_fmt=".1f")
+        assert "med=1.5" in row

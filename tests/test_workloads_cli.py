@@ -1,0 +1,41 @@
+"""Tests for the stretch-trace CLI."""
+
+import pytest
+
+from repro.workloads.cli import main
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "web_search" in out and "zeusmp" in out
+        assert len(out.strip().splitlines()) == 33
+
+
+class TestGenerateAndInfo:
+    def test_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "t.npz"
+        assert main(["generate", "mcf", "-n", "5000", "-o", str(path)]) == 0
+        assert path.exists()
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mcf (5000 µops)" in out
+        assert "LOAD" in out and "BRANCH" in out
+
+    def test_generate_unknown_workload(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["generate", "quake", "-o", str(tmp_path / "x.npz")])
+
+
+class TestCharacterize:
+    def test_characterize_runs(self, capsys):
+        assert main(["characterize", "gamess", "--samples", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "UIPC" in out and "MLP" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
