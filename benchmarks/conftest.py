@@ -6,8 +6,9 @@ much, where crossovers fall), and persists the rendered rows under
 ``benchmarks/results/`` for inspection.
 
 Fidelity comes from ``REPRO_FIDELITY`` (quick|full); simulation results are
-memoized on disk (``.repro_cache/``), so re-runs and cross-benchmark reuse
-are fast.  Benchmarks run their experiment exactly once
+memoized in the engine's content-addressed store (``.repro_cache/``), so
+re-runs and cross-benchmark reuse are fast.  Benchmarks run their experiment
+exactly once
 (``benchmark.pedantic(..., rounds=1)``) — the interesting metric is the
 experiment's wall time, not statistical timing over repeats.
 """

@@ -1,0 +1,94 @@
+"""Engine scaling benchmark: serial vs parallel wall time on a fixed grid.
+
+Runs the same simulation job grid three ways — serially in-process, through
+the process-pool engine with a cold result store, and again with a warm
+store — asserting result equivalence, and persists the wall times to
+``benchmarks/results/BENCH_engine.json`` so the perf trajectory of the
+execution engine is tracked across PRs.
+
+On a multi-core machine the parallel cold run should approach
+``min(workers, cores)``-fold speedup; on a single-core CI box it merely
+must not lose results.  The warm run must be dominated by cache hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.engine import EngineConfig, ExecutionEngine, ResultStore, SimJob
+from repro.experiments.common import config_all_shared, config_solo
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Fixed grid: 2 LS × 3 batch colocations + 6 solo references.
+GRID_LS = ("web_search", "data_serving")
+GRID_BATCH = ("gamess", "zeusmp", "lbm")
+
+
+def _grid(fidelity) -> list[SimJob]:
+    sampling = fidelity.sampling
+    shared, solo = config_all_shared(), config_solo()
+    jobs = [
+        SimJob.solo(w, solo, sampling) for w in (*GRID_LS, *GRID_BATCH)
+    ]
+    jobs += [
+        SimJob.pair(ls, batch, shared, sampling)
+        for ls in GRID_LS
+        for batch in GRID_BATCH
+    ]
+    return jobs
+
+
+def test_engine_scaling(benchmark, fidelity, tmp_path, save_result):
+    jobs = _grid(fidelity)
+    workers = min(4, os.cpu_count() or 1)
+
+    serial_store = ResultStore(tmp_path / "serial")
+    start = time.perf_counter()
+    serial = ExecutionEngine(EngineConfig(workers=1)).run_jobs(
+        jobs, store=serial_store
+    )
+    serial_s = time.perf_counter() - start
+
+    parallel_store = ResultStore(tmp_path / "parallel")
+    engine = ExecutionEngine(EngineConfig(workers=workers))
+
+    def parallel_cold():
+        return engine.run_jobs(jobs, store=parallel_store)
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(parallel_cold, rounds=1, iterations=1)
+    parallel_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = engine.run_jobs(jobs, store=parallel_store)
+    warm_s = time.perf_counter() - start
+
+    # Parallel execution is result-transparent, and the warm run is served
+    # entirely from the content-addressed store.
+    assert parallel.results == serial.results
+    assert warm.results == serial.results
+    assert serial.stats.executed == len(jobs)
+    assert parallel.stats.executed == len(jobs)
+    assert warm.stats.cache_hits == len(jobs) and warm.stats.executed == 0
+
+    payload = {
+        "fidelity": fidelity.name,
+        "grid_jobs": len(jobs),
+        "workers": workers,
+        "cpus": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel_cold_s": round(parallel_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup_cold": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "speedup_warm": round(serial_s / warm_s, 1) if warm_s else None,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_engine.json").write_text(json.dumps(payload, indent=2))
+    save_result(
+        "engine_scaling",
+        "\n".join(f"{key}: {value}" for key, value in payload.items()),
+    )

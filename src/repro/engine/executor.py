@@ -1,0 +1,331 @@
+"""Process-pool execution of simulation jobs.
+
+:class:`ExecutionEngine` schedules deduplicated, cache-missing jobs onto a
+:class:`concurrent.futures.ProcessPoolExecutor` and writes every result
+into a :class:`~repro.engine.store.ResultStore` from the parent process
+(single writer; workers only compute).  Guarantees:
+
+* **Determinism** — jobs derive all randomness from their embedded seed,
+  so pool results are bit-identical to a serial run.
+* **In-flight deduplication** — duplicate keys are coalesced before
+  submission; the store additionally coalesces concurrent in-process
+  callers.
+* **Crash resilience** — a dying worker (OOM kill, segfault, ``os._exit``)
+  breaks the pool; the engine rebuilds it and resubmits the affected jobs
+  with exponential backoff, up to ``retries`` attempts each.
+* **Timeouts** — a job exceeding ``timeout`` seconds gets its pool torn
+  down (futures cannot be cancelled once running) and is retried; innocent
+  co-scheduled jobs are resubmitted without penalty.
+* **Graceful degradation** — if a pool cannot be created at all (restricted
+  sandboxes) or keeps breaking, remaining jobs fall back to in-process
+  serial execution.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.store import ResultStore, default_store
+from repro.engine.telemetry import EngineStats
+
+__all__ = [
+    "EngineConfig",
+    "EngineReport",
+    "ExecutionEngine",
+    "JobTimeoutError",
+    "parse_workers",
+]
+
+#: Exceptions that mean "the worker process died", not "the job raised".
+_POOL_DEATH = (BrokenProcessPool, BrokenPipeError, EOFError)
+
+#: How long one ``wait()`` poll blocks; bounds timeout-detection latency.
+_POLL_SECONDS = 0.05
+
+#: Give up on process pools entirely after this many rebuilds.
+_MAX_POOL_REBUILDS = 3
+
+
+class JobTimeoutError(TimeoutError):
+    """A job exceeded the per-job timeout on every allowed attempt."""
+
+
+def parse_workers(value: str | int) -> int:
+    """Parse a ``--jobs`` value: a positive integer or ``auto`` (= CPU count)."""
+    import os
+
+    if isinstance(value, str) and value.strip().lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        workers = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"--jobs expects a positive integer or 'auto', got {value!r}")
+    if workers < 1:
+        raise ValueError(f"--jobs must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables for :class:`ExecutionEngine`."""
+
+    workers: int = 1
+    #: Per-job wall-time budget in seconds (None = unbounded).
+    timeout: float | None = None
+    #: Additional attempts after a crash/failure/timeout before giving up.
+    retries: int = 2
+    #: Base of the exponential backoff sleep between attempts, in seconds.
+    backoff: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+
+@dataclass
+class EngineReport:
+    """Outcome of one :meth:`ExecutionEngine.run_jobs` call."""
+
+    stats: EngineStats
+    #: {job key: result tuple} for every unique job.
+    results: dict[str, tuple[float, ...]] = field(default_factory=dict)
+
+
+@dataclass
+class _Attempt:
+    job: object
+    key: str
+    tries: int = 0
+    started: float = 0.0
+
+
+def _run_job(job) -> tuple[float, ...]:
+    """Worker-side entry point (module-level for picklability)."""
+    return tuple(job.run())
+
+
+class ExecutionEngine:
+    """Schedule simulation jobs across worker processes, backed by a store."""
+
+    def __init__(self, config: EngineConfig | None = None, *,
+                 pool_factory: Callable[[int], ProcessPoolExecutor] | None = None):
+        self.config = config or EngineConfig()
+        self._pool_factory = pool_factory or (
+            lambda workers: ProcessPoolExecutor(max_workers=workers)
+        )
+
+    # -- public API -----------------------------------------------------
+
+    def run_jobs(
+        self,
+        jobs,
+        store: ResultStore | None = None,
+        progress: Callable[[EngineStats], None] | None = None,
+    ) -> EngineReport:
+        """Run every job (deduplicated, cache-aware); results land in the store."""
+        store = store if store is not None else default_store()
+        stats = EngineStats(workers=self.config.workers)
+        started = time.perf_counter()
+
+        def emit() -> None:
+            stats.wall_time = time.perf_counter() - started
+            if progress is not None:
+                progress(stats)
+
+        # Deduplicate by content-addressed key (in-flight dedup across workers:
+        # one submission per key, no matter how many callers requested it).
+        unique: dict[str, object] = {}
+        for job in jobs:
+            stats.submitted += 1
+            key = job.key
+            if key in unique:
+                stats.deduplicated += 1
+            else:
+                unique[key] = job
+        stats.unique = len(unique)
+
+        report = EngineReport(stats=stats)
+        todo: list[_Attempt] = []
+        for key, job in unique.items():
+            hit = store.get(key)
+            if hit is None:
+                todo.append(_Attempt(job, key))
+            else:
+                stats.cache_hits += 1
+                report.results[key] = hit
+        emit()
+
+        if todo:
+            if self.config.workers <= 1:
+                self._run_serial(todo, store, report, emit)
+            else:
+                self._run_pool(todo, store, report, emit)
+        stats.running = 0
+        emit()
+        return report
+
+    # -- execution paths ------------------------------------------------
+
+    def _run_serial(self, todo, store, report, emit, in_process: bool = False) -> None:
+        for attempt in todo:
+            values = store.compute(attempt.job)
+            report.results[attempt.key] = values
+            report.stats.executed += 1
+            if in_process:
+                report.stats.in_process += 1
+            emit()
+
+    def _record(self, attempt: _Attempt, values, store, report, emit) -> None:
+        store.put(attempt.key, values)
+        report.results[attempt.key] = tuple(values)
+        report.stats.executed += 1
+        emit()
+
+    def _new_pool(self) -> ProcessPoolExecutor | None:
+        try:
+            return self._pool_factory(self.config.workers)
+        except Exception:
+            return None
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down hard (running futures cannot be cancelled)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _backoff(self, tries: int) -> None:
+        if self.config.backoff > 0:
+            time.sleep(min(self.config.backoff * (2 ** max(tries - 1, 0)), 2.0))
+
+    def _run_pool(self, todo, store, report, emit) -> None:
+        stats = report.stats
+        pending: deque[_Attempt] = deque(todo)
+        running: dict[Future, _Attempt] = {}
+
+        pool = self._new_pool()
+        if pool is None:
+            self._run_serial(pending, store, report, emit, in_process=True)
+            return
+
+        def requeue_running() -> None:
+            """Move every running attempt back to the queue (no penalty)."""
+            for att in running.values():
+                pending.appendleft(att)
+            running.clear()
+
+        def rebuild_pool() -> bool:
+            nonlocal pool
+            stats.pool_rebuilds += 1
+            self._kill_pool(pool)
+            requeue_running()
+            if stats.pool_rebuilds > _MAX_POOL_REBUILDS:
+                pool = None
+                return False
+            pool = self._new_pool()
+            return pool is not None
+
+        try:
+            while pending or running:
+                # Windowed submission: at most ``workers`` in flight, so a
+                # submission timestamp approximates the actual start time.
+                while pending and len(running) < self.config.workers:
+                    attempt = pending.popleft()
+                    attempt.started = time.perf_counter()
+                    try:
+                        future = pool.submit(_run_job, attempt.job)
+                    except Exception:
+                        # Pool already broken/shut down: rebuild or fall back.
+                        pending.appendleft(attempt)
+                        if not rebuild_pool():
+                            self._run_serial(
+                                pending, store, report, emit, in_process=True
+                            )
+                            return
+                        continue
+                    running[future] = attempt
+                    stats.running = len(running)
+                    emit()
+
+                done, __ = wait(
+                    set(running), timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
+                )
+                broken = False
+                for future in done:
+                    attempt = running.pop(future)
+                    stats.running = len(running)
+                    try:
+                        values = future.result()
+                    except _POOL_DEATH:
+                        broken = True
+                        attempt.tries += 1
+                        stats.crash_retries += 1
+                        if attempt.tries > self.config.retries:
+                            # Last resort: run the job in this process.
+                            stats.in_process += 1
+                            self._record(
+                                attempt, attempt.job.run(), store, report, emit
+                            )
+                        else:
+                            self._backoff(attempt.tries)
+                            pending.append(attempt)
+                    except Exception:
+                        attempt.tries += 1
+                        stats.failure_retries += 1
+                        if attempt.tries > self.config.retries:
+                            # Deterministic failure: surface the real error
+                            # from an in-process run (or its result, if the
+                            # failure was transient).
+                            stats.in_process += 1
+                            self._record(
+                                attempt, attempt.job.run(), store, report, emit
+                            )
+                        else:
+                            self._backoff(attempt.tries)
+                            pending.append(attempt)
+                    else:
+                        self._record(attempt, values, store, report, emit)
+
+                if broken and not rebuild_pool():
+                    self._run_serial(pending, store, report, emit, in_process=True)
+                    return
+
+                if self.config.timeout is not None and running:
+                    now = time.perf_counter()
+                    expired = [
+                        (future, att)
+                        for future, att in running.items()
+                        if now - att.started > self.config.timeout
+                        and not future.done()
+                    ]
+                    if expired:
+                        for future, att in expired:
+                            running.pop(future, None)
+                            att.tries += 1
+                            stats.timeouts += 1
+                            if att.tries > self.config.retries:
+                                raise JobTimeoutError(
+                                    f"job {att.key[:16]}… exceeded "
+                                    f"{self.config.timeout}s on every attempt"
+                                )
+                            pending.append(att)
+                        # Running futures cannot be cancelled; replace the pool.
+                        if not rebuild_pool():
+                            self._run_serial(
+                                pending, store, report, emit, in_process=True
+                            )
+                            return
+        finally:
+            if pool is not None:
+                self._kill_pool(pool)

@@ -1,0 +1,106 @@
+"""Hashable simulation jobs and content-addressed job keys.
+
+A :class:`SimJob` is the unit of work the execution engine schedules: one
+``solo`` or ``pair`` sampling run, fully described by workload names, a
+:class:`~repro.cpu.config.CoreConfig` and a
+:class:`~repro.cpu.sampling.SamplingConfig`.  Jobs are frozen dataclasses,
+picklable across process boundaries, and deterministic: all randomness
+derives from ``sampling.seed`` through :func:`repro.util.rng.derive_seed`,
+so the same job produces bit-identical results on any worker.
+
+The job *key* hashes the full job description — including the workload
+profile definitions, not just their names, so profile recalibrations
+invalidate stale cache entries — together with the store's cache version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.sampling import SamplingConfig, sample_colocation, sample_solo
+from repro.workloads.registry import get_profile
+
+__all__ = ["SimJob", "job_key"]
+
+_KINDS = {"solo": 1, "pair": 2}
+
+
+def job_key(
+    kind: str,
+    workloads: tuple[str, ...],
+    config: CoreConfig,
+    sampling: SamplingConfig,
+    version: int | None = None,
+) -> str:
+    """Content-address a job description (SHA-256 hex digest).
+
+    Keyed on the full profile definitions (not just names) so that profile
+    recalibrations invalidate stale entries, and on the cache version so a
+    model change invalidates everything at once.
+    """
+    if version is None:
+        from repro.engine.store import CACHE_VERSION
+
+        version = CACHE_VERSION
+    profiles = tuple(repr(get_profile(name)) for name in workloads)
+    payload = repr((version, kind, workloads, profiles, config, sampling))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One schedulable simulation: ``solo`` or ``pair`` × workloads × configs."""
+
+    kind: str
+    workloads: tuple[str, ...]
+    config: CoreConfig
+    sampling: SamplingConfig
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be 'solo' or 'pair', got {self.kind!r}")
+        if len(self.workloads) != _KINDS[self.kind]:
+            raise ValueError(
+                f"{self.kind!r} jobs take {_KINDS[self.kind]} workload(s), "
+                f"got {self.workloads!r}"
+            )
+
+    @classmethod
+    def solo(
+        cls, workload: str, config: CoreConfig, sampling: SamplingConfig
+    ) -> "SimJob":
+        """Stand-alone run of ``workload`` (one UIPC value)."""
+        return cls("solo", (workload,), config, sampling)
+
+    @classmethod
+    def pair(
+        cls, ls: str, batch: str, config: CoreConfig, sampling: SamplingConfig
+    ) -> "SimJob":
+        """Colocated run: thread 0 = ``ls``, thread 1 = ``batch`` (two values)."""
+        return cls("pair", (ls, batch), config, sampling)
+
+    @property
+    def key(self) -> str:
+        """Content-addressed key (stable across processes and sessions)."""
+        return job_key(self.kind, self.workloads, self.config, self.sampling)
+
+    def run(self) -> tuple[float, ...]:
+        """Execute the simulation and return mean UIPC per thread."""
+        if self.kind == "solo":
+            results = sample_solo(
+                get_profile(self.workloads[0]), self.config, self.sampling
+            )
+            return (sum(r.threads[0].uipc for r in results) / len(results),)
+        results = sample_colocation(
+            get_profile(self.workloads[0]),
+            get_profile(self.workloads[1]),
+            self.config,
+            self.sampling,
+        )
+        n = len(results)
+        return (
+            sum(r.threads[0].uipc for r in results) / n,
+            sum(r.threads[1].uipc for r in results) / n,
+        )

@@ -6,27 +6,26 @@
   evaluates (all-shared SMT baseline, share-one-resource-only, all-private
   ideal scheduling, dynamically shared ROB, fetch throttling, solo);
 * memoized simulation entry points (:func:`solo_uipc`, :func:`pair_uipc`)
-  with an optional on-disk cache, since many figures reuse the same baseline
-  colocation runs.
+  backed by the content-addressed result store of :mod:`repro.engine`,
+  since many figures reuse the same baseline colocation runs.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
 from dataclasses import dataclass, replace
-from pathlib import Path
 
 from repro.cpu.config import CoreConfig, PartitionPolicy
-from repro.cpu.sampling import SamplingConfig, sample_colocation, sample_solo
+from repro.cpu.sampling import SamplingConfig
+from repro.engine.job import SimJob
+from repro.engine.store import CACHE_VERSION, default_store
 from repro.workloads.cloudsuite import CLOUDSUITE_NAMES
-from repro.workloads.registry import get_profile
 from repro.workloads.spec2006 import SPEC2006_NAMES
 
 __all__ = [
     "Fidelity",
     "fidelity_from_env",
+    "CACHE_VERSION",
     "LS_WORKLOADS",
     "BATCH_WORKLOADS",
     "config_all_shared",
@@ -41,9 +40,6 @@ __all__ = [
 
 LS_WORKLOADS: tuple[str, ...] = CLOUDSUITE_NAMES
 BATCH_WORKLOADS: tuple[str, ...] = SPEC2006_NAMES
-
-#: Bump to invalidate on-disk cache entries after model changes.
-CACHE_VERSION = 10
 
 
 @dataclass(frozen=True)
@@ -64,13 +60,17 @@ class Fidelity:
                                           measure_instructions=12000, seed=seed))
 
 
-def fidelity_from_env() -> Fidelity:
-    """Read ``REPRO_FIDELITY`` (quick|full), defaulting to quick."""
+def fidelity_from_env(seed: int = 42) -> Fidelity:
+    """Read ``REPRO_FIDELITY`` (quick|full), defaulting to quick.
+
+    ``seed`` threads a command-line root seed through to the sampling
+    configuration (``stretch-repro --seed``).
+    """
     value = os.environ.get("REPRO_FIDELITY", "quick").lower()
     if value == "full":
-        return Fidelity.full()
+        return Fidelity.full(seed)
     if value == "quick":
-        return Fidelity.quick()
+        return Fidelity.quick(seed)
     raise ValueError(f"REPRO_FIDELITY must be 'quick' or 'full', got {value!r}")
 
 
@@ -162,69 +162,17 @@ def config_fetch_throttle(m: int) -> CoreConfig:
 # ----------------------------------------------------------------------
 # Memoized simulation entry points
 # ----------------------------------------------------------------------
-
-_memory_cache: dict[str, tuple[float, ...]] = {}
-
-
-def _cache_dir() -> Path | None:
-    if os.environ.get("REPRO_NO_CACHE"):
-        return None
-    root = os.environ.get("REPRO_CACHE_DIR")
-    path = Path(root) if root else Path(__file__).resolve().parents[3] / ".repro_cache"
-    try:
-        path.mkdir(parents=True, exist_ok=True)
-    except OSError:
-        return None
-    return path
-
-
-def _key(kind: str, workloads: tuple[str, ...], config: CoreConfig,
-         sampling: SamplingConfig) -> str:
-    # Keyed on the full profile definitions (not just names) so that profile
-    # recalibrations invalidate stale entries.
-    profiles = tuple(repr(get_profile(name)) for name in workloads)
-    payload = repr((CACHE_VERSION, kind, workloads, profiles, config, sampling))
-    return hashlib.sha256(payload.encode()).hexdigest()
-
-
-def _cached(key: str) -> tuple[float, ...] | None:
-    hit = _memory_cache.get(key)
-    if hit is not None:
-        return hit
-    directory = _cache_dir()
-    if directory is None:
-        return None
-    path = directory / f"{key}.json"
-    if not path.exists():
-        return None
-    try:
-        values = tuple(json.loads(path.read_text()))
-    except (ValueError, OSError):
-        return None
-    _memory_cache[key] = values
-    return values
-
-
-def _store(key: str, values: tuple[float, ...]) -> None:
-    _memory_cache[key] = values
-    directory = _cache_dir()
-    if directory is None:
-        return
-    try:
-        (directory / f"{key}.json").write_text(json.dumps(list(values)))
-    except OSError:
-        pass
+#
+# Both entry points delegate to the content-addressed result store in
+# ``repro.engine.store`` (atomic writes, corrupt-entry tolerance, in-flight
+# deduplication).  ``stretch-repro --jobs N`` pre-populates that store by
+# running each experiment's job grid on a process pool, after which these
+# calls are pure cache hits.
 
 
 def solo_uipc(workload: str, config: CoreConfig, sampling: SamplingConfig) -> float:
     """Mean stand-alone UIPC of ``workload`` under ``config`` (memoized)."""
-    key = _key("solo", (workload,), config, sampling)
-    hit = _cached(key)
-    if hit is None:
-        results = sample_solo(get_profile(workload), config, sampling)
-        hit = (sum(r.threads[0].uipc for r in results) / len(results),)
-        _store(key, hit)
-    return hit[0]
+    return default_store().compute(SimJob.solo(workload, config, sampling))[0]
 
 
 def pair_uipc(
@@ -235,16 +183,7 @@ def pair_uipc(
     Thread 0 runs the latency-sensitive workload, thread 1 the batch one,
     matching :class:`~repro.core.partitioning.PartitionScheme` orientation.
     """
-    key = _key("pair", (ls_workload, batch_workload), config, sampling)
-    hit = _cached(key)
-    if hit is None:
-        results = sample_colocation(
-            get_profile(ls_workload), get_profile(batch_workload), config, sampling
-        )
-        n = len(results)
-        hit = (
-            sum(r.threads[0].uipc for r in results) / n,
-            sum(r.threads[1].uipc for r in results) / n,
-        )
-        _store(key, hit)
-    return hit[0], hit[1]
+    values = default_store().compute(
+        SimJob.pair(ls_workload, batch_workload, config, sampling)
+    )
+    return values[0], values[1]

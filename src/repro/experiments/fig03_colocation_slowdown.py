@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.job import SimJob
 from repro.experiments.common import (
     BATCH_WORKLOADS,
     Fidelity,
@@ -25,7 +26,7 @@ from repro.util.stats import DistributionSummary, summarize
 from repro.util.tables import format_table
 from repro.util.violin import render_violin_row
 
-__all__ = ["Fig3Result", "run"]
+__all__ = ["Fig3Result", "run", "jobs"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,23 @@ class Fig3Result:
             + "\n".join(violins)
             + "\npaper: LS 14% avg / 28% max; batch 24% avg / 46% max"
         )
+
+
+def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+    """The simulation job grid behind :func:`run` (for the execution engine)."""
+    fid = fidelity or fidelity_from_env()
+    sampling = fid.sampling
+    shared, solo = config_all_shared(), config_solo()
+    grid = [
+        SimJob.solo(workload, solo, sampling)
+        for workload in (*LS_WORKLOADS, *BATCH_WORKLOADS)
+    ]
+    grid += [
+        SimJob.pair(ls, batch, shared, sampling)
+        for ls in LS_WORKLOADS
+        for batch in BATCH_WORKLOADS
+    ]
+    return grid
 
 
 def run(fidelity: Fidelity | None = None) -> Fig3Result:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.job import SimJob
 from repro.experiments.common import (
     BATCH_WORKLOADS,
     Fidelity,
@@ -27,7 +28,7 @@ from repro.experiments.common import (
 from repro.util.stats import DistributionSummary, summarize
 from repro.util.tables import format_table
 
-__all__ = ["ResourceContentionResult", "run", "RESOURCES"]
+__all__ = ["ResourceContentionResult", "run", "jobs", "RESOURCES"]
 
 RESOURCES = ("rob", "l1i", "l1d", "bp")
 _RESOURCE_LABEL = {"rob": "ROB", "l1i": "L1-I", "l1d": "L1-D", "bp": "BTB+BP"}
@@ -81,6 +82,25 @@ class ResourceContentionResult:
             f"paper: ROB sharing costs >15% for 15/29 co-runners (31% max); "
             f"Web Search loses <=12% except L1-D vs lbm"
         )
+
+
+def jobs(
+    fidelity: Fidelity | None = None, ls_workload: str = "web_search"
+) -> list[SimJob]:
+    """The simulation job grid behind :func:`run` (for the execution engine)."""
+    fid = fidelity or fidelity_from_env()
+    sampling = fid.sampling
+    solo = config_solo()
+    grid = [
+        SimJob.solo(workload, solo, sampling)
+        for workload in (ls_workload, *BATCH_WORKLOADS)
+    ]
+    grid += [
+        SimJob.pair(ls_workload, batch, config_share_only(resource), sampling)
+        for resource in RESOURCES
+        for batch in BATCH_WORKLOADS
+    ]
+    return grid
 
 
 def run(

@@ -11,15 +11,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.job import SimJob
 from repro.experiments.common import Fidelity, LS_WORKLOADS, fidelity_from_env
 from repro.experiments.fig04_resource_contention import (
     RESOURCES,
     ResourceContentionResult,
+    jobs as jobs_fig04,
     run as run_fig04,
 )
 from repro.util.tables import format_table
 
-__all__ = ["Fig5Result", "run"]
+__all__ = ["Fig5Result", "run", "jobs"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,14 @@ class Fig5Result:
             f"{self.avg_batch_slowdown('rob'):.1%} (paper: 19%), worst "
             f"{self.max_batch_slowdown('rob'):.1%} (paper: 31%)"
         )
+
+
+def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+    """The simulation job grid behind :func:`run` (for the execution engine)."""
+    fid = fidelity or fidelity_from_env()
+    return [
+        job for name in LS_WORKLOADS for job in jobs_fig04(fid, ls_workload=name)
+    ]
 
 
 def run(fidelity: Fidelity | None = None) -> Fig5Result:

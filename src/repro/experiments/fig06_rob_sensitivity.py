@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.job import SimJob
 from repro.experiments.common import (
     BATCH_WORKLOADS,
     Fidelity,
@@ -23,7 +24,7 @@ from repro.experiments.common import (
 from repro.util.chart import render_chart
 from repro.util.tables import format_table
 
-__all__ = ["Fig6Result", "run", "ROB_SIZES"]
+__all__ = ["Fig6Result", "run", "jobs", "ROB_SIZES"]
 
 ROB_SIZES = [16, 32, 48, 64, 80, 96, 112, 128, 144, 160, 176, 192]
 
@@ -66,6 +67,16 @@ class Fig6Result:
             f"{avg160:.1%} (paper: 4%); zeusmp at 96: "
             f"{self.curves[HIGHLIGHT_BATCH][96]:.1%} (paper: ~31% worst case)"
         )
+
+
+def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+    """The simulation job grid behind :func:`run` (for the execution engine)."""
+    fid = fidelity or fidelity_from_env()
+    return [
+        SimJob.solo(workload, config_solo(size), fid.sampling)
+        for workload in (*LS_WORKLOADS, *BATCH_WORKLOADS)
+        for size in ROB_SIZES
+    ]
 
 
 def run(fidelity: Fidelity | None = None) -> Fig6Result:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.partitioning import B_MODES, Q_MODES, PartitionScheme
+from repro.engine.job import SimJob
 from repro.experiments.common import (
     BATCH_WORKLOADS,
     Fidelity,
@@ -26,7 +27,7 @@ from repro.util.stats import DistributionSummary, summarize
 from repro.util.tables import format_table
 from repro.util.violin import render_violin_row
 
-__all__ = ["Fig9Result", "run", "ALL_SCHEMES"]
+__all__ = ["Fig9Result", "run", "jobs", "ALL_SCHEMES"]
 
 ALL_SCHEMES: tuple[PartitionScheme, ...] = tuple(B_MODES) + tuple(Q_MODES)
 
@@ -95,6 +96,23 @@ class Fig9Result:
             f"(paper: +7% / +18%); batch {qb.mean:+.1%} avg / {qb.minimum:+.1%} "
             f"worst (paper: -21% / -35%)"
         )
+
+
+def jobs(
+    fidelity: Fidelity | None = None,
+    schemes: tuple[PartitionScheme, ...] | None = None,
+) -> list[SimJob]:
+    """The simulation job grid behind :func:`run` (for the execution engine)."""
+    fid = fidelity or fidelity_from_env()
+    sampling = fid.sampling
+    base = config_all_shared()
+    configs = [base] + [s.apply(base) for s in (schemes or ALL_SCHEMES)]
+    return [
+        SimJob.pair(ls, batch, config, sampling)
+        for config in configs
+        for ls in LS_WORKLOADS
+        for batch in BATCH_WORKLOADS
+    ]
 
 
 def run(

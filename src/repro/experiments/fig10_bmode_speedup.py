@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.partitioning import DEFAULT_B_MODE
+from repro.engine.job import SimJob
 from repro.experiments.common import (
     BATCH_WORKLOADS,
     Fidelity,
@@ -21,7 +22,7 @@ from repro.experiments.common import (
 )
 from repro.util.tables import format_table
 
-__all__ = ["Fig10Result", "run"]
+__all__ = ["Fig10Result", "run", "jobs"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,19 @@ class Fig10Result:
             f"{table}\n"
             f"co-runners gaining >15%: {over15} (paper: at least 10 per service)"
         )
+
+
+def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+    """The simulation job grid behind :func:`run` (for the execution engine)."""
+    fid = fidelity or fidelity_from_env()
+    sampling = fid.sampling
+    base = config_all_shared()
+    return [
+        SimJob.pair(ls, batch, config, sampling)
+        for config in (base, DEFAULT_B_MODE.apply(base))
+        for ls in LS_WORKLOADS
+        for batch in BATCH_WORKLOADS
+    ]
 
 
 def run(fidelity: Fidelity | None = None) -> Fig10Result:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.job import SimJob
 from repro.experiments.common import (
     BATCH_WORKLOADS,
     Fidelity,
@@ -23,7 +24,7 @@ from repro.experiments.common import (
 from repro.util.stats import DistributionSummary, summarize
 from repro.util.tables import format_table
 
-__all__ = ["Fig11Result", "run"]
+__all__ = ["Fig11Result", "run", "jobs"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,18 @@ class Fig11Result:
             f"paper: batch -8% avg / -49% max (worst vs Data Serving, -20% avg); "
             f"LS +4% avg / +11% max"
         )
+
+
+def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+    """The simulation job grid behind :func:`run` (for the execution engine)."""
+    fid = fidelity or fidelity_from_env()
+    sampling = fid.sampling
+    return [
+        SimJob.pair(ls, batch, config, sampling)
+        for config in (config_all_shared(), config_dynamic_rob())
+        for ls in LS_WORKLOADS
+        for batch in BATCH_WORKLOADS
+    ]
 
 
 def run(fidelity: Fidelity | None = None) -> Fig11Result:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.partitioning import DEFAULT_B_MODE
+from repro.engine.job import SimJob
 from repro.experiments.common import (
     BATCH_WORKLOADS,
     Fidelity,
@@ -28,7 +29,7 @@ from repro.experiments.common import (
 )
 from repro.util.tables import format_table
 
-__all__ = ["Fig12Result", "run", "THROTTLE_RATIOS"]
+__all__ = ["Fig12Result", "run", "jobs", "THROTTLE_RATIOS"]
 
 THROTTLE_RATIOS = (2, 4, 8, 16)
 
@@ -66,6 +67,24 @@ class Fig12Result:
             for p in self.by_policy
         )
         return f"{table}\n{summary}"
+
+
+def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+    """The simulation job grid behind :func:`run` (for the execution engine)."""
+    fid = fidelity or fidelity_from_env()
+    sampling = fid.sampling
+    equal = config_all_shared()
+    configs = [equal, DEFAULT_B_MODE.apply(equal)]
+    configs += [
+        replace(config_dynamic_rob(), fetch_policy="ratio", fetch_ratio=(1, m))
+        for m in THROTTLE_RATIOS
+    ]
+    return [
+        SimJob.pair(ls, batch, config, sampling)
+        for config in configs
+        for ls in LS_WORKLOADS
+        for batch in BATCH_WORKLOADS
+    ]
 
 
 def run(fidelity: Fidelity | None = None) -> Fig12Result:

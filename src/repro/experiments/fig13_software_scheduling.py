@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.partitioning import DEFAULT_B_MODE
+from repro.engine.job import SimJob
 from repro.experiments.common import (
     BATCH_WORKLOADS,
     Fidelity,
@@ -26,7 +27,7 @@ from repro.experiments.common import (
 )
 from repro.util.tables import format_table
 
-__all__ = ["Fig13Result", "run", "POLICIES"]
+__all__ = ["Fig13Result", "run", "jobs", "POLICIES"]
 
 POLICIES = ("Ideal Software Scheduling", "Stretch", "Stretch + Ideal Software Scheduling")
 
@@ -56,6 +57,25 @@ class Fig13Result:
             f"{table}\n"
             f"paper: ideal scheduling +8%, Stretch +13%, combined +21%"
         )
+
+
+def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+    """The simulation job grid behind :func:`run` (for the execution engine)."""
+    fid = fidelity or fidelity_from_env()
+    sampling = fid.sampling
+    baseline = config_all_shared()
+    configs = [
+        baseline,
+        config_all_private(),
+        DEFAULT_B_MODE.apply(baseline),
+        DEFAULT_B_MODE.apply(config_all_private()),
+    ]
+    return [
+        SimJob.pair(ls, batch, config, sampling)
+        for config in configs
+        for ls in LS_WORKLOADS
+        for batch in BATCH_WORKLOADS
+    ]
 
 
 def run(fidelity: Fidelity | None = None) -> Fig13Result:

@@ -4,7 +4,15 @@
 
    $ stretch-repro --list
    $ stretch-repro fig01 fig02
-   $ stretch-repro all --fidelity full
+   $ stretch-repro fig09 --jobs auto          # parallel simulation engine
+   $ stretch-repro all --fidelity full --seed 7
+   $ stretch-repro gc                         # evict stale cache versions
+
+With ``--jobs N`` (or ``auto``) each experiment's simulation grid is first
+executed on a process pool through :mod:`repro.engine`, populating the
+content-addressed result store; the harness then assembles its figures from
+pure cache hits.  Parallel results are bit-identical to serial runs because
+every job derives all randomness from its embedded seed.
 """
 
 from __future__ import annotations
@@ -17,11 +25,21 @@ import sys
 import time
 from pathlib import Path
 
-from repro.experiments.common import Fidelity
+from repro.engine import EngineConfig, ExecutionEngine, default_store
+from repro.engine.executor import parse_workers
+from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.util.progress import ProgressPrinter, format_duration
 
-__all__ = ["EXPERIMENTS", "main", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "expand_experiment_names",
+    "main",
+    "resolve_fidelity",
+    "run_experiment",
+]
 
-#: Experiment id -> module implementing ``run(fidelity)``.
+#: Experiment id -> module implementing ``run(fidelity)`` (and, for the
+#: simulation-grid figures, ``jobs(fidelity)`` for the execution engine).
 EXPERIMENTS: dict[str, str] = {
     "tables": "repro.experiments.tables",
     "fig01": "repro.experiments.fig01_latency_vs_load",
@@ -58,6 +76,26 @@ def run_experiment(name: str, fidelity: Fidelity):
     return module.run(fidelity)
 
 
+def expand_experiment_names(tokens: list[str]) -> list[str]:
+    """Expand ``all`` (anywhere in the list) and deduplicate, keeping order."""
+    names: list[str] = []
+    for token in tokens:
+        if token == "all":
+            names.extend(EXPERIMENTS)
+        else:
+            names.append(token)
+    return list(dict.fromkeys(names))
+
+
+def resolve_fidelity(choice: str | None, seed: int) -> Fidelity:
+    """``--fidelity`` wins; otherwise honor ``REPRO_FIDELITY`` (quick|full)."""
+    if choice == "full":
+        return Fidelity.full(seed)
+    if choice == "quick":
+        return Fidelity.quick(seed)
+    return fidelity_from_env(seed)
+
+
 def result_to_jsonable(result) -> object:
     """Convert an experiment result into JSON-serializable data.
 
@@ -78,6 +116,34 @@ def result_to_jsonable(result) -> object:
     return str(result)
 
 
+def _warm_store(name: str, module, fidelity: Fidelity, workers: int):
+    """Pre-execute an experiment's simulation grid on the process pool."""
+    if workers == 1 or not hasattr(module, "jobs"):
+        return None
+    jobs = list(module.jobs(fidelity))
+    if not jobs:
+        return None
+    engine = ExecutionEngine(EngineConfig(workers=workers))
+    printer = ProgressPrinter(f"engine:{name}")
+    report = engine.run_jobs(
+        jobs,
+        store=default_store(),
+        progress=lambda stats: printer.update(
+            f"{stats.done}/{stats.unique} done, {stats.running} running, "
+            f"{stats.cache_hits} cached"
+        ),
+    )
+    printer.close(report.stats.summary())
+    return report
+
+
+def _jobs_arg(value: str) -> int:
+    try:
+        return parse_workers(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="stretch-repro",
@@ -86,12 +152,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiments", nargs="*",
-        help="experiment ids (e.g. fig09), or 'all'",
+        help="experiment ids (e.g. fig09), 'all', or 'gc' to evict stale "
+             "cache versions",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
-        "--fidelity", choices=("quick", "full"), default="quick",
-        help="simulation effort (default: quick)",
+        "--fidelity", choices=("quick", "full"), default=None,
+        help="simulation effort (default: $REPRO_FIDELITY, else quick)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, metavar="N",
+        help="root seed for all sampled simulations (default: 42)",
+    )
+    parser.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N|auto",
+        help="worker processes for the simulation engine (default: 1 = "
+             "serial; 'auto' = CPU count); results are bit-identical to "
+             "serial runs",
     )
     parser.add_argument(
         "--json", metavar="DIR", default=None,
@@ -106,22 +183,49 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:8s} {first}")
         return 0
 
-    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
-    fidelity = Fidelity.full() if args.fidelity == "full" else Fidelity.quick()
+    store = default_store()
+    if "gc" in args.experiments:
+        evicted = store.gc()
+        manifest = store.read_manifest()
+        print(
+            f"cache gc: evicted {evicted} stale entries; "
+            f"{manifest.get('entries', 0)} live entries at "
+            f"version {manifest.get('cache_version')}"
+        )
+        args.experiments = [n for n in args.experiments if n != "gc"]
+        if not args.experiments:
+            return 0
+
+    names = expand_experiment_names(args.experiments)
+    fidelity = resolve_fidelity(args.fidelity, args.seed)
     json_dir = Path(args.json) if args.json else None
     if json_dir:
         json_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
+        if name not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+            )
+        module = importlib.import_module(EXPERIMENTS[name])
         start = time.time()
-        result = run_experiment(name, fidelity)
+        report = _warm_store(name, module, fidelity, args.jobs)
+        result = module.run(fidelity)
         elapsed = time.time() - start
-        print(f"==== {name} ({elapsed:.1f}s) ====")
+        print(f"==== {name} ({format_duration(elapsed)}) ====")
         print(result.format())
         print()
         if json_dir:
-            payload = {"experiment": name, "fidelity": fidelity.name,
-                       "result": result_to_jsonable(result)}
+            payload = {
+                "experiment": name,
+                "fidelity": fidelity.name,
+                "seed": args.seed,
+                "jobs": args.jobs,
+                "elapsed_seconds": round(elapsed, 3),
+                "engine": report.stats.as_dict() if report else None,
+                "result": result_to_jsonable(result),
+            }
             (json_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
+    store.flush_manifest()
     return 0
 
 

@@ -1,5 +1,6 @@
-"""Shared utilities: deterministic RNG discipline, statistics, table rendering."""
+"""Shared utilities: RNG discipline, statistics, tables, progress reporting."""
 
+from repro.util.progress import ProgressPrinter, format_duration
 from repro.util.rng import SeedSequenceFactory, derive_seed
 from repro.util.stats import (
     DistributionSummary,
@@ -17,4 +18,6 @@ __all__ = [
     "percentile",
     "summarize",
     "format_table",
+    "ProgressPrinter",
+    "format_duration",
 ]

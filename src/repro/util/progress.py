@@ -1,0 +1,69 @@
+"""Terminal progress reporting for long-running sweeps.
+
+A :class:`ProgressPrinter` renders ``done/total`` counter lines, updating
+in place on a TTY and rate-limiting itself to meaningful changes
+elsewhere, so piping ``stretch-repro`` output to a file stays readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressPrinter", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Render a wall time compactly: ``850ms``, ``12.3s``, ``4m07s``."""
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rest:04.1f}s"
+
+
+class ProgressPrinter:
+    """Print ``[label] done/total ...`` lines with in-place TTY updates."""
+
+    def __init__(self, label: str, stream=None, min_interval: float = 0.5):
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._last_emit = 0.0
+        self._last_text = ""
+        self._dirty = False
+
+    @property
+    def _tty(self) -> bool:
+        try:
+            return bool(self.stream.isatty())
+        except (AttributeError, ValueError):
+            return False
+
+    def update(self, text: str, force: bool = False) -> None:
+        """Show ``text`` (rate-limited; identical lines are skipped)."""
+        now = time.monotonic()
+        if text == self._last_text:
+            return
+        if not force and now - self._last_emit < self.min_interval:
+            self._dirty = True
+            return
+        line = f"[{self.label}] {text}"
+        if self._tty:
+            self.stream.write(f"\r\x1b[2K{line}")
+        else:
+            self.stream.write(f"{line}\n")
+        self.stream.flush()
+        self._last_emit = now
+        self._last_text = text
+        self._dirty = False
+
+    def close(self, text: str | None = None) -> None:
+        """Emit the final line (always) and terminate the TTY line."""
+        if text is not None:
+            self.update(text, force=True)
+        if self._tty and self._last_text:
+            self.stream.write("\n")
+            self.stream.flush()
+        self._last_text = ""

@@ -1,0 +1,103 @@
+"""Property tests: the parallel engine is result-transparent.
+
+Running an experiment's job grid through a 4-worker process pool and then
+assembling the figure from cache hits must produce results bit-identical
+to a purely serial in-process run — the engine may only change *when and
+where* a simulation executes, never its outcome.
+
+The grids are shrunk (two batch co-runners, one LS service, two partition
+schemes) so the property check stays test-suite-sized; the full grids run
+through the same code paths via ``stretch-repro --jobs``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partitioning import B_MODES, Q_MODES
+from repro.cpu.sampling import SamplingConfig
+from repro.engine import EngineConfig, ExecutionEngine, ResultStore
+from repro.engine.store import reset_default_stores
+from repro.experiments import fig06_rob_sensitivity as fig06
+from repro.experiments import fig09_stretch_modes as fig09
+from repro.experiments.common import Fidelity
+
+LS = ("web_search",)
+BATCH = ("gamess", "zeusmp")
+SCHEMES = (B_MODES[1], Q_MODES[1])  # one B-mode, one Q-mode
+
+#: Quick-fidelity structure (2 samples, warmup + measure) at test scale.
+FIDELITY = Fidelity(
+    "quick",
+    SamplingConfig(n_samples=2, warmup_instructions=1000,
+                   measure_instructions=1200, seed=42),
+)
+
+
+@pytest.fixture
+def small_grids(monkeypatch):
+    """Shrink the experiment grids so the property test stays fast."""
+    for module in (fig06, fig09):
+        monkeypatch.setattr(module, "LS_WORKLOADS", LS)
+        monkeypatch.setattr(module, "BATCH_WORKLOADS", BATCH)
+    monkeypatch.setattr(fig06, "ROB_SIZES", [96, 192])
+    monkeypatch.setattr(fig06, "HIGHLIGHT_BATCH", "zeusmp")
+
+
+def _serial(tmp_path, monkeypatch, experiment, **kwargs):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    reset_default_stores()
+    return experiment.run(FIDELITY, **kwargs)
+
+
+def _parallel(tmp_path, monkeypatch, experiment, jobs, **kwargs):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+    reset_default_stores()
+    engine = ExecutionEngine(EngineConfig(workers=4))
+    report = engine.run_jobs(jobs)
+    result = experiment.run(FIDELITY, **kwargs)
+    return result, report
+
+
+class TestParallelSerialEquivalence:
+    def test_fig06_identical(self, tmp_path, monkeypatch, small_grids):
+        serial = _serial(tmp_path, monkeypatch, fig06)
+        jobs = fig06.jobs(FIDELITY)
+        parallel, report = _parallel(tmp_path, monkeypatch, fig06, jobs)
+        assert report.stats.executed == report.stats.unique > 0
+        # Bit-identical: dataclass equality compares every float exactly.
+        assert parallel == serial
+
+    def test_fig09_identical(self, tmp_path, monkeypatch, small_grids):
+        serial = _serial(tmp_path, monkeypatch, fig09, schemes=SCHEMES)
+        jobs = fig09.jobs(FIDELITY, schemes=SCHEMES)
+        parallel, report = _parallel(
+            tmp_path, monkeypatch, fig09, jobs, schemes=SCHEMES
+        )
+        assert report.stats.executed == report.stats.unique > 0
+        assert parallel == serial
+
+    def test_fig09_second_run_is_all_hits(self, tmp_path, monkeypatch, small_grids):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "warm"))
+        reset_default_stores()
+        engine = ExecutionEngine(EngineConfig(workers=4))
+        jobs = fig09.jobs(FIDELITY, schemes=SCHEMES)
+        cold = engine.run_jobs(jobs)
+        assert cold.stats.executed == cold.stats.unique
+        warm = engine.run_jobs(jobs)
+        assert warm.stats.cache_hits == warm.stats.unique
+        assert warm.stats.executed == 0
+        # The store round-trip preserves every value bit-exactly.
+        assert warm.results == cold.results
+
+    def test_engine_survives_memory_flush(self, tmp_path, monkeypatch, small_grids):
+        """Disk layer alone (fresh process analogue) still answers the grid."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "disk"))
+        reset_default_stores()
+        engine = ExecutionEngine(EngineConfig(workers=2))
+        jobs = fig06.jobs(FIDELITY)
+        cold = engine.run_jobs(jobs)
+        store = ResultStore(tmp_path / "disk")  # brand-new store, same dir
+        warm = engine.run_jobs(jobs, store=store)
+        assert warm.stats.cache_hits == warm.stats.unique
+        assert warm.results == cold.results

@@ -37,6 +37,12 @@ class TestFidelity:
         with pytest.raises(ValueError):
             fidelity_from_env()
 
+    def test_env_threads_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "full")
+        assert fidelity_from_env(seed=7).sampling.seed == 7
+        monkeypatch.delenv("REPRO_FIDELITY")
+        assert fidelity_from_env(seed=9).sampling.seed == 9
+
 
 class TestConfigConstructors:
     def test_all_shared_is_default(self):
@@ -89,10 +95,16 @@ class TestConfigConstructors:
 
 
 class TestMemoization:
+    """The memoized entry points delegate to the engine's result store."""
+
     @pytest.fixture(autouse=True)
     def isolated_cache(self, tmp_path, monkeypatch):
+        from repro.engine.store import reset_default_stores
+
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-        monkeypatch.setattr(common, "_memory_cache", {})
+        reset_default_stores()
+        yield
+        reset_default_stores()
 
     def _sampling(self):
         from repro.cpu.sampling import SamplingConfig
@@ -101,14 +113,16 @@ class TestMemoization:
                               measure_instructions=500, seed=2)
 
     def test_solo_memoized(self, monkeypatch):
+        import repro.engine.job as engine_job
+
         calls = {"n": 0}
-        original = common.sample_solo
+        original = engine_job.sample_solo
 
         def counting(*args, **kwargs):
             calls["n"] += 1
             return original(*args, **kwargs)
 
-        monkeypatch.setattr(common, "sample_solo", counting)
+        monkeypatch.setattr(engine_job, "sample_solo", counting)
         sampling = self._sampling()
         first = solo_uipc("gamess", config_solo(), sampling)
         second = solo_uipc("gamess", config_solo(), sampling)
@@ -116,38 +130,56 @@ class TestMemoization:
         assert calls["n"] == 1
 
     def test_disk_cache_survives_memory_flush(self, monkeypatch):
+        import repro.engine.job as engine_job
+        from repro.engine.store import default_store
+
         sampling = self._sampling()
         value = pair_uipc("web_search", "gamess", config_all_shared(), sampling)
-        monkeypatch.setattr(common, "_memory_cache", {})
+        default_store().clear_memory()
         calls = {"n": 0}
-        original = common.sample_colocation
+        original = engine_job.sample_colocation
 
         def counting(*args, **kwargs):
             calls["n"] += 1
             return original(*args, **kwargs)
 
-        monkeypatch.setattr(common, "sample_colocation", counting)
+        monkeypatch.setattr(engine_job, "sample_colocation", counting)
         assert pair_uipc("web_search", "gamess", config_all_shared(), sampling) == value
         assert calls["n"] == 0
 
     def test_no_cache_env(self, monkeypatch):
+        from repro.engine.store import default_store
+
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
-        assert common._cache_dir() is None
+        store = default_store()
+        assert store.directory is None and store.entry_dir is None
 
     def test_distinct_configs_distinct_keys(self):
+        from repro.engine.job import job_key
+
         sampling = self._sampling()
-        a = common._key("solo", ("gamess",), config_solo(), sampling)
-        b = common._key("solo", ("gamess",), config_solo(96), sampling)
+        a = job_key("solo", ("gamess",), config_solo(), sampling)
+        b = job_key("solo", ("gamess",), config_solo(96), sampling)
         assert a != b
 
     def test_key_depends_on_profile_definition(self, monkeypatch):
-        sampling = self._sampling()
-        before = common._key("solo", ("gamess",), config_solo(), sampling)
         from dataclasses import replace
 
+        import repro.engine.job as engine_job
         import repro.workloads.registry as registry
+        from repro.engine.job import job_key
 
+        sampling = self._sampling()
+        before = job_key("solo", ("gamess",), config_solo(), sampling)
         tweaked = replace(registry.get_profile("gamess"), cold_miss_frac=0.09)
-        monkeypatch.setattr(common, "get_profile", lambda name: tweaked)
-        after = common._key("solo", ("gamess",), config_solo(), sampling)
+        monkeypatch.setattr(engine_job, "get_profile", lambda name: tweaked)
+        after = job_key("solo", ("gamess",), config_solo(), sampling)
         assert before != after
+
+    def test_key_depends_on_cache_version(self):
+        from repro.engine.job import job_key
+
+        sampling = self._sampling()
+        a = job_key("solo", ("gamess",), config_solo(), sampling, version=10)
+        b = job_key("solo", ("gamess",), config_solo(), sampling, version=11)
+        assert a != b

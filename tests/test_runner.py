@@ -3,7 +3,13 @@
 import pytest
 
 from repro.experiments.common import Fidelity
-from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    expand_experiment_names,
+    main,
+    resolve_fidelity,
+    run_experiment,
+)
 
 
 class TestRegistry:
@@ -24,6 +30,47 @@ class TestRegistry:
     def test_unknown_experiment(self):
         with pytest.raises(KeyError, match="unknown experiment"):
             run_experiment("fig99", Fidelity.quick())
+
+    def test_simulation_grid_experiments_expose_jobs(self):
+        import importlib
+
+        for name in ("fig03", "fig04", "fig05", "fig06", "fig09", "fig10",
+                     "fig11", "fig12", "fig13"):
+            module = importlib.import_module(EXPERIMENTS[name])
+            assert callable(module.jobs), name
+
+
+class TestNameExpansion:
+    def test_exact_all(self):
+        assert expand_experiment_names(["all"]) == list(EXPERIMENTS)
+
+    def test_all_anywhere(self):
+        names = expand_experiment_names(["fig09", "all"])
+        assert names[0] == "fig09"
+        assert set(names) == set(EXPERIMENTS)
+        assert len(names) == len(EXPERIMENTS)  # deduplicated
+
+    def test_plain_list_preserved(self):
+        assert expand_experiment_names(["fig02", "fig01"]) == ["fig02", "fig01"]
+
+    def test_duplicates_collapse(self):
+        assert expand_experiment_names(["fig01", "fig01"]) == ["fig01"]
+
+
+class TestFidelityResolution:
+    def test_explicit_choice_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "full")
+        assert resolve_fidelity("quick", 42).name == "quick"
+
+    def test_env_honored_when_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "full")
+        assert resolve_fidelity(None, 42).name == "full"
+        monkeypatch.delenv("REPRO_FIDELITY")
+        assert resolve_fidelity(None, 42).name == "quick"
+
+    def test_seed_threaded_through(self):
+        assert resolve_fidelity("quick", 7).sampling.seed == 7
+        assert resolve_fidelity("full", 9).sampling.seed == 9
 
 
 class TestCLI:
@@ -86,3 +133,44 @@ class TestJsonExport:
         data = json.loads((tmp_path / "tables.json").read_text())
         assert data["experiment"] == "tables"
         assert "Table II" in data["result"]["tables"]["table2"]
+
+    def test_json_records_seed_and_jobs(self, tmp_path, capsys):
+        import json
+
+        assert main(["tables", "--seed", "7", "--jobs", "2",
+                     "--json", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "tables.json").read_text())
+        assert data["seed"] == 7
+        assert data["jobs"] == 2
+        assert data["fidelity"] == "quick"
+        assert "elapsed_seconds" in data
+
+
+class TestEngineCLI:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        from repro.engine.store import reset_default_stores
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        reset_default_stores()
+        yield
+        reset_default_stores()
+
+    def test_jobs_flag_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["tables", "--jobs", "zero"])
+        with pytest.raises(SystemExit):
+            main(["tables", "--jobs", "0"])
+
+    def test_gc_command(self, tmp_path, capsys):
+        from repro.engine import CACHE_VERSION, default_store
+
+        store = default_store()
+        store.put("current", (1.0,))
+        stale = store.directory / f"v{CACHE_VERSION - 1}"
+        stale.mkdir(parents=True)
+        (stale / "old.json").write_text("[1.0]")
+        assert main(["gc"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1" in out
+        assert not stale.exists()

@@ -1,0 +1,46 @@
+"""Tests for the progress-reporting utilities."""
+
+import io
+
+from repro.util.progress import ProgressPrinter, format_duration
+
+
+class TestFormatDuration:
+    def test_milliseconds(self):
+        assert format_duration(0.25) == "250ms"
+
+    def test_seconds(self):
+        assert format_duration(12.34) == "12.3s"
+
+    def test_minutes(self):
+        assert format_duration(247.0) == "4m07.0s"
+
+
+class TestProgressPrinter:
+    def test_non_tty_emits_lines(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter("engine", stream=stream, min_interval=0.0)
+        printer.update("1/3 done")
+        printer.update("2/3 done")
+        printer.close("3/3 done")
+        lines = stream.getvalue().splitlines()
+        assert lines == [
+            "[engine] 1/3 done", "[engine] 2/3 done", "[engine] 3/3 done",
+        ]
+
+    def test_identical_updates_deduplicated(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter("engine", stream=stream, min_interval=0.0)
+        printer.update("same")
+        printer.update("same")
+        assert stream.getvalue().count("same") == 1
+
+    def test_rate_limited_updates_skipped(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter("engine", stream=stream, min_interval=3600.0)
+        printer.update("first")  # emitted: first update after construction?
+        printer.update("second")  # within the interval: suppressed
+        printer.close("final")  # force-emitted
+        text = stream.getvalue()
+        assert "second" not in text
+        assert "final" in text
