@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.core.colocation import ColocationPerformance
 from repro.core.partitioning import BASELINE, PartitionScheme
 from repro.core.stretch import StretchMode
+from repro.obs.metrics import MetricsRegistry
 from repro.workloads.profiles import QoSSpec
 
 __all__ = ["SlackBudget", "AdaptiveStretchPolicy", "AdaptiveDecision"]
@@ -90,6 +91,7 @@ class AdaptiveStretchPolicy:
         performance: ColocationPerformance,
         b_modes: tuple[PartitionScheme, ...],
         safety_margin: float = 0.85,
+        metrics: MetricsRegistry | None = None,
     ):
         if not b_modes:
             raise ValueError("provision at least one B-mode")
@@ -99,6 +101,8 @@ class AdaptiveStretchPolicy:
         self.performance = performance
         self.b_modes = b_modes
         self.safety_margin = safety_margin
+        self.metrics = metrics
+        self.windows_observed = 0
         self._factors = {scheme: self._estimate_factor(scheme) for scheme in b_modes}
         self._factors[BASELINE] = performance.ls_perf_factor(StretchMode.BASELINE)
 
@@ -125,18 +129,26 @@ class AdaptiveStretchPolicy:
         """Estimated LS performance factor under ``scheme``."""
         return self._factors[scheme]
 
-    def decide(self, tail_latency_ms: float) -> AdaptiveDecision:
+    def decide(self, observation) -> AdaptiveDecision:
         """Pick the deepest scheme whose predicted tail stays within target.
 
-        On a violation the policy returns Q-mode's scheme if the measured
-        model has one (otherwise Baseline).
+        ``observation`` is a per-window sample from the observability layer
+        (anything with a ``tail_latency_ms`` attribute, e.g.
+        :class:`~repro.obs.sampler.ServiceWindowSample`) or a bare tail
+        latency in milliseconds.  On a violation the policy returns Q-mode's
+        scheme if the measured model has one (otherwise Baseline).
         """
+        tail_latency_ms = float(
+            getattr(observation, "tail_latency_ms", observation)
+        )
         if tail_latency_ms < 0:
             raise ValueError("latency cannot be negative")
         budget = SlackBudget(tail_latency_ms, self.qos.target_ms,
                              self.safety_margin)
         if tail_latency_ms > self.qos.target_ms:
-            return AdaptiveDecision(BASELINE, StretchMode.Q_MODE, budget.headroom)
+            decision = AdaptiveDecision(BASELINE, StretchMode.Q_MODE,
+                                        budget.headroom)
+            return self._record(tail_latency_ms, decision)
 
         current = self._factors[BASELINE]
         chosen = BASELINE
@@ -147,4 +159,21 @@ class AdaptiveStretchPolicy:
             else:
                 break
         mode = StretchMode.BASELINE if chosen is BASELINE else StretchMode.B_MODE
-        return AdaptiveDecision(chosen, mode, budget.headroom)
+        return self._record(
+            tail_latency_ms, AdaptiveDecision(chosen, mode, budget.headroom)
+        )
+
+    def _record(self, tail_latency_ms: float,
+                decision: AdaptiveDecision) -> AdaptiveDecision:
+        self.windows_observed += 1
+        registry = self.metrics
+        if registry is not None:
+            registry.counter("adaptive.windows").inc()
+            registry.series("adaptive.tail_latency_ms").append(
+                self.windows_observed, tail_latency_ms
+            )
+            registry.series("adaptive.headroom").append(
+                self.windows_observed, decision.headroom
+            )
+            registry.counter(f"adaptive.scheme.{decision.scheme.name}").inc()
+        return decision

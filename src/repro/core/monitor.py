@@ -12,8 +12,13 @@ service's performance slack:
 * if violations persist, it takes CPI²'s corrective action: **throttle the
   co-runner** for an interval of time.
 
-The monitor is a pure decision-making state machine: feed it one tail-latency
-observation per window, act on the returned :class:`MonitorDecision`.
+The monitor is a pure decision-making state machine: feed it one per-window
+observation — a :class:`~repro.obs.sampler.ServiceWindowSample` from the
+observability layer's :class:`~repro.obs.sampler.ServiceSampler` (or a bare
+float, still accepted everywhere) — and act on the returned
+:class:`MonitorDecision`.  When constructed with a
+:class:`~repro.obs.metrics.MetricsRegistry`, every observation and mode
+transition is mirrored into it (``monitor.*`` metrics).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.stretch import StretchMode
+from repro.obs.metrics import MetricsRegistry
 from repro.workloads.profiles import QoSSpec
 
 __all__ = [
@@ -30,6 +36,22 @@ __all__ = [
     "QueueLengthMonitorConfig",
     "QueueLengthMonitor",
 ]
+
+
+def _tail_latency_ms(observation) -> float:
+    """Read the tail latency from a window sample (or accept a bare float)."""
+    return float(getattr(observation, "tail_latency_ms", observation))
+
+
+def _queue_depth(observation) -> float:
+    """Read the mean queue depth from a window sample (or a bare float)."""
+    depth = getattr(observation, "mean_queue_depth", observation)
+    if depth is None:
+        raise ValueError(
+            "window sample carries no mean_queue_depth; feed the "
+            "QueueLengthMonitor samples from a queue-aware ServiceSampler"
+        )
+    return float(depth)
 
 
 @dataclass(frozen=True)
@@ -79,10 +101,12 @@ class StretchMonitor:
         qos: QoSSpec,
         config: MonitorConfig = MonitorConfig(),
         q_mode_available: bool = True,
+        metrics: MetricsRegistry | None = None,
     ):
         self.qos = qos
         self.config = config
         self.q_mode_available = q_mode_available
+        self.metrics = metrics
         self.mode = StretchMode.BASELINE
         self.windows_observed = 0
         self.violations = 0
@@ -95,8 +119,36 @@ class StretchMonitor:
     def throttling(self) -> bool:
         return self._throttle_remaining > 0
 
-    def observe_window(self, tail_latency_ms: float) -> MonitorDecision:
-        """Digest one monitoring window's tail latency; emit a decision."""
+    def _record(self, tail_latency_ms: float, decision: MonitorDecision) -> None:
+        registry = self.metrics
+        if registry is None:
+            return
+        registry.counter("monitor.windows").inc()
+        registry.series("monitor.tail_latency_ms").append(
+            self.windows_observed, tail_latency_ms
+        )
+        registry.series("monitor.mode").append(
+            self.windows_observed, list(StretchMode).index(decision.mode)
+        )
+        if tail_latency_ms > self.qos.target_ms:
+            registry.counter("monitor.violations").inc()
+        if decision.throttle_corunner:
+            registry.counter("monitor.throttled_windows").inc()
+
+    def observe_window(self, observation) -> MonitorDecision:
+        """Digest one monitoring window; emit a decision.
+
+        ``observation`` is a per-window sample from the observability
+        layer (anything with a ``tail_latency_ms`` attribute, e.g.
+        :class:`~repro.obs.sampler.ServiceWindowSample`) or a bare tail
+        latency in milliseconds.
+        """
+        tail_latency_ms = _tail_latency_ms(observation)
+        decision = self._observe(tail_latency_ms)
+        self._record(tail_latency_ms, decision)
+        return decision
+
+    def _observe(self, tail_latency_ms: float) -> MonitorDecision:
         if tail_latency_ms < 0:
             raise ValueError("latency cannot be negative")
         self.windows_observed += 1
@@ -198,9 +250,11 @@ class QueueLengthMonitor:
         self,
         config: QueueLengthMonitorConfig = QueueLengthMonitorConfig(),
         q_mode_available: bool = True,
+        metrics: MetricsRegistry | None = None,
     ):
         self.config = config
         self.q_mode_available = q_mode_available
+        self.metrics = metrics
         self.mode = StretchMode.BASELINE
         self.windows_observed = 0
         self.deep_queue_windows = 0
@@ -213,8 +267,26 @@ class QueueLengthMonitor:
     def throttling(self) -> bool:
         return self._throttle_remaining > 0
 
-    def observe_window(self, mean_queue_depth: float) -> MonitorDecision:
-        """Digest one window's mean queue depth; emit a decision."""
+    def observe_window(self, observation) -> MonitorDecision:
+        """Digest one window's mean queue depth; emit a decision.
+
+        ``observation`` is a per-window sample carrying
+        ``mean_queue_depth`` (e.g. a queue-aware
+        :class:`~repro.obs.sampler.ServiceWindowSample`) or a bare depth.
+        """
+        mean_queue_depth = _queue_depth(observation)
+        decision = self._observe(mean_queue_depth)
+        registry = self.metrics
+        if registry is not None:
+            registry.counter("monitor.windows").inc()
+            registry.series("monitor.queue_depth").append(
+                self.windows_observed, mean_queue_depth
+            )
+            if decision.throttle_corunner:
+                registry.counter("monitor.throttled_windows").inc()
+        return decision
+
+    def _observe(self, mean_queue_depth: float) -> MonitorDecision:
         if mean_queue_depth < 0:
             raise ValueError("queue depth cannot be negative")
         self.windows_observed += 1

@@ -24,6 +24,8 @@ from repro.core.colocation import ColocationPerformance
 from repro.core.monitor import MonitorConfig, StretchMonitor
 from repro.core.partitioning import PartitionScheme
 from repro.core.stretch import StretchMode
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import ServiceSampler
 from repro.qos.queueing import ServiceSimulator
 from repro.workloads.profiles import WorkloadProfile
 
@@ -82,6 +84,7 @@ class ColocatedServer:
         n_workers: int = 8,
         seed: int = 0,
         q_mode_available: bool = True,
+        metrics: MetricsRegistry | None = None,
     ):
         if ls_profile.qos is None:
             raise ValueError(f"{ls_profile.name!r} has no QoS contract")
@@ -93,8 +96,12 @@ class ColocatedServer:
         self.ls_profile = ls_profile
         self.performance = performance
         self.service = ServiceSimulator(ls_profile.qos, n_workers=n_workers, seed=seed)
+        # Per-window observations flow through the observability sampler so
+        # the monitor's inputs and the metrics pipeline always agree.
+        self.sampler = ServiceSampler(registry=metrics)
         self.monitor = StretchMonitor(
-            ls_profile.qos, monitor_config, q_mode_available=q_mode_available
+            ls_profile.qos, monitor_config, q_mode_available=q_mode_available,
+            metrics=metrics,
         )
 
     def run_day(
@@ -141,7 +148,8 @@ class ColocatedServer:
                     batch_uipc=batch_uipc,
                 )
             )
-            decision = self.monitor.observe_window(tail)
+            sample = self.sampler.observe(tail, load_fraction=load)
+            decision = self.monitor.observe_window(sample)
             mode = decision.mode
             throttled = decision.throttle_corunner
         return timeline
@@ -189,7 +197,8 @@ class ColocatedServer:
                     scheme=scheme.name,
                 )
             )
-            decision = policy.decide(tail)
+            sample = self.sampler.observe(tail, load_fraction=load)
+            decision = policy.decide(sample)
             scheme = decision.scheme
             mode = decision.mode
         return timeline

@@ -33,6 +33,10 @@ class FetchPolicy(ABC):
     def order(self, cycle: int, icounts: list[int]) -> tuple[int, int]:
         """Return thread indices in priority order for this cycle."""
 
+    def describe(self) -> str:
+        """Compact policy spec for telemetry (``core_window`` metadata)."""
+        return type(self).__name__.removesuffix("Policy").lower()
+
 
 class ICountPolicy(FetchPolicy):
     """Prefer the thread with fewer in-flight instructions (ties alternate)."""
@@ -72,6 +76,9 @@ class StaticRatioPolicy(FetchPolicy):
 
     def order(self, cycle: int, icounts: list[int]) -> tuple[int, int]:
         return (0, 1) if (cycle % self._period) < self.m0 else (1, 0)
+
+    def describe(self) -> str:
+        return f"ratio {self.m0}:{self.m1}"
 
 
 def make_fetch_policy(name: str, ratio: tuple[int, int] = (1, 1)) -> FetchPolicy:

@@ -9,7 +9,8 @@ run and renders them as a monospace waterfall, one µop per row:
     t1 #377 INT_ALU|    D.C                              |
 
 ``D`` marks dispatch, ``.``/``-`` the wait-for-operands and execution span,
-``C`` completion.  Reading a waterfall makes window stalls visible: under a
+``C`` completion (``*`` when both collapse onto one column at small
+scales).  Reading a waterfall makes window stalls visible: under a
 small ROB partition a long `D----...----C` load is followed by rows that
 dispatch only after it completes — the mechanism behind Figure 6.
 """
@@ -86,6 +87,10 @@ def render_waterfall(
             canvas[x] = "."
         canvas[d] = "D"
         canvas[c] = "C"
+        if d == c:
+            # Both markers land on one column at collapsed scale; a plain
+            # assignment order would silently hide the dispatch marker.
+            canvas[d] = "*"
         lines.append(
             f"t{e.thread} #{e.seq:<6} {e.op.name:<8}|{''.join(canvas)}|"
         )

@@ -25,6 +25,7 @@ from repro.cpu.isa import OpClass
 from repro.cpu.metrics import SimulationResult
 from repro.cpu.smt_core import SMTCore
 from repro.cpu.trace import Trace
+from repro.obs.sampler import attach_core_observers
 from repro.util.rng import derive_seed
 from repro.workloads.generator import MemoryMap, TraceGenerator
 from repro.workloads.profiles import WorkloadProfile
@@ -165,6 +166,8 @@ def sample_solo(
     for s in range(sampling.n_samples):
         trace, memmap = _trace_for(profile, sampling, s)
         core = SMTCore(config, (trace,))
+        attach_core_observers(core, {"kind": "solo", "workloads": [profile.name],
+                                     "sample": s})
         if sampling.checkpoint_warming:
             _checkpoint_warm(core, 0, trace, memmap, sampling, s)
         results.append(
@@ -194,6 +197,10 @@ def sample_colocation(
         trace0, memmap0 = _trace_for(profile0, sampling, s)
         trace1, memmap1 = _trace_for(profile1, sampling, s)
         core = SMTCore(config, (trace0, trace1))
+        attach_core_observers(
+            core, {"kind": "pair", "workloads": [profile0.name, profile1.name],
+                   "sample": s},
+        )
         if sampling.checkpoint_warming:
             _checkpoint_warm(core, 0, trace0, memmap0, sampling, s)
             _checkpoint_warm(core, 1, trace1, memmap1, sampling, s)

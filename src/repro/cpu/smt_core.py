@@ -27,6 +27,7 @@ intervening cycles would be idle.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter as _perf_counter
 
 from repro.cpu.config import CoreConfig, PartitionPolicy
 from repro.cpu.fetch import make_fetch_policy
@@ -117,6 +118,16 @@ class SMTCore:
         #: ``(thread, seq, op, pc, dispatch, ready, completion)`` — consumed
         #: by :mod:`repro.cpu.pipeview` for waterfall rendering.
         self.event_log: list[tuple[int, int, int, int, int, int, int]] | None = None
+        #: Optional :class:`repro.obs.sampler.IntervalSampler`: when set,
+        #: the measured phase emits per-window signal samples (UIPC,
+        #: occupancies, stall/miss breakdowns).  Detached by default — the
+        #: hot loop then pays one ``is None`` check per cycle.
+        self.sampler = None
+        #: Optional :class:`repro.obs.profiler.Profiler`: when set, the
+        #: simulation loop accumulates per-phase self-time (fetch
+        #: arbitration, dispatch, wakeup/squash, commit, clock advance).
+        self.profiler = None
+        self._sample_at: int | None = None
 
     def _effective_limits(self, config: CoreConfig) -> tuple[tuple[int, ...], tuple[int, ...]]:
         n = self.n_threads if self.n_threads == 2 else 2
@@ -214,8 +225,16 @@ class SMTCore:
         # (microarchitectural state always persists across runs).
         self._reset_measurement()
         start_cycle = self.cycle
-        self._simulate_until(instructions, max_cycles=max_cycles,
-                             require_all=require_all_threads)
+        sampler = self.sampler
+        if sampler is not None:
+            self._sample_at = sampler.begin(self)
+        try:
+            self._simulate_until(instructions, max_cycles=max_cycles,
+                                 require_all=require_all_threads)
+        finally:
+            self._sample_at = None
+            if sampler is not None:
+                sampler.finish(self)
         cycles = self.cycle - start_cycle
         return self._collect(cycles)
 
@@ -278,6 +297,17 @@ class SMTCore:
         base_committed = [ts.committed for ts in threads]
         check = all if require_all else any
         cycle = self.cycle
+
+        # Observability hooks, hoisted so the common (detached) case costs
+        # one false branch per cycle and phase.
+        sampler = self.sampler
+        sample_at = self._sample_at
+        prof = self.profiler
+        profiling = prof is not None
+        if profiling:
+            p_squash = p_commit = p_fetch = p_dispatch = p_advance = 0.0
+            p_loops = 0
+
         while True:
             done = check(
                 ts.committed - base >= target_committed
@@ -294,6 +324,8 @@ class SMTCore:
 
             committed_this = 0
             dispatched_this = 0
+            if profiling:
+                _t = _perf_counter()
 
             # ---- wrong-path squash: mispredicted branch resolved ----
             for t in range(n):
@@ -307,6 +339,8 @@ class SMTCore:
                     if ts.fe_stall_until < refill:
                         ts.fe_stall_until = refill
                     ts.squash_at = 0
+            if profiling:
+                _now = _perf_counter(); p_squash += _now - _t; _t = _now
 
             # ---- commit: round-robin first pick, shared width ----
             budget = width
@@ -322,6 +356,8 @@ class SMTCore:
                     ts.committed += 1
                     budget -= 1
                     committed_this += 1
+            if profiling:
+                _now = _perf_counter(); p_commit += _now - _t; _t = _now
 
             # ---- fetch/dispatch ----
             # Slots interleave between the threads: the policy's preferred
@@ -342,6 +378,8 @@ class SMTCore:
             branch_quota = [max_branches, max_branches]
             for t in order[:n]:
                 active[t] = threads[t].fe_stall_until <= cycle
+            if profiling:
+                _now = _perf_counter(); p_fetch += _now - _t; _t = _now
             turn = 0
             while budget and (active[0] or active[1]):
                 # Interleaved slots (ICOUNT2.X) or whole-cycle ownership
@@ -477,6 +515,8 @@ class SMTCore:
                     self.event_log.append(
                         (t, seq, op, pc, cycle, ready, completion)
                     )
+            if profiling:
+                _now = _perf_counter(); p_dispatch += _now - _t; _t = _now
 
             # ---- clock advance (with idle fast-forward) ----
             if dispatched_this == 0 and committed_this == 0:
@@ -506,5 +546,17 @@ class SMTCore:
                     occ = MLP_BUCKETS
                 mlp_hist[t][occ] += gap
             cycle = new_cycle
+            if profiling:
+                p_advance += _perf_counter() - _t
+                p_loops += 1
+            if sample_at is not None and cycle >= sample_at:
+                self.cycle = cycle
+                sample_at = sampler.take(self, cycle)
 
+        if profiling:
+            prof.add("sim.wakeup_squash", p_squash, p_loops)
+            prof.add("sim.commit", p_commit, p_loops)
+            prof.add("sim.fetch_arbitration", p_fetch, p_loops)
+            prof.add("sim.dispatch", p_dispatch, p_loops)
+            prof.add("sim.clock_advance", p_advance, p_loops)
         self.cycle = cycle

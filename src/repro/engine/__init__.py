@@ -13,10 +13,13 @@ their results durably:
   atomic writes, corrupt-entry tolerance, a manifest, and stale-version
   garbage collection;
 * :mod:`repro.engine.executor` — the process-pool executor with crash
-  retry, per-job timeouts, in-flight deduplication and graceful fallback
-  to in-process execution;
+  retry, per-job timeouts, in-flight deduplication, graceful fallback to
+  in-process execution, and optional :mod:`repro.obs` hooks (job-lifecycle
+  span tracing and phase profiling);
 * :mod:`repro.engine.telemetry` — queued/running/done counters and cache
-  hit-rate statistics surfaced through the ``stretch-repro`` CLI.
+  hit-rate statistics surfaced through the ``stretch-repro`` CLI; per-job
+  telemetry records (mode, wall seconds, attempts) additionally persist in
+  the store manifest and are rendered by ``stretch-repro inspect``.
 
 Because every job derives all of its randomness from the seed embedded in
 its ``SamplingConfig`` (via :func:`repro.util.rng.derive_seed`), results

@@ -19,6 +19,13 @@ into a :class:`~repro.engine.store.ResultStore` from the parent process
 * **Graceful degradation** — if a pool cannot be created at all (restricted
   sandboxes) or keeps breaking, remaining jobs fall back to in-process
   serial execution.
+* **Observability** — pass a :class:`~repro.obs.tracer.SpanTracer` and the
+  job lifecycle (dedupe → cache lookup → queue → execute → store write,
+  plus cache-hit and retry markers) is emitted as Chrome trace events, one
+  lane per worker slot; pass a :class:`~repro.obs.profiler.Profiler` and
+  the engine phases land in its self-time table.  Each unique job also
+  leaves a telemetry record in the store
+  (:meth:`~repro.engine.store.ResultStore.record_job_telemetry`).
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -104,6 +112,10 @@ class _Attempt:
     key: str
     tries: int = 0
     started: float = 0.0
+    #: When the attempt (re-)entered the queue, tracer microseconds.
+    enqueued_us: float = 0.0
+    #: Trace lane (``tid``) of the in-flight execution; 0 = scheduler.
+    lane: int = 0
 
 
 def _run_job(job) -> tuple[float, ...]:
@@ -120,6 +132,9 @@ class ExecutionEngine:
         self._pool_factory = pool_factory or (
             lambda workers: ProcessPoolExecutor(max_workers=workers)
         )
+        # Per-run_jobs observability hooks (run_jobs is not re-entrant).
+        self._tracer = None
+        self._profiler = None
 
     # -- public API -----------------------------------------------------
 
@@ -128,38 +143,85 @@ class ExecutionEngine:
         jobs,
         store: ResultStore | None = None,
         progress: Callable[[EngineStats], None] | None = None,
+        *,
+        tracer=None,
+        profiler=None,
     ) -> EngineReport:
-        """Run every job (deduplicated, cache-aware); results land in the store."""
+        """Run every job (deduplicated, cache-aware); results land in the store.
+
+        ``tracer`` (a :class:`~repro.obs.tracer.SpanTracer`) receives the
+        job-lifecycle spans; ``profiler`` (a
+        :class:`~repro.obs.profiler.Profiler`) accumulates per-phase self
+        time.  Both default to off with zero overhead.
+        """
         store = store if store is not None else default_store()
         stats = EngineStats(workers=self.config.workers)
         started = time.perf_counter()
+        self._tracer = tracer
+        self._profiler = profiler
+        if tracer is not None:
+            tracer.thread_name(0, "engine scheduler")
 
         def emit() -> None:
             stats.wall_time = time.perf_counter() - started
             if progress is not None:
                 progress(stats)
 
+        try:
+            return self._run(jobs, store, stats, emit)
+        finally:
+            self._tracer = None
+            self._profiler = None
+
+    def _run(self, jobs, store, stats, emit) -> EngineReport:
+        tracer = self._tracer
+        prof = self._profiler
+
         # Deduplicate by content-addressed key (in-flight dedup across workers:
         # one submission per key, no matter how many callers requested it).
+        span_start = tracer.now_us() if tracer is not None else 0.0
         unique: dict[str, object] = {}
-        for job in jobs:
-            stats.submitted += 1
-            key = job.key
-            if key in unique:
-                stats.deduplicated += 1
-            else:
-                unique[key] = job
+        with prof.section("engine.dedupe") if prof is not None else nullcontext():
+            for job in jobs:
+                stats.submitted += 1
+                key = job.key
+                if key in unique:
+                    stats.deduplicated += 1
+                else:
+                    unique[key] = job
         stats.unique = len(unique)
+        if tracer is not None:
+            tracer.complete(
+                "engine.dedupe", span_start, tracer.now_us() - span_start,
+                args={"submitted": stats.submitted, "unique": stats.unique},
+            )
 
         report = EngineReport(stats=stats)
         todo: list[_Attempt] = []
-        for key, job in unique.items():
-            hit = store.get(key)
-            if hit is None:
-                todo.append(_Attempt(job, key))
-            else:
-                stats.cache_hits += 1
-                report.results[key] = hit
+        span_start = tracer.now_us() if tracer is not None else 0.0
+        with prof.section("engine.cache_lookup") if prof is not None else nullcontext():
+            for key, job in unique.items():
+                hit = store.get(key)
+                if hit is None:
+                    todo.append(_Attempt(job, key))
+                else:
+                    stats.cache_hits += 1
+                    report.results[key] = hit
+                    store.record_job_telemetry(key, {
+                        "mode": "cache_hit", "seconds": 0.0, "tries": 0,
+                        "ts": time.time(),
+                    })
+                    if tracer is not None:
+                        tracer.instant("engine.cache_hit", args={"key": key[:16]})
+        if tracer is not None:
+            tracer.complete(
+                "engine.cache_lookup", span_start,
+                tracer.now_us() - span_start,
+                args={"hits": stats.cache_hits, "misses": len(todo)},
+            )
+            now = tracer.now_us()
+            for attempt in todo:
+                attempt.enqueued_us = now
         emit()
 
         if todo:
@@ -173,17 +235,82 @@ class ExecutionEngine:
 
     # -- execution paths ------------------------------------------------
 
+    def _close_queue_span(self, attempt: _Attempt) -> None:
+        """Emit the enqueue→submit span on the attempt's lane."""
+        tracer = self._tracer
+        if tracer is None:
+            return
+        now = tracer.now_us()
+        tracer.complete(
+            "engine.queue", attempt.enqueued_us, now - attempt.enqueued_us,
+            tid=attempt.lane, args={"key": attempt.key[:16]},
+        )
+
+    def _requeue(self, attempt: _Attempt, reason: str) -> None:
+        """Mark a retry: trace marker + fresh enqueue timestamp."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant("engine.retry", args={
+                "key": attempt.key[:16], "reason": reason, "try": attempt.tries,
+            })
+            attempt.enqueued_us = tracer.now_us()
+
     def _run_serial(self, todo, store, report, emit, in_process: bool = False) -> None:
+        tracer = self._tracer
+        prof = self._profiler
+        mode = "in_process" if in_process else "serial"
+        if tracer is not None and todo:
+            tracer.thread_name(1, "serial executor")
         for attempt in todo:
-            values = store.compute(attempt.job)
-            report.results[attempt.key] = values
-            report.stats.executed += 1
+            attempt.lane = 1
+            self._close_queue_span(attempt)
+            attempt.started = time.perf_counter()
+            span_start = tracer.now_us() if tracer is not None else 0.0
+            with prof.section("engine.execute") if prof is not None else nullcontext():
+                values = tuple(attempt.job.run())
+            if tracer is not None:
+                tracer.complete(
+                    "engine.execute", span_start, tracer.now_us() - span_start,
+                    tid=attempt.lane,
+                    args={"key": attempt.key[:16], "mode": mode},
+                )
             if in_process:
                 report.stats.in_process += 1
-            emit()
+            self._record(attempt, values, store, report, emit, mode=mode)
 
-    def _record(self, attempt: _Attempt, values, store, report, emit) -> None:
-        store.put(attempt.key, values)
+    def _execute_in_process(self, attempt: _Attempt, store, report, emit) -> None:
+        """Last-resort execution in the parent process (pool gave up)."""
+        report.stats.in_process += 1
+        attempt.lane = 0
+        attempt.started = time.perf_counter()
+        tracer = self._tracer
+        span_start = tracer.now_us() if tracer is not None else 0.0
+        values = tuple(attempt.job.run())
+        if tracer is not None:
+            tracer.complete(
+                "engine.execute", span_start, tracer.now_us() - span_start,
+                tid=0, args={"key": attempt.key[:16], "mode": "in_process"},
+            )
+        self._record(attempt, values, store, report, emit, mode="in_process")
+
+    def _record(self, attempt: _Attempt, values, store, report, emit,
+                mode: str = "pool") -> None:
+        tracer = self._tracer
+        prof = self._profiler
+        span_start = tracer.now_us() if tracer is not None else 0.0
+        with prof.section("engine.store_write") if prof is not None else nullcontext():
+            store.put(attempt.key, values)
+        if tracer is not None:
+            tracer.complete(
+                "engine.store_write", span_start, tracer.now_us() - span_start,
+                tid=attempt.lane, args={"key": attempt.key[:16]},
+            )
+        store.record_job_telemetry(attempt.key, {
+            "mode": mode,
+            "seconds": round(time.perf_counter() - attempt.started, 6),
+            "tries": attempt.tries + 1,
+            "ts": time.time(),
+        })
         report.results[attempt.key] = tuple(values)
         report.stats.executed += 1
         emit()
@@ -211,8 +338,15 @@ class ExecutionEngine:
 
     def _run_pool(self, todo, store, report, emit) -> None:
         stats = report.stats
+        tracer = self._tracer
+        prof = self._profiler
         pending: deque[_Attempt] = deque(todo)
         running: dict[Future, _Attempt] = {}
+        # One trace lane per worker slot, reused as executions finish.
+        free_lanes = list(range(self.config.workers, 0, -1))
+        if tracer is not None:
+            for lane in range(1, self.config.workers + 1):
+                tracer.thread_name(lane, f"worker-{lane}")
 
         pool = self._new_pool()
         if pool is None:
@@ -222,6 +356,9 @@ class ExecutionEngine:
         def requeue_running() -> None:
             """Move every running attempt back to the queue (no penalty)."""
             for att in running.values():
+                free_lanes.append(att.lane)
+                if tracer is not None:
+                    att.enqueued_us = tracer.now_us()
                 pending.appendleft(att)
             running.clear()
 
@@ -242,11 +379,16 @@ class ExecutionEngine:
                 # submission timestamp approximates the actual start time.
                 while pending and len(running) < self.config.workers:
                     attempt = pending.popleft()
+                    attempt.lane = free_lanes.pop() if free_lanes else 0
+                    self._close_queue_span(attempt)
                     attempt.started = time.perf_counter()
                     try:
                         future = pool.submit(_run_job, attempt.job)
                     except Exception:
                         # Pool already broken/shut down: rebuild or fall back.
+                        free_lanes.append(attempt.lane)
+                        if tracer is not None:
+                            attempt.enqueued_us = tracer.now_us()
                         pending.appendleft(attempt)
                         if not rebuild_pool():
                             self._run_serial(
@@ -265,36 +407,43 @@ class ExecutionEngine:
                 for future in done:
                     attempt = running.pop(future)
                     stats.running = len(running)
+                    free_lanes.append(attempt.lane)
                     try:
                         values = future.result()
                     except _POOL_DEATH:
                         broken = True
                         attempt.tries += 1
                         stats.crash_retries += 1
+                        self._requeue(attempt, "crash")
                         if attempt.tries > self.config.retries:
                             # Last resort: run the job in this process.
-                            stats.in_process += 1
-                            self._record(
-                                attempt, attempt.job.run(), store, report, emit
-                            )
+                            self._execute_in_process(attempt, store, report, emit)
                         else:
                             self._backoff(attempt.tries)
                             pending.append(attempt)
                     except Exception:
                         attempt.tries += 1
                         stats.failure_retries += 1
+                        self._requeue(attempt, "failure")
                         if attempt.tries > self.config.retries:
                             # Deterministic failure: surface the real error
                             # from an in-process run (or its result, if the
                             # failure was transient).
-                            stats.in_process += 1
-                            self._record(
-                                attempt, attempt.job.run(), store, report, emit
-                            )
+                            self._execute_in_process(attempt, store, report, emit)
                         else:
                             self._backoff(attempt.tries)
                             pending.append(attempt)
                     else:
+                        elapsed = time.perf_counter() - attempt.started
+                        if prof is not None:
+                            prof.add("engine.execute", elapsed)
+                        if tracer is not None:
+                            now = tracer.now_us()
+                            tracer.complete(
+                                "engine.execute", now - elapsed * 1e6,
+                                elapsed * 1e6, tid=attempt.lane,
+                                args={"key": attempt.key[:16], "mode": "pool"},
+                            )
                         self._record(attempt, values, store, report, emit)
 
                 if broken and not rebuild_pool():
@@ -312,6 +461,7 @@ class ExecutionEngine:
                     if expired:
                         for future, att in expired:
                             running.pop(future, None)
+                            free_lanes.append(att.lane)
                             att.tries += 1
                             stats.timeouts += 1
                             if att.tries > self.config.retries:
@@ -319,6 +469,7 @@ class ExecutionEngine:
                                     f"job {att.key[:16]}… exceeded "
                                     f"{self.config.timeout}s on every attempt"
                                 )
+                            self._requeue(att, "timeout")
                             pending.append(att)
                         # Running futures cannot be cancelled; replace the pool.
                         if not rebuild_pool():

@@ -15,8 +15,12 @@ The store layers:
 * in-flight deduplication for :meth:`ResultStore.compute` — concurrent
   callers of the same key block on one computation instead of duplicating
   it;
-* a ``manifest.json`` with the cache version and cumulative hit/miss/write
-  statistics, refreshed via :meth:`ResultStore.flush_manifest`;
+* a ``manifest.json`` with the cache version, cumulative hit/miss/write
+  statistics and per-job telemetry records (how each entry was produced:
+  execution mode, wall seconds, attempts — see
+  :meth:`ResultStore.record_job_telemetry`), refreshed via
+  :meth:`ResultStore.flush_manifest` and rendered by
+  ``stretch-repro inspect``;
 * :meth:`ResultStore.gc` — evicts entry directories from stale cache
   versions (and pre-engine flat-layout entries).
 """
@@ -42,6 +46,9 @@ __all__ = [
 
 #: Bump to invalidate on-disk cache entries after model changes.
 CACHE_VERSION = 10
+
+#: Most recent per-job telemetry records kept in the manifest.
+MANIFEST_JOB_LIMIT = 1000
 
 _VERSION_DIR_RE = re.compile(r"^v(\d+)$")
 
@@ -99,6 +106,9 @@ class ResultStore:
         self._memory: dict[str, tuple[float, ...]] = {}
         self._lock = threading.Lock()
         self._inflight: dict[str, threading.Event] = {}
+        #: Session-local {job key: telemetry record}, merged into the
+        #: manifest's ``jobs`` section on :meth:`flush_manifest`.
+        self.job_telemetry: dict[str, dict] = {}
 
     # -- path helpers ---------------------------------------------------
 
@@ -199,6 +209,17 @@ class ResultStore:
         """Drop the in-memory layer (keeps the disk layer)."""
         self._memory.clear()
 
+    def record_job_telemetry(self, key: str, record: dict) -> None:
+        """Attach a telemetry record to a job key (how it was produced).
+
+        Records accumulate in memory and persist into the manifest's
+        ``jobs`` section on :meth:`flush_manifest`; the executor writes one
+        per unique job (``mode``: pool/serial/in_process/cache_hit,
+        ``seconds``, ``tries``, ``ts``).  ``stretch-repro inspect`` renders
+        them next to the stored result values.
+        """
+        self.job_telemetry[key] = dict(record)
+
     # -- manifest / GC --------------------------------------------------
 
     @property
@@ -234,6 +255,17 @@ class ResultStore:
             sum(1 for __ in entry_dir.glob("*.json")) if entry_dir and entry_dir.is_dir()
             else 0
         )
+        # Per-job telemetry: merge this session's records, newest-first cap.
+        jobs = manifest.get("jobs")
+        if not isinstance(jobs, dict):
+            jobs = {}
+        jobs.update(self.job_telemetry)
+        if len(jobs) > MANIFEST_JOB_LIMIT:
+            newest = sorted(
+                jobs.items(), key=lambda kv: kv[1].get("ts", 0), reverse=True
+            )[:MANIFEST_JOB_LIMIT]
+            jobs = dict(newest)
+        manifest["jobs"] = jobs
         try:
             fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".manifest.", suffix=".tmp")
             with os.fdopen(fd, "w") as handle:
@@ -243,6 +275,7 @@ class ResultStore:
             pass
         # Reset session counters so repeated flushes do not double-count.
         self.stats = StoreStats()
+        self.job_telemetry = {}
         return manifest
 
     def gc(self) -> int:

@@ -57,6 +57,7 @@ class EngineStats:
     def as_dict(self) -> dict:
         payload = asdict(self)
         payload["done"] = self.done
+        payload["queued"] = self.queued
         payload["hit_rate"] = round(self.hit_rate, 4)
         return payload
 
@@ -77,5 +78,7 @@ class EngineStats:
             )
         if self.timeouts:
             parts.append(f"{self.timeouts} timed out")
+        if self.pool_rebuilds:
+            parts.append(f"{self.pool_rebuilds} pool rebuild(s)")
         parts.append(f"{self.wall_time:.1f}s with {self.workers} worker(s)")
         return ", ".join(parts)

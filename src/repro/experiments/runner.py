@@ -4,15 +4,29 @@
 
    $ stretch-repro --list
    $ stretch-repro fig01 fig02
-   $ stretch-repro fig09 --jobs auto          # parallel simulation engine
+   $ stretch-repro run fig09 --jobs auto      # parallel simulation engine
    $ stretch-repro all --fidelity full --seed 7
    $ stretch-repro gc                         # evict stale cache versions
+   $ stretch-repro run fig06 --trace out.trace.json --metrics out.jsonl
+   $ stretch-repro inspect                    # store + job telemetry
+   $ stretch-repro inspect 3fb2               # jobs whose key starts 3fb2
 
 With ``--jobs N`` (or ``auto``) each experiment's simulation grid is first
 executed on a process pool through :mod:`repro.engine`, populating the
 content-addressed result store; the harness then assembles its figures from
 pure cache hits.  Parallel results are bit-identical to serial runs because
 every job derives all randomness from its embedded seed.
+
+The observability flags surface :mod:`repro.obs`:
+
+* ``--trace FILE`` writes Chrome trace-event JSON (open in
+  https://ui.perfetto.dev) covering the engine job lifecycle and one span
+  per experiment;
+* ``--metrics FILE`` streams per-window core samples (JSONL, one
+  ``core_window`` object per line) from every simulated core — including
+  pool workers, which inherit the setting via the environment;
+* ``--profile`` prints a self-time table over the simulator's hot loops
+  and the engine phases.
 """
 
 from __future__ import annotations
@@ -21,6 +35,7 @@ import argparse
 import dataclasses
 import importlib
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -28,7 +43,11 @@ from pathlib import Path
 from repro.engine import EngineConfig, ExecutionEngine, default_store
 from repro.engine.executor import parse_workers
 from repro.experiments.common import Fidelity, fidelity_from_env
-from repro.util.progress import ProgressPrinter, format_duration
+from repro.obs.profiler import active_profiler, disable_profiling, enable_profiling
+from repro.obs.sampler import METRICS_ENV
+from repro.obs.tracer import SpanTracer
+from repro.util.progress import ProgressPrinter, format_duration, format_rate
+from repro.util.tables import format_table
 
 __all__ = [
     "EXPERIMENTS",
@@ -116,9 +135,16 @@ def result_to_jsonable(result) -> object:
     return str(result)
 
 
-def _warm_store(name: str, module, fidelity: Fidelity, workers: int):
-    """Pre-execute an experiment's simulation grid on the process pool."""
-    if workers == 1 or not hasattr(module, "jobs"):
+def _warm_store(name: str, module, fidelity: Fidelity, workers: int,
+                tracer: SpanTracer | None = None, profiler=None):
+    """Pre-execute an experiment's simulation grid through the engine.
+
+    Runs whenever the experiment module exposes ``jobs(fidelity)`` — with
+    one worker the grid executes serially (same work, now with engine
+    telemetry and tracing); with more it lands on the process pool.  The
+    subsequent ``module.run()`` then assembles figures from cache hits.
+    """
+    if not hasattr(module, "jobs"):
         return None
     jobs = list(module.jobs(fidelity))
     if not jobs:
@@ -130,8 +156,11 @@ def _warm_store(name: str, module, fidelity: Fidelity, workers: int):
         store=default_store(),
         progress=lambda stats: printer.update(
             f"{stats.done}/{stats.unique} done, {stats.running} running, "
-            f"{stats.cache_hits} cached"
+            f"{stats.cache_hits} cached, "
+            f"{format_rate(stats.done, stats.wall_time)}"
         ),
+        tracer=tracer,
+        profiler=profiler,
     )
     printer.close(report.stats.summary())
     return report
@@ -144,7 +173,89 @@ def _jobs_arg(value: str) -> int:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _inspect_main(argv: list[str]) -> int:
+    """``stretch-repro inspect``: result store + per-job telemetry."""
+    parser = argparse.ArgumentParser(
+        prog="stretch-repro inspect",
+        description="Inspect the content-addressed result store: cumulative "
+                    "cache statistics and the per-job telemetry records the "
+                    "engine leaves in the manifest.",
+    )
+    parser.add_argument(
+        "key", nargs="?", default=None,
+        help="job key prefix: show matching telemetry records and stored "
+             "result values",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=15, metavar="N",
+        help="recent jobs to list in the summary view (default: 15)",
+    )
+    args = parser.parse_args(argv)
+
+    store = default_store()
+    manifest = store.read_manifest()
+    jobs = manifest.get("jobs")
+    if not isinstance(jobs, dict):
+        jobs = {}
+
+    if args.key:
+        matches = sorted(
+            ((k, v) for k, v in jobs.items() if k.startswith(args.key)),
+            key=lambda kv: -kv[1].get("ts", 0),
+        )
+        if not matches:
+            print(f"no job telemetry matching key prefix {args.key!r}")
+            return 1
+        for key, record in matches:
+            print(key)
+            print(
+                f"  mode={record.get('mode')}  tries={record.get('tries')}  "
+                f"seconds={record.get('seconds')}"
+            )
+            values = store.get(key)
+            if values is not None:
+                shown = ", ".join(f"{v:g}" for v in values[:8])
+                more = f", … ({len(values)} values)" if len(values) > 8 else ""
+                print(f"  values=({shown}{more})")
+        return 0
+
+    print(f"cache dir:     {store.directory or '(memory only)'}")
+    print(
+        f"cache version: v{manifest.get('cache_version', store.version)}, "
+        f"{manifest.get('entries', 0)} entries on disk"
+    )
+    print(
+        f"lifetime:      {manifest.get('hits', 0)} hits, "
+        f"{manifest.get('misses', 0)} misses, "
+        f"{manifest.get('writes', 0)} writes, "
+        f"{manifest.get('corrupt_entries', 0)} corrupt"
+    )
+    if jobs:
+        recent = sorted(jobs.items(), key=lambda kv: -kv[1].get("ts", 0))
+        rows = [
+            [key[:16] + "…", record.get("mode", "?"),
+             record.get("tries", 0), f"{record.get('seconds', 0.0):.3f}s"]
+            for key, record in recent[: args.limit]
+        ]
+        print()
+        print(format_table(
+            ["job key", "mode", "tries", "seconds"], rows,
+            title=f"Recent jobs ({min(len(recent), args.limit)} of {len(recent)})",
+        ))
+    else:
+        print("no per-job telemetry recorded yet (run an experiment first)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "inspect":
+        return _inspect_main(argv[1:])
+    if argv and argv[0] == "run":
+        # Explicit subcommand form: ``stretch-repro run fig06 …``.
+        argv = argv[1:]
+
     parser = argparse.ArgumentParser(
         prog="stretch-repro",
         description="Regenerate the tables and figures of the Stretch paper "
@@ -174,6 +285,21 @@ def main(argv: list[str] | None = None) -> int:
         "--json", metavar="DIR", default=None,
         help="also write each result as DIR/<experiment>.json",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write Chrome trace-event JSON (engine job lifecycle + one "
+             "span per experiment); view at https://ui.perfetto.dev",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="stream per-window core samples to FILE as JSONL "
+             "(one core_window object per line; workers append too)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile simulator hot loops and engine phases; prints a "
+             "self-time table at exit",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -201,30 +327,70 @@ def main(argv: list[str] | None = None) -> int:
     json_dir = Path(args.json) if args.json else None
     if json_dir:
         json_dir.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        if name not in EXPERIMENTS:
-            raise KeyError(
-                f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+
+    # Observability setup.  The metrics sink and profiler flag travel via
+    # the environment so pool workers inherit them; both are restored on
+    # exit so library callers of main() do not leak state.
+    tracer = SpanTracer() if args.trace else None
+    saved_metrics_env = os.environ.get(METRICS_ENV)
+    profiling_was_on = active_profiler() is not None
+    if args.metrics:
+        metrics_path = Path(args.metrics).resolve()
+        metrics_path.write_text("")  # truncate; runs append line-by-line
+        os.environ[METRICS_ENV] = str(metrics_path)
+    profiler = enable_profiling() if args.profile else active_profiler()
+
+    try:
+        for name in names:
+            if name not in EXPERIMENTS:
+                raise KeyError(
+                    f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+                )
+            module = importlib.import_module(EXPERIMENTS[name])
+            start = time.time()
+            span_start = tracer.now_us() if tracer is not None else 0.0
+            report = _warm_store(name, module, fidelity, args.jobs,
+                                 tracer=tracer, profiler=profiler)
+            result = module.run(fidelity)
+            elapsed = time.time() - start
+            if tracer is not None:
+                tracer.complete(
+                    f"experiment:{name}", span_start,
+                    tracer.now_us() - span_start, cat="experiment",
+                    args={"fidelity": fidelity.name, "seed": args.seed},
+                )
+            print(f"==== {name} ({format_duration(elapsed)}) ====")
+            print(result.format())
+            print()
+            if json_dir:
+                payload = {
+                    "experiment": name,
+                    "fidelity": fidelity.name,
+                    "seed": args.seed,
+                    "jobs": args.jobs,
+                    "elapsed_seconds": round(elapsed, 3),
+                    "engine": report.stats.as_dict() if report else None,
+                    "result": result_to_jsonable(result),
+                }
+                (json_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
+    finally:
+        if args.metrics:
+            if saved_metrics_env is None:
+                os.environ.pop(METRICS_ENV, None)
+            else:
+                os.environ[METRICS_ENV] = saved_metrics_env
+        if args.profile and not profiling_was_on:
+            table = profiler.self_time_table() if profiler else ""
+            disable_profiling()
+            if table:
+                print(table)
+        if tracer is not None:
+            count = tracer.write(args.trace)
+            print(
+                f"trace: {count} events -> {args.trace} "
+                f"(open in https://ui.perfetto.dev)"
             )
-        module = importlib.import_module(EXPERIMENTS[name])
-        start = time.time()
-        report = _warm_store(name, module, fidelity, args.jobs)
-        result = module.run(fidelity)
-        elapsed = time.time() - start
-        print(f"==== {name} ({format_duration(elapsed)}) ====")
-        print(result.format())
-        print()
-        if json_dir:
-            payload = {
-                "experiment": name,
-                "fidelity": fidelity.name,
-                "seed": args.seed,
-                "jobs": args.jobs,
-                "elapsed_seconds": round(elapsed, 3),
-                "engine": report.stats.as_dict() if report else None,
-                "result": result_to_jsonable(result),
-            }
-            (json_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
+
     store.flush_manifest()
     return 0
 

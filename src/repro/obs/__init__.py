@@ -1,0 +1,77 @@
+"""Unified observability: metrics, tracing and profiling for the stack.
+
+The reproduction's Stretch monitor is itself an observability argument —
+it extends CPI² by watching per-window performance signals to drive ROB/LSQ
+repartitioning — and this package gives the surrounding system the same
+kind of visibility:
+
+* :mod:`repro.obs.metrics` — a metrics registry (counters, gauges,
+  histograms, windowed time series) with near-zero overhead when disabled;
+* :mod:`repro.obs.sampler` — interval sampling: per-window UIPC, ROB/LSQ
+  occupancy, stall breakdowns and miss rates from :class:`SMTCore` runs
+  (:class:`IntervalSampler`), and the typed per-window service
+  observations the Stretch monitors consume (:class:`ServiceSampler`);
+* :mod:`repro.obs.tracer` — a span tracer emitting Chrome trace-event
+  JSON (Perfetto-viewable) for the engine job lifecycle and, via
+  :func:`pipeline_trace`, the SMT pipeline's µop interleaving;
+* :mod:`repro.obs.profiler` — scoped wall-time timers around the
+  simulator and engine hot loops, rendered as a self-time table.
+
+Everything is surfaced through ``stretch-repro run --trace/--metrics/
+--profile`` and ``stretch-repro inspect``; see docs/API.md §Observability.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    TimeSeries,
+    get_registry,
+    set_registry,
+)
+from repro.obs.profiler import (
+    Profiler,
+    active_profiler,
+    disable_profiling,
+    enable_profiling,
+)
+from repro.obs.sampler import (
+    DEFAULT_WINDOW_CYCLES,
+    METRICS_ENV,
+    IntervalSampler,
+    JsonlSink,
+    ServiceSampler,
+    ServiceWindowSample,
+    ThreadWindow,
+    WindowSample,
+    attach_core_observers,
+)
+from repro.obs.tracer import SpanTracer, pipeline_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_WINDOW_CYCLES",
+    "Gauge",
+    "Histogram",
+    "IntervalSampler",
+    "JsonlSink",
+    "METRICS_ENV",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Profiler",
+    "ServiceSampler",
+    "ServiceWindowSample",
+    "SpanTracer",
+    "ThreadWindow",
+    "TimeSeries",
+    "WindowSample",
+    "active_profiler",
+    "attach_core_observers",
+    "disable_profiling",
+    "enable_profiling",
+    "get_registry",
+    "pipeline_trace",
+    "set_registry",
+]

@@ -1,0 +1,260 @@
+"""Metrics registry: counters, gauges, histograms, windowed time series.
+
+The registry is the reproduction's single metrics namespace.  Every
+instrument is looked up by name (``registry.counter("engine.executed")``)
+and records plain Python numbers; :meth:`MetricsRegistry.collect` snapshots
+everything as JSON-able dicts and :meth:`MetricsRegistry.write_jsonl`
+streams one metric per line.
+
+**Near-zero overhead when disabled** is a design requirement (the default
+registry ships disabled): a disabled registry hands out one shared
+:class:`NullInstrument` whose mutators are no-ops, so instrumented code
+pays one attribute call per event and allocates nothing.  Hot loops that
+cannot afford even that (the SMT core's cycle loop) should instead check
+their hook attribute for ``None`` — see :mod:`repro.obs.sampler`.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from collections import deque
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "NullInstrument",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events, retries, violations)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (occupancy, mode)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Bucketed distribution of observations (latencies, span durations).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    overflow bucket catches everything beyond the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    #: Default bounds, sized for millisecond latencies.
+    DEFAULT_BOUNDS = (0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+    def __init__(self, name: str, bounds: tuple[float, ...] | None = None):
+        bounds = tuple(bounds) if bounds is not None else self.DEFAULT_BOUNDS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "bounds": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+        }
+
+
+class TimeSeries:
+    """A windowed series of ``(t, value)`` points (per-window UIPC, tail).
+
+    Bounded by ``max_points``: the oldest points fall off, so a long-running
+    server keeps a sliding window rather than growing without bound.
+    """
+
+    __slots__ = ("name", "points")
+
+    def __init__(self, name: str, max_points: int = 4096):
+        if max_points < 1:
+            raise ValueError("max_points must be positive")
+        self.name = name
+        self.points: deque[tuple[float, float]] = deque(maxlen=max_points)
+
+    def append(self, t: float, value: float) -> None:
+        self.points.append((t, value))
+
+    def values(self) -> list[float]:
+        return [v for __, v in self.points]
+
+    @property
+    def last(self) -> float | None:
+        return self.points[-1][1] if self.points else None
+
+    def mean(self) -> float:
+        return sum(v for __, v in self.points) / len(self.points) if self.points else 0.0
+
+    def snapshot(self) -> dict:
+        return {"type": "series", "points": [list(p) for p in self.points]}
+
+
+class NullInstrument:
+    """Shared no-op stand-in for every instrument type (disabled registry)."""
+
+    __slots__ = ()
+
+    name = "null"
+    value = 0
+    count = 0
+    points: tuple = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def append(self, t: float, value: float) -> None:
+        pass
+
+    def values(self) -> list[float]:
+        return []
+
+    def snapshot(self) -> dict:
+        return {"type": "null"}
+
+
+_NULL = NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments, one namespace per process (or per experiment)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter | NullInstrument:
+        return self._typed(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge | NullInstrument:
+        return self._typed(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None
+    ) -> Histogram | NullInstrument:
+        return self._typed(name, Histogram, lambda: Histogram(name, bounds))
+
+    def series(self, name: str, max_points: int = 4096) -> TimeSeries | NullInstrument:
+        return self._typed(name, TimeSeries, lambda: TimeSeries(name, max_points))
+
+    def _typed(self, name: str, cls: type, factory):
+        if not self.enabled:
+            return _NULL
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def collect(self) -> dict[str, dict]:
+        """Snapshot every instrument as JSON-able data, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def write_jsonl(self, stream) -> int:
+        """Write one ``{"metric": name, ...}`` JSON line per instrument."""
+        written = 0
+        for name, payload in self.collect().items():
+            stream.write(json.dumps({"metric": name, **payload}) + "\n")
+            written += 1
+        return written
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation helper)."""
+        self._instruments.clear()
+
+
+#: Immutable disabled registry: every instrument lookup is the shared no-op.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+_default_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (disabled unless someone enables it)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` as the process default (None = disabled null)."""
+    global _default_registry
+    _default_registry = registry if registry is not None else NULL_REGISTRY
+    return _default_registry

@@ -10,7 +10,7 @@ from __future__ import annotations
 import sys
 import time
 
-__all__ = ["ProgressPrinter", "format_duration"]
+__all__ = ["ProgressPrinter", "format_duration", "format_rate"]
 
 
 def format_duration(seconds: float) -> str:
@@ -21,6 +21,16 @@ def format_duration(seconds: float) -> str:
         return f"{seconds:.1f}s"
     minutes, rest = divmod(seconds, 60.0)
     return f"{int(minutes)}m{rest:04.1f}s"
+
+
+def format_rate(count: int, seconds: float) -> str:
+    """Render a throughput compactly: ``12.4/s``, ``0.8/s``, ``3.1/min``."""
+    if seconds <= 0 or count <= 0:
+        return "-/s"
+    per_second = count / seconds
+    if per_second >= 0.5:
+        return f"{per_second:.1f}/s"
+    return f"{per_second * 60:.1f}/min"
 
 
 class ProgressPrinter:

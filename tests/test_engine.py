@@ -238,6 +238,37 @@ class TestResultStore:
         # flush resets session counters: a third flush adds nothing.
         assert store.flush_manifest()["writes"] == 2
 
+    def test_manifest_persists_job_telemetry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.record_job_telemetry(
+            "k1", {"mode": "pool", "seconds": 1.5, "tries": 1, "ts": 100.0}
+        )
+        manifest = store.flush_manifest()
+        assert manifest["jobs"]["k1"]["mode"] == "pool"
+        # Records survive across sessions and merge with new ones.
+        fresh = ResultStore(tmp_path)
+        fresh.record_job_telemetry(
+            "k2", {"mode": "serial", "seconds": 0.5, "tries": 1, "ts": 200.0}
+        )
+        merged = fresh.flush_manifest()
+        assert set(merged["jobs"]) == {"k1", "k2"}
+        # Flushing resets the session-local records (no double merge).
+        assert fresh.job_telemetry == {}
+
+    def test_manifest_job_records_capped_newest_first(self, tmp_path):
+        from repro.engine.store import MANIFEST_JOB_LIMIT
+
+        store = ResultStore(tmp_path)
+        for i in range(MANIFEST_JOB_LIMIT + 10):
+            store.record_job_telemetry(
+                f"k{i:04d}", {"mode": "pool", "seconds": 0.0, "tries": 1,
+                              "ts": float(i)}
+            )
+        jobs = store.flush_manifest()["jobs"]
+        assert len(jobs) == MANIFEST_JOB_LIMIT
+        assert "k0000" not in jobs  # oldest dropped
+        assert f"k{MANIFEST_JOB_LIMIT + 9:04d}" in jobs
+
 
 class TestEngineSerial:
     def test_dedup_and_hits(self, tmp_path):
@@ -359,9 +390,15 @@ class TestTelemetry:
         assert stats.hit_rate == 0.4
         payload = stats.as_dict()
         assert payload["done"] == 7 and payload["hit_rate"] == 0.4
+        assert payload["queued"] == 1  # derived field exported too
 
     def test_summary_mentions_key_counts(self):
         stats = EngineStats(workers=3, unique=5, cache_hits=2, executed=3,
                             deduplicated=1, crash_retries=1, wall_time=1.25)
         text = stats.summary()
         assert "5 jobs" in text and "2 cached" in text and "retried" in text
+        assert "pool rebuild" not in text
+
+    def test_summary_reports_pool_rebuilds(self):
+        stats = EngineStats(workers=3, unique=5, executed=5, pool_rebuilds=2)
+        assert "2 pool rebuild(s)" in stats.summary()

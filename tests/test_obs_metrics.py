@@ -1,0 +1,144 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullInstrument,
+    TimeSeries,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge("x")
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 0.9, 5.0, 100.0):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.min == 0.5 and h.max == 100.0
+        assert h.mean == pytest.approx(106.4 / 4)
+
+    def test_boundary_is_inclusive(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.bucket_counts == [1, 0, 0]
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("lat", bounds=(5.0, 1.0))
+
+    def test_empty_snapshot(self):
+        snap = Histogram("lat").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+
+class TestTimeSeries:
+    def test_appends_in_order(self):
+        s = TimeSeries("uipc")
+        s.append(0, 1.0)
+        s.append(1, 2.0)
+        assert s.values() == [1.0, 2.0]
+        assert s.last == 2.0
+        assert s.mean() == 1.5
+
+    def test_sliding_window(self):
+        s = TimeSeries("uipc", max_points=3)
+        for i in range(5):
+            s.append(i, float(i))
+        assert s.values() == [2.0, 3.0, 4.0]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", max_points=0)
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert len(r) == 1
+
+    def test_type_mismatch_rejected(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError, match="is a Counter"):
+            r.gauge("a")
+
+    def test_disabled_registry_hands_out_shared_null(self):
+        r = MetricsRegistry(enabled=False)
+        null = r.counter("a")
+        assert isinstance(null, NullInstrument)
+        assert r.series("b") is null
+        null.inc()
+        null.append(0, 1.0)  # all mutators are no-ops
+        assert len(r) == 0
+
+    def test_collect_sorted(self):
+        r = MetricsRegistry()
+        r.counter("z.late").inc()
+        r.gauge("a.early").set(2.0)
+        snap = r.collect()
+        assert list(snap) == ["a.early", "z.late"]
+        assert snap["z.late"] == {"type": "counter", "value": 1}
+
+    def test_write_jsonl(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(2)
+        r.series("s").append(0, 1.0)
+        buf = io.StringIO()
+        assert r.write_jsonl(buf) == 2
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert {line["metric"] for line in lines} == {"c", "s"}
+
+    def test_reset(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.reset()
+        assert len(r) == 0
+        assert r.counter("c").value == 0
+
+
+class TestDefaultRegistry:
+    def test_default_is_disabled_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+    def test_install_and_restore(self):
+        mine = MetricsRegistry()
+        try:
+            assert set_registry(mine) is mine
+            assert get_registry() is mine
+        finally:
+            set_registry(None)
+        assert get_registry() is NULL_REGISTRY

@@ -67,3 +67,26 @@ class TestRender:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             render_waterfall([])
+
+    def test_collapsed_scale_keeps_dispatch_visible(self):
+        # A short op inside a long window collapses its D and C onto one
+        # column; the combined glyph must appear instead of C silently
+        # overwriting D.
+        events = [
+            PipeEvent(thread=0, seq=0, op=OpClass.LOAD, pc=0,
+                      dispatch=0, ready=0, completion=10_000),
+            PipeEvent(thread=0, seq=1, op=OpClass.INT_ALU, pc=4,
+                      dispatch=5_000, ready=5_000, completion=5_001),
+        ]
+        text = render_waterfall(events, width=40)
+        short_row = text.splitlines()[2]
+        assert "*" in short_row
+        assert "C" not in short_row and "D" not in short_row
+
+    def test_distinct_columns_keep_both_markers(self):
+        events = [
+            PipeEvent(thread=0, seq=0, op=OpClass.LOAD, pc=0,
+                      dispatch=0, ready=2, completion=30),
+        ]
+        row = render_waterfall(events, width=40).splitlines()[1]
+        assert "D" in row and "C" in row and "*" not in row

@@ -174,3 +174,125 @@ class TestEngineCLI:
         out = capsys.readouterr().out
         assert "evicted 1" in out
         assert not stale.exists()
+
+
+@pytest.fixture
+def fake_experiment(monkeypatch):
+    """Install a cheap experiment ('fakeexp') with a two-job grid."""
+    import sys
+    import types
+
+    class _Result:
+        def format(self):
+            return "fake experiment output"
+
+    class _Job:
+        def __init__(self, n):
+            self.n = n
+            self.key = f"{n:02d}" + "f" * 62
+
+        def run(self):
+            return (float(self.n),)
+
+    module = types.ModuleType("fake_experiment_module")
+    module.__doc__ = "Fake experiment for CLI tests."
+    module.jobs = lambda fidelity=None: [_Job(0), _Job(1)]
+    module.run = lambda fidelity=None: _Result()
+    monkeypatch.setitem(sys.modules, "fake_experiment_module", module)
+    monkeypatch.setitem(EXPERIMENTS, "fakeexp", "fake_experiment_module")
+    return module
+
+
+class TestObservabilityCLI:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        from repro.engine.store import reset_default_stores
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        reset_default_stores()
+        yield
+        reset_default_stores()
+
+    def test_run_subcommand_alias(self, fake_experiment, capsys):
+        assert main(["run", "fakeexp"]) == 0
+        assert "fake experiment output" in capsys.readouterr().out
+
+    def test_json_reports_engine_stats(self, fake_experiment, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "json"
+        assert main(["fakeexp", "--json", str(out_dir)]) == 0
+        cold = json.loads((out_dir / "fakeexp.json").read_text())
+        assert cold["engine"]["executed"] == 2
+        assert cold["engine"]["cache_hits"] == 0
+        # Warm rerun: the whole grid answers from the store.
+        assert main(["fakeexp", "--json", str(out_dir)]) == 0
+        warm = json.loads((out_dir / "fakeexp.json").read_text())
+        assert warm["engine"]["executed"] == 0
+        assert warm["engine"]["cache_hits"] == 2
+        assert warm["engine"]["hit_rate"] == 1.0
+
+    def test_trace_flag_writes_valid_chrome_trace(
+        self, fake_experiment, tmp_path, capsys
+    ):
+        import json
+
+        trace_path = tmp_path / "out.trace.json"
+        assert main(["run", "fakeexp", "--trace", str(trace_path)]) == 0
+        trace = json.loads(trace_path.read_text())
+        assert "traceEvents" in trace
+        spans = {e["name"] for e in trace["traceEvents"] if e.get("ph") == "X"}
+        for phase in ("engine.dedupe", "engine.cache_lookup", "engine.queue",
+                      "engine.execute", "engine.store_write"):
+            assert phase in spans, phase
+        assert "experiment:fakeexp" in spans
+        assert "trace:" in capsys.readouterr().out
+
+    def test_metrics_flag_truncates_and_restores_env(
+        self, fake_experiment, tmp_path, capsys, monkeypatch
+    ):
+        import os
+
+        from repro.obs.sampler import METRICS_ENV
+
+        metrics_path = tmp_path / "metrics.jsonl"
+        metrics_path.write_text("stale line\n")
+        monkeypatch.delenv(METRICS_ENV, raising=False)
+        assert main(["fakeexp", "--metrics", str(metrics_path)]) == 0
+        assert "stale line" not in metrics_path.read_text()
+        assert METRICS_ENV not in os.environ  # restored after the run
+
+    def test_profile_flag_prints_self_time_table(
+        self, fake_experiment, capsys, monkeypatch
+    ):
+        import os
+
+        from repro.obs.profiler import PROFILE_ENV
+
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        assert main(["fakeexp", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Self-time profile" in out
+        assert "engine.execute" in out
+        assert PROFILE_ENV not in os.environ  # profiling disabled again
+
+    def test_inspect_summary_lists_recent_jobs(self, fake_experiment, capsys):
+        assert main(["fakeexp"]) == 0
+        capsys.readouterr()
+        assert main(["inspect"]) == 0
+        out = capsys.readouterr().out
+        assert "cache dir:" in out
+        assert "Recent jobs" in out
+        assert "serial" in out
+
+    def test_inspect_key_prefix_shows_values(self, fake_experiment, capsys):
+        assert main(["fakeexp"]) == 0
+        capsys.readouterr()
+        assert main(["inspect", "01f"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=serial" in out
+        assert "values=(1)" in out
+
+    def test_inspect_unknown_prefix_fails(self, capsys):
+        assert main(["inspect", "nope"]) == 1
+        assert "no job telemetry" in capsys.readouterr().out
