@@ -1,0 +1,61 @@
+"""Correctness harness for the timing model (``repro.check``).
+
+The optimized :class:`~repro.cpu.smt_core.SMTCore` hot loop (ring-buffer
+dataflow, idle fast-forward, slot interleaving) is what every figure in the
+reproduction stands on, so this package gives it three independent oracles:
+
+* :mod:`repro.check.invariants` — an :class:`InvariantChecker` attachable to
+  a core (``core.checker = InvariantChecker()``) that asserts per-cycle
+  conservation laws: ROB/LSQ usage-register accounting, monotonic clock,
+  trace-cursor progress, MSHR quotas.  Zero-cost when detached.
+* :mod:`repro.check.reference` — :class:`ReferenceCore`, a deliberately
+  simple cycle-by-cycle re-implementation of the dual-thread timing model
+  (no ring masks, no idle fast-forward) that must produce **bit-identical**
+  :class:`~repro.cpu.metrics.SimulationResult`\\ s.
+* :mod:`repro.check.differential` — seeded random sweeps through both cores
+  (``stretch-repro check``), the regression gate for every future hot-path
+  optimization.
+* :mod:`repro.check.metamorphic` — paper-derived relations between runs
+  (ROB-partition monotonicity, co-runner interference direction, Stretch
+  mode ordering) that hold regardless of absolute UIPC values.
+
+Set ``REPRO_CHECK=1`` (or pass ``--check`` to ``stretch-repro``) and every
+core built by the sampling entry points — including engine pool workers —
+gets an invariant checker attached automatically.
+"""
+
+from repro.check.differential import (
+    DifferentialCase,
+    SweepReport,
+    build_cases,
+    compare_results,
+    differential_sweep,
+    run_case,
+)
+from repro.check.invariants import CHECK_ENV, InvariantChecker, InvariantViolation
+from repro.check.metamorphic import (
+    RelationReport,
+    check_corunner_never_helps,
+    check_mode_ordering,
+    check_rob_monotonicity,
+    run_metamorphic_suite,
+)
+from repro.check.reference import ReferenceCore
+
+__all__ = [
+    "CHECK_ENV",
+    "DifferentialCase",
+    "InvariantChecker",
+    "InvariantViolation",
+    "ReferenceCore",
+    "RelationReport",
+    "SweepReport",
+    "build_cases",
+    "check_corunner_never_helps",
+    "check_mode_ordering",
+    "check_rob_monotonicity",
+    "compare_results",
+    "differential_sweep",
+    "run_case",
+    "run_metamorphic_suite",
+]

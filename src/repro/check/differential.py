@@ -1,0 +1,238 @@
+"""Differential oracle: seeded config sweeps through both core implementations.
+
+Runs the same (workloads, core configuration, instruction budget) through
+:class:`~repro.cpu.smt_core.SMTCore` and
+:class:`~repro.check.reference.ReferenceCore` and demands **bit-identical**
+:class:`~repro.cpu.metrics.SimulationResult`\\ s — every counter, cycle count
+and histogram bucket.  Because the two cores share the microarchitectural
+components and differ only in the scheduling loop, any mismatch localizes a
+bug to the optimized hot path (ring-buffer dataflow, idle fast-forward,
+slot interleaving) or to the reference itself.
+
+The sweep dimensions cover what the paper's experiments exercise: solo and
+colocated runs, partitioned/shared ROB-LSQ with skewed splits, all three
+fetch policies, private/shared L1s and branch predictor, prefetcher on/off,
+and mid-run ``set_partitions`` mode switches (the drain path).
+
+Entry points: :func:`differential_sweep` (used by ``stretch-repro check``
+and the CI smoke) and :func:`run_case`/:func:`compare_results` for tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.check.invariants import InvariantChecker
+from repro.check.reference import ReferenceCore
+from repro.cpu.config import CoreConfig, PartitionPolicy
+from repro.cpu.metrics import SimulationResult
+from repro.cpu.smt_core import SMTCore
+from repro.obs.metrics import get_registry
+from repro.workloads.generator import generate_trace
+from repro.workloads.registry import all_profiles, get_profile
+
+__all__ = [
+    "DifferentialCase",
+    "SweepReport",
+    "build_cases",
+    "compare_results",
+    "differential_sweep",
+    "run_case",
+]
+
+#: ROB splits the sweep draws from (thread0, thread1); all sum to <= 192.
+_ROB_SPLITS = ((96, 96), (56, 136), (136, 56), (32, 160), (160, 32), (64, 64))
+
+#: Safety net so a pathological case fails loudly instead of hanging.
+_MAX_CYCLES = 2_000_000
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One seeded configuration to push through both cores."""
+
+    case_id: int
+    workloads: tuple[str, ...]
+    trace_seeds: tuple[int, ...]
+    trace_length: int
+    config: CoreConfig
+    warmup: int
+    measure: int
+    require_all: bool
+    #: Optional mid-run mode switch: (rob_limits, lsq_limits) applied via
+    #: ``set_partitions`` between two measured windows (exercises the
+    #: drain path).  Only generated for two-thread partitioned cases.
+    mode_switch: tuple[tuple[int, int], tuple[int, int]] | None = None
+
+    def describe(self) -> str:
+        parts = [
+            "+".join(self.workloads),
+            f"rob={self.config.rob_limits}"
+            if self.config.rob_policy is PartitionPolicy.PARTITIONED
+            else "rob=shared",
+            self.config.fetch_policy,
+        ]
+        if self.mode_switch is not None:
+            parts.append(f"switch->{self.mode_switch[0]}")
+        return f"case {self.case_id}: " + " ".join(parts)
+
+
+@dataclass
+class SweepReport:
+    """Outcome of a differential sweep."""
+
+    total: int = 0
+    mismatches: list[str] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return self.total - len(self.mismatches) - len(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.errors
+
+    def summary(self) -> str:
+        return (
+            f"{self.passed}/{self.total} cases bit-identical, "
+            f"{len(self.mismatches)} mismatches, {len(self.errors)} errors"
+        )
+
+
+def build_cases(
+    n: int, seed: int = 0, profiles: tuple[str, ...] | None = None
+) -> list[DifferentialCase]:
+    """Generate ``n`` seeded random configurations for the sweep."""
+    rng = random.Random(seed)
+    names = tuple(profiles) if profiles is not None else tuple(sorted(all_profiles()))
+    cases = []
+    for case_id in range(n):
+        pair = rng.random() < 0.75
+        workloads = tuple(rng.choice(names) for _ in range(2 if pair else 1))
+        trace_seeds = tuple(rng.randrange(1 << 30) for _ in workloads)
+
+        config = CoreConfig(
+            fetch_policy=rng.choice(("icount", "icount", "round_robin", "ratio")),
+            fetch_ratio=(1, rng.randint(1, 4)),
+            private_l1i=rng.random() < 0.25,
+            private_l1d=rng.random() < 0.25,
+            private_bp=rng.random() < 0.25,
+            enable_prefetcher=rng.random() < 0.75,
+        )
+        shared = pair and rng.random() < 0.15
+        if shared:
+            config = replace(config, rob_policy=PartitionPolicy.SHARED)
+        else:
+            config = config.with_rob_partition(*rng.choice(_ROB_SPLITS))
+
+        mode_switch = None
+        if pair and not shared and rng.random() < 0.2:
+            rob = rng.choice(_ROB_SPLITS)
+            switched = config.with_rob_partition(*rob)
+            mode_switch = (switched.rob_limits, switched.lsq_limits)
+
+        cases.append(
+            DifferentialCase(
+                case_id=case_id,
+                workloads=workloads,
+                trace_seeds=trace_seeds,
+                trace_length=rng.randrange(2000, 5000),
+                config=config,
+                warmup=rng.choice((0, 200, 400)),
+                measure=rng.randrange(200, 500),
+                require_all=pair and rng.random() < 0.5,
+                mode_switch=mode_switch,
+            )
+        )
+    return cases
+
+
+def compare_results(a: SimulationResult, b: SimulationResult) -> list[str]:
+    """Field-by-field exact comparison; returns human-readable differences."""
+    diffs = []
+    if a.cycles != b.cycles:
+        diffs.append(f"cycles: {a.cycles} != {b.cycles}")
+    for x, y in zip(a.threads, b.threads):
+        for name in x.__dataclass_fields__:
+            va, vb = getattr(x, name), getattr(y, name)
+            if va != vb:
+                diffs.append(f"thread {x.thread} {name}: {va!r} != {vb!r}")
+    return diffs
+
+
+def _make_core(cls, case: DifferentialCase, check_invariants: bool):
+    traces = tuple(
+        generate_trace(get_profile(name), case.trace_length, seed=s)
+        for name, s in zip(case.workloads, case.trace_seeds)
+    )
+    core = cls(case.config, traces)
+    if check_invariants:
+        core.checker = InvariantChecker()
+    return core
+
+
+def run_case(
+    case: DifferentialCase, check_invariants: bool = False
+) -> list[str]:
+    """Run one case through both cores; return the list of differences."""
+    diffs = []
+    results = {}
+    for key, cls in (("smt", SMTCore), ("ref", ReferenceCore)):
+        core = _make_core(cls, case, check_invariants)
+        windows = [
+            core.run(
+                case.measure,
+                warmup_instructions=case.warmup,
+                max_cycles=_MAX_CYCLES,
+                require_all_threads=case.require_all,
+            )
+        ]
+        if case.mode_switch is not None:
+            core.set_partitions(*case.mode_switch)
+            windows.append(
+                core.run(
+                    case.measure,
+                    max_cycles=_MAX_CYCLES,
+                    require_all_threads=case.require_all,
+                )
+            )
+        results[key] = (windows, core.cycle)
+
+    smt_windows, smt_cycle = results["smt"]
+    ref_windows, ref_cycle = results["ref"]
+    for i, (ra, rb) in enumerate(zip(smt_windows, ref_windows)):
+        for diff in compare_results(ra, rb):
+            prefix = f"window {i} " if len(smt_windows) > 1 else ""
+            diffs.append(prefix + diff)
+    if smt_cycle != ref_cycle:
+        diffs.append(f"final core cycle: {smt_cycle} != {ref_cycle}")
+    return diffs
+
+
+def differential_sweep(
+    cases: list[DifferentialCase],
+    check_invariants: bool = False,
+    progress=None,
+) -> SweepReport:
+    """Run every case; report mismatches via the metrics registry and return."""
+    registry = get_registry()
+    ran = registry.counter("check.differential.cases")
+    failed = registry.counter("check.differential.mismatches")
+    report = SweepReport()
+    for case in cases:
+        report.total += 1
+        ran.inc()
+        try:
+            diffs = run_case(case, check_invariants=check_invariants)
+        except Exception as exc:  # noqa: BLE001 - survey must see every case
+            failed.inc()
+            report.errors.append(f"{case.describe()}: {type(exc).__name__}: {exc}")
+            continue
+        if diffs:
+            failed.inc()
+            report.mismatches.append(f"{case.describe()}: " + "; ".join(diffs))
+        if progress is not None:
+            progress(case, diffs)
+    return report

@@ -124,6 +124,35 @@ class MSHRFile:
         self._expire(thread, now)
         return len(self._inflight[thread])
 
+    def occupancy_segments(
+        self, thread: int, start: int, end: int
+    ) -> list[tuple[int, int]]:
+        """Piecewise-constant occupancy over ``[start, end)``.
+
+        Returns ``(cycles, occupancy)`` spans whose lengths sum to
+        ``end - start``, splitting at every fill that retires inside the
+        window.  This is what lets the core's idle fast-forward account MLP
+        per cycle exactly as a cycle-by-cycle loop would, instead of
+        weighting the occupancy at ``start`` by the whole gap.
+        """
+        if end <= start:
+            return []
+        self._expire(thread, start)
+        fills = sorted(self._inflight[thread].values())
+        occupancy = len(fills)
+        prev = start
+        segments: list[tuple[int, int]] = []
+        for fill in fills:
+            if fill >= end:
+                break
+            if fill > prev:
+                segments.append((fill - prev, occupancy))
+                prev = fill
+            occupancy -= 1
+        if end > prev:
+            segments.append((end - prev, occupancy))
+        return segments
+
     def total_occupancy(self, now: int) -> int:
         return sum(self.occupancy(t, now) for t in range(self.n_threads))
 

@@ -95,7 +95,13 @@ class PartitionedResource:
         self._limits = list(limits)
 
     def reset_stats(self) -> None:
-        self.peak_usage = [0] * len(self._limits)
+        """Open a new measurement window.
+
+        Peaks reset to the *current* usage registers, not zero: a window
+        opened while entries are in flight must never report a peak below
+        the occupancy it can already see.
+        """
+        self.peak_usage = list(self._usage)
 
     def __repr__(self) -> str:
         usage = ",".join(str(u) for u in self._usage)

@@ -14,7 +14,8 @@ Implements the simulated core of the paper's §V-A:
   thread's front end after the 12-cycle flush penalty;
 * **commit** retires up to 6 µops per cycle in order, round-robin between
   threads (the selected thread commits first, the other takes leftover
-  bandwidth), freeing ROB/LSQ entries.
+  bandwidth), freeing ROB/LSQ entries.  The fetch policy makes one selection
+  per cycle that governs both commit priority and dispatch-slot ownership.
 
 The model is cycle-approximate rather than cycle-accurate (DESIGN.md §4):
 issue-queue scheduling is folded into the dataflow ready times, and
@@ -127,6 +128,12 @@ class SMTCore:
         #: simulation loop accumulates per-phase self-time (fetch
         #: arbitration, dispatch, wakeup/squash, commit, clock advance).
         self.profiler = None
+        #: Optional :class:`repro.check.invariants.InvariantChecker`: when
+        #: set, per-cycle conservation laws (ROB/LSQ accounting, monotonic
+        #: clock, trace-cursor progress, MSHR quotas) are verified after
+        #: every simulated cycle.  Detached by default — one ``is None``
+        #: check per cycle, like ``sampler`` and ``profiler``.
+        self.checker = None
         self._sample_at: int | None = None
 
     def _effective_limits(self, config: CoreConfig) -> tuple[tuple[int, ...], tuple[int, ...]]:
@@ -179,7 +186,13 @@ class SMTCore:
                     if next_event is None or head < next_event:
                         next_event = head
             if any(ts.rob_q for ts in self._threads):
-                self.cycle = max(self.cycle + 1, next_event if next_event else self.cycle + 1)
+                # ``is not None``, not truthiness: an event at cycle 0 is a
+                # legitimate event, not "no event".
+                self.cycle = (
+                    max(self.cycle + 1, next_event)
+                    if next_event is not None
+                    else self.cycle + 1
+                )
 
     def _commit_one(self, ts: _ThreadState) -> None:
         __, is_mem = ts.rob_q.popleft()
@@ -271,6 +284,30 @@ class SMTCore:
             )
         return SimulationResult(cycles=cycles, threads=tuple(results))
 
+    def _earliest_event(self, cycle: int) -> int | None:
+        """Earliest future cycle at which any thread can make progress.
+
+        Considers in-flight completions (ROB heads), front-end refills and
+        pending wrong-path squashes.  Returns ``None`` when nothing is
+        pending.  A return of ``0`` is a real event (cycle 0), which is why
+        callers must test ``is not None`` rather than truthiness.
+        """
+        next_event = None
+        for ts in self._threads:
+            if ts.rob_q:
+                head = ts.rob_q[0][0]
+                if next_event is None or head < next_event:
+                    next_event = head
+            if ts.fe_stall_until > cycle:
+                ev = ts.fe_stall_until
+                if next_event is None or ev < next_event:
+                    next_event = ev
+            if ts.squash_at > cycle:
+                ev = ts.squash_at
+                if next_event is None or ev < next_event:
+                    next_event = ev
+        return next_event
+
     def _simulate_until(
         self, target_committed: int, max_cycles: int | None, require_all: bool = False
     ) -> None:
@@ -302,6 +339,7 @@ class SMTCore:
         # one false branch per cycle and phase.
         sampler = self.sampler
         sample_at = self._sample_at
+        checker = self.checker
         prof = self.profiler
         profiling = prof is not None
         if profiling:
@@ -342,9 +380,18 @@ class SMTCore:
             if profiling:
                 _now = _perf_counter(); p_squash += _now - _t; _t = _now
 
-            # ---- commit: round-robin first pick, shared width ----
+            # ---- thread selection ----
+            # One policy decision per cycle, made on the start-of-cycle
+            # usage registers, governs both commit priority and dispatch
+            # slot ownership ("the selected thread commits first", §V-A).
+            if n == 2:
+                order = policy_order(cycle, [rob.usage(0), rob.usage(1)])
+            else:
+                order = (0, 0)
+
+            # ---- commit: policy-selected thread first, shared width ----
             budget = width
-            first = cycle & 1 if n == 2 else 0
+            first = order[0]
             for t in (first, 1 - first)[:n]:
                 ts = threads[t]
                 q = ts.rob_q
@@ -365,10 +412,6 @@ class SMTCore:
             # holder cannot use falls through to the other thread.  This
             # models concurrent per-cycle fetch/rename of both threads
             # (ICOUNT2.X-style) rather than strict whole-width priority.
-            if n == 2:
-                order = policy_order(cycle, [rob.usage(0), rob.usage(1)])
-            else:
-                order = (0, 0)
             budget = width
             slots_alu = int_alus
             slots_mul = int_muls
@@ -520,32 +563,53 @@ class SMTCore:
 
             # ---- clock advance (with idle fast-forward) ----
             if dispatched_this == 0 and committed_this == 0:
-                next_event = None
-                for ts in threads:
-                    if ts.rob_q:
-                        head = ts.rob_q[0][0]
-                        if next_event is None or head < next_event:
-                            next_event = head
-                    if ts.fe_stall_until > cycle:
-                        ev = ts.fe_stall_until
-                        if next_event is None or ev < next_event:
-                            next_event = ev
-                    if ts.squash_at > cycle:
-                        ev = ts.squash_at
-                        if next_event is None or ev < next_event:
-                            next_event = ev
-                new_cycle = max(cycle + 1, next_event) if next_event else cycle + 1
+                next_event = self._earliest_event(cycle)
+                # ``is not None``, not truthiness: an enabling event at
+                # cycle 0 is a legitimate event, not "no event".
+                new_cycle = (
+                    max(cycle + 1, next_event)
+                    if next_event is not None
+                    else cycle + 1
+                )
             else:
                 new_cycle = cycle + 1
 
-            # MLP accounting: weight the occupancy at this cycle by the gap.
             gap = new_cycle - cycle
-            for t in range(n):
-                occ = mshrs.occupancy(t, cycle)
-                if occ > MLP_BUCKETS:
-                    occ = MLP_BUCKETS
-                mlp_hist[t][occ] += gap
+            if gap == 1:
+                # MLP accounting: occupancy sampled once per cycle.
+                for t in range(n):
+                    occ = mshrs.occupancy(t, cycle)
+                    if occ > MLP_BUCKETS:
+                        occ = MLP_BUCKETS
+                    mlp_hist[t][occ] += 1
+            else:
+                # Idle fast-forward: account the skipped cycles exactly as a
+                # cycle-by-cycle loop would.  MSHR occupancy drops at every
+                # fill retiring inside the gap, so the histogram is built
+                # from event-boundary segments rather than weighting the
+                # occupancy at the gap start by the whole gap.  Dispatch
+                # stalls recur every skipped cycle: a thread blocked on a
+                # full ROB/LSQ partition at the gap start stays blocked (no
+                # commit, squash or front-end event fires before gap end).
+                skipped = gap - 1
+                for t in range(n):
+                    for span, occ in mshrs.occupancy_segments(t, cycle, new_cycle):
+                        if occ > MLP_BUCKETS:
+                            occ = MLP_BUCKETS
+                        mlp_hist[t][occ] += span
+                    ts = threads[t]
+                    if ts.fe_stall_until > cycle or ts.squash_at > cycle:
+                        continue
+                    if not rob.can_allocate(t):
+                        ts.stall_rob += skipped
+                    else:
+                        op = ts.cursor.op[ts.cursor.index]
+                        if (op == _OP_LOAD or op == _OP_STORE) and not lsq.can_allocate(t):
+                            ts.stall_lsq += skipped
             cycle = new_cycle
+            if checker is not None:
+                self.cycle = cycle
+                checker.on_cycle(self, cycle)
             if profiling:
                 p_advance += _perf_counter() - _t
                 p_loops += 1

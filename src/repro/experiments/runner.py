@@ -8,6 +8,8 @@
    $ stretch-repro all --fidelity full --seed 7
    $ stretch-repro gc                         # evict stale cache versions
    $ stretch-repro run fig06 --trace out.trace.json --metrics out.jsonl
+   $ stretch-repro run fig06 --check          # per-cycle invariant checking
+   $ stretch-repro check --configs 200        # differential oracle sweep
    $ stretch-repro inspect                    # store + job telemetry
    $ stretch-repro inspect 3fb2               # jobs whose key starts 3fb2
 
@@ -27,6 +29,13 @@ The observability flags surface :mod:`repro.obs`:
   pool workers, which inherit the setting via the environment;
 * ``--profile`` prints a self-time table over the simulator's hot loops
   and the engine phases.
+
+The correctness harness (:mod:`repro.check`) surfaces in two places:
+``--check`` attaches a per-cycle :class:`InvariantChecker` to every core —
+including those built inside pool workers, via ``REPRO_CHECK=1`` in the
+inherited environment — and the ``check`` subcommand sweeps seeded random
+configurations through the ``SMTCore`` vs ``ReferenceCore`` differential
+oracle (optionally plus the metamorphic relation suite).
 """
 
 from __future__ import annotations
@@ -44,7 +53,7 @@ from repro.engine import EngineConfig, ExecutionEngine, default_store
 from repro.engine.executor import parse_workers
 from repro.experiments.common import Fidelity, fidelity_from_env
 from repro.obs.profiler import active_profiler, disable_profiling, enable_profiling
-from repro.obs.sampler import METRICS_ENV
+from repro.obs.sampler import CHECK_ENV, METRICS_ENV
 from repro.obs.tracer import SpanTracer
 from repro.util.progress import ProgressPrinter, format_duration, format_rate
 from repro.util.tables import format_table
@@ -247,11 +256,72 @@ def _inspect_main(argv: list[str]) -> int:
     return 0
 
 
+def _check_main(argv: list[str]) -> int:
+    """``stretch-repro check``: differential oracle + metamorphic relations."""
+    parser = argparse.ArgumentParser(
+        prog="stretch-repro check",
+        description="Validate the optimized SMT core against the unoptimized "
+                    "ReferenceCore on seeded random configurations "
+                    "(bit-identical results required), with per-cycle "
+                    "invariant checking attached to every run.",
+    )
+    parser.add_argument(
+        "--configs", type=int, default=200, metavar="N",
+        help="number of seeded random configurations to sweep (default: 200)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="root seed for configuration generation (default: 0)",
+    )
+    parser.add_argument(
+        "--no-invariants", action="store_true",
+        help="skip attaching the per-cycle invariant checker (faster)",
+    )
+    parser.add_argument(
+        "--metamorphic", action="store_true",
+        help="also run the metamorphic relation suite (ROB monotonicity, "
+             "co-runner direction, mode ordering)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.check import build_cases, differential_sweep, run_metamorphic_suite
+
+    start = time.time()
+    printer = ProgressPrinter("check:differential")
+    cases = build_cases(args.configs, seed=args.seed)
+    done = 0
+
+    def progress(case, diffs) -> None:
+        nonlocal done
+        done += 1
+        printer.update(f"{done}/{len(cases)} cases, "
+                       f"{format_rate(done, time.time() - start)}")
+
+    report = differential_sweep(
+        cases, check_invariants=not args.no_invariants, progress=progress
+    )
+    printer.close(report.summary())
+    for line in report.mismatches + report.errors:
+        print(f"  FAIL {line}")
+
+    failed = not report.ok
+    if args.metamorphic:
+        for relation in run_metamorphic_suite(seed=args.seed or 7):
+            print(relation.summary())
+            if not relation.holds:
+                failed = True
+    print(f"check: {'FAILED' if failed else 'ok'} "
+          f"({format_duration(time.time() - start)})")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "inspect":
         return _inspect_main(argv[1:])
+    if argv and argv[0] == "check":
+        return _check_main(argv[1:])
     if argv and argv[0] == "run":
         # Explicit subcommand form: ``stretch-repro run fig06 …``.
         argv = argv[1:]
@@ -300,6 +370,11 @@ def main(argv: list[str] | None = None) -> int:
         help="profile simulator hot loops and engine phases; prints a "
              "self-time table at exit",
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="attach the per-cycle invariant checker to every simulated "
+             "core (including pool workers); violations raise immediately",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -333,11 +408,14 @@ def main(argv: list[str] | None = None) -> int:
     # exit so library callers of main() do not leak state.
     tracer = SpanTracer() if args.trace else None
     saved_metrics_env = os.environ.get(METRICS_ENV)
+    saved_check_env = os.environ.get(CHECK_ENV)
     profiling_was_on = active_profiler() is not None
     if args.metrics:
         metrics_path = Path(args.metrics).resolve()
         metrics_path.write_text("")  # truncate; runs append line-by-line
         os.environ[METRICS_ENV] = str(metrics_path)
+    if args.check:
+        os.environ[CHECK_ENV] = "1"
     profiler = enable_profiling() if args.profile else active_profiler()
 
     try:
@@ -379,6 +457,11 @@ def main(argv: list[str] | None = None) -> int:
                 os.environ.pop(METRICS_ENV, None)
             else:
                 os.environ[METRICS_ENV] = saved_metrics_env
+        if args.check:
+            if saved_check_env is None:
+                os.environ.pop(CHECK_ENV, None)
+            else:
+                os.environ[CHECK_ENV] = saved_check_env
         if args.profile and not profiling_was_on:
             table = profiler.self_time_table() if profiler else ""
             disable_profiling()

@@ -39,6 +39,7 @@ from repro.obs.profiler import active_profiler
 __all__ = [
     "METRICS_ENV",
     "WINDOW_ENV",
+    "CHECK_ENV",
     "DEFAULT_WINDOW_CYCLES",
     "ThreadWindow",
     "WindowSample",
@@ -53,6 +54,10 @@ __all__ = [
 METRICS_ENV = "REPRO_OBS_METRICS"
 #: Environment variable overriding the sampling window, in cycles.
 WINDOW_ENV = "REPRO_OBS_WINDOW"
+#: Environment variable enabling per-cycle invariant checking (truthy value).
+#: Mirrored from :data:`repro.check.invariants.CHECK_ENV`; kept literal here
+#: so the obs layer needs no import from repro.check in the common case.
+CHECK_ENV = "REPRO_CHECK"
 DEFAULT_WINDOW_CYCLES = 2000
 
 
@@ -322,10 +327,10 @@ def attach_core_observers(core, meta: dict | None = None) -> None:
     """Attach env-configured observability hooks to a fresh core.
 
     Called by the sampling entry points for every core they build; a no-op
-    (two dict lookups) unless ``REPRO_OBS_METRICS`` and/or
-    ``REPRO_OBS_PROFILE`` are set — which is how ``stretch-repro run
-    --metrics/--profile`` reaches cores constructed inside engine worker
-    processes, since children inherit the environment.
+    (a few dict lookups) unless ``REPRO_OBS_METRICS``, ``REPRO_OBS_PROFILE``
+    and/or ``REPRO_CHECK`` are set — which is how ``stretch-repro run
+    --metrics/--profile/--check`` reaches cores constructed inside engine
+    worker processes, since children inherit the environment.
     """
     path = os.environ.get(METRICS_ENV)
     if path:
@@ -343,3 +348,11 @@ def attach_core_observers(core, meta: dict | None = None) -> None:
     profiler = active_profiler()
     if profiler is not None:
         core.profiler = profiler
+    if os.environ.get(CHECK_ENV, "").strip() not in ("", "0"):
+        # Imported lazily: repro.check depends on repro.obs, so a module-level
+        # import here would be circular, and the common (unchecked) path
+        # should not pay for loading the checker at all.
+        from repro.check.invariants import InvariantChecker
+        from repro.obs.metrics import get_registry
+
+        core.checker = InvariantChecker(registry=get_registry())

@@ -1,0 +1,42 @@
+"""Metamorphic relations: paper-derived directional properties of the model."""
+
+from repro.check.metamorphic import (
+    check_corunner_never_helps,
+    check_mode_ordering,
+    check_rob_monotonicity,
+    run_metamorphic_suite,
+)
+
+
+class TestRelations:
+    def test_rob_monotonicity_holds(self):
+        report = check_rob_monotonicity(
+            rob_sizes=(16, 48, 96, 192), length=5000, warmup=1500, measure=3000
+        )
+        assert report.holds, report.summary()
+
+    def test_corunner_never_helps(self):
+        report = check_corunner_never_helps(
+            length=5000, warmup=1500, measure=3000
+        )
+        assert report.holds, report.summary()
+
+    def test_mode_ordering(self):
+        report = check_mode_ordering(length=5000, warmup=1500, measure=3000)
+        assert report.holds, report.summary()
+
+    def test_suite_runs_all_relations(self):
+        reports = run_metamorphic_suite()
+        assert [r.name for r in reports] == [
+            "rob_monotonicity", "corunner_never_helps", "mode_ordering"
+        ]
+        assert all(r.holds for r in reports), [r.summary() for r in reports]
+
+    def test_violation_reporting(self):
+        # An impossible tolerance manufactures a violation so the report
+        # path (holds=False + observations) is covered.
+        report = check_mode_ordering(
+            length=4000, warmup=1000, measure=2000, tolerance=-1.0
+        )
+        assert not report.holds
+        assert any("uipc" in obs for obs in report.observations)

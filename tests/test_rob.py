@@ -73,6 +73,12 @@ class TestAllocation:
             r.allocate(0)
         r.release(0)
         assert r.peak_usage[0] == 5
+        # A stats reset cannot report a peak below the live occupancy:
+        # 4 entries are still allocated when the window opens.
+        r.reset_stats()
+        assert r.peak_usage == [4, 0]
+        for _ in range(4):
+            r.release(0)
         r.reset_stats()
         assert r.peak_usage == [0, 0]
 
