@@ -1,0 +1,151 @@
+"""Core engine benchmark: legacy ``SMTCore`` vs ``FastCore`` cycles/sec.
+
+Times both execution engines on the same traces across the four corners of
+the workload space — solo/pair × compute-bound/memory-bound — with GC
+disabled and interleaved repeats (median of ``REPEATS``), asserting
+bit-identical ``SimulationResult``s along the way, and persists the
+throughput numbers to ``benchmarks/results/BENCH_core.json``.
+
+The JSON doubles as the CI perf baseline: before overwriting it, the test
+compares each scenario's measured speedup (fast/legacy — a machine-relative
+ratio, so it transfers across hosts where absolute cycles/sec do not)
+against the committed value and fails on a >25 % regression.  Refresh the
+baseline by committing the regenerated file after an intentional change.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.fast_core import FastCore
+from repro.cpu.smt_core import SMTCore
+from repro.util.rng import derive_seed
+from repro.workloads import all_profiles
+from repro.workloads.generator import TraceGenerator
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+BENCH_PATH = RESULTS_DIR / "BENCH_core.json"
+
+#: Four corners of the workload space.  Memory-bound scenarios are where
+#: event-horizon skipping matters most (long idle gaps under MLP limits);
+#: compute-bound ones bound the constant-factor win of the flattened loop.
+SCENARIOS = (
+    ("solo_compute", ("gamess",)),
+    ("solo_memory", ("mcf",)),
+    ("pair_compute", ("gamess", "namd")),
+    ("pair_memory", ("mcf", "milc")),
+)
+
+WARMUP_INSTRUCTIONS = 4000
+MEASURE_INSTRUCTIONS = 10000
+REPEATS = 5
+
+#: Fail CI when a scenario's speedup drops >25 % below the committed value.
+REGRESSION_TOLERANCE = 0.25
+
+
+def _traces(names):
+    profiles = all_profiles()
+    length = 7 * (WARMUP_INSTRUCTIONS + MEASURE_INSTRUCTIONS) + 1024
+    return tuple(
+        TraceGenerator(
+            profiles[name], seed=derive_seed(42, name, "bench", slot)
+        ).generate(length)
+        for slot, name in enumerate(names)
+    )
+
+
+def _bench_scenario(names):
+    """Interleaved legacy/fast timing; returns (legacy_cps, fast_cps)."""
+    traces = _traces(names)
+    config = CoreConfig() if len(names) > 1 else CoreConfig().single_thread(96)
+    require_all = len(names) > 1
+    timings = {SMTCore: [], FastCore: []}
+    results = {}
+    for _ in range(REPEATS):
+        for cls in (SMTCore, FastCore):
+            core = cls(config, traces)
+            gc.collect()
+            start = time.perf_counter()
+            result = core.run(
+                MEASURE_INSTRUCTIONS,
+                warmup_instructions=WARMUP_INSTRUCTIONS,
+                max_cycles=MEASURE_INSTRUCTIONS * 1200,
+                require_all_threads=require_all,
+            )
+            elapsed = time.perf_counter() - start
+            timings[cls].append(core.cycle / elapsed)
+            results[cls] = (result, core.cycle)
+    assert results[SMTCore] == results[FastCore], (
+        f"{'+'.join(names)}: engines diverged — FastCore must be "
+        "bit-identical to SMTCore"
+    )
+    return (
+        statistics.median(timings[SMTCore]),
+        statistics.median(timings[FastCore]),
+    )
+
+
+def _load_baseline() -> dict:
+    if not BENCH_PATH.exists():
+        return {}
+    try:
+        return json.loads(BENCH_PATH.read_text()).get("scenarios", {})
+    except (json.JSONDecodeError, AttributeError):
+        return {}
+
+
+def test_core_scaling(save_result):
+    baseline = _load_baseline()
+    gc.disable()
+    try:
+        scenarios = {}
+        regressions = []
+        for name, workloads in SCENARIOS:
+            legacy_cps, fast_cps = _bench_scenario(workloads)
+            speedup = fast_cps / legacy_cps
+            scenarios[name] = {
+                "workloads": list(workloads),
+                "legacy_cps": round(legacy_cps),
+                "fast_cps": round(fast_cps),
+                "speedup": round(speedup, 2),
+            }
+            prior = baseline.get(name, {}).get("speedup")
+            if prior and speedup < prior * (1.0 - REGRESSION_TOLERANCE):
+                regressions.append(
+                    f"{name}: speedup {speedup:.2f}x is >"
+                    f"{REGRESSION_TOLERANCE:.0%} below committed baseline "
+                    f"{prior:.2f}x"
+                )
+    finally:
+        gc.enable()
+
+    payload = {
+        "warmup_instructions": WARMUP_INSTRUCTIONS,
+        "measure_instructions": MEASURE_INSTRUCTIONS,
+        "repeats": REPEATS,
+        "scenarios": scenarios,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    save_result(
+        "core_scaling",
+        "\n".join(
+            f"{name}: legacy {s['legacy_cps']}/s fast {s['fast_cps']}/s "
+            f"= {s['speedup']}x"
+            for name, s in scenarios.items()
+        ),
+    )
+
+    assert not regressions, "; ".join(regressions)
+    # Absolute floor: the fast engine must never lose to the legacy one by
+    # more than timing noise, on any scenario shape.
+    for name, s in scenarios.items():
+        assert s["speedup"] > 1.0, (
+            f"{name}: FastCore slower than legacy ({s['speedup']}x)"
+        )

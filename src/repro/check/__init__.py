@@ -12,9 +12,11 @@ reproduction stands on, so this package gives it three independent oracles:
   simple cycle-by-cycle re-implementation of the dual-thread timing model
   (no ring masks, no idle fast-forward) that must produce **bit-identical**
   :class:`~repro.cpu.metrics.SimulationResult`\\ s.
-* :mod:`repro.check.differential` — seeded random sweeps through both cores
-  (``stretch-repro check``), the regression gate for every future hot-path
-  optimization.
+* :mod:`repro.check.differential` — seeded random sweeps through all three
+  engines (:class:`~repro.cpu.fast_core.FastCore`, the legacy ``SMTCore``
+  and the ``ReferenceCore`` oracle — ``stretch-repro check``), plus
+  targeted stress cases (:func:`build_stress_cases`): the regression gate
+  for every future hot-path optimization.
 * :mod:`repro.check.metamorphic` — paper-derived relations between runs
   (ROB-partition monotonicity, co-runner interference direction, Stretch
   mode ordering) that hold regardless of absolute UIPC values.
@@ -28,6 +30,7 @@ from repro.check.differential import (
     DifferentialCase,
     SweepReport,
     build_cases,
+    build_stress_cases,
     compare_results,
     differential_sweep,
     run_case,
@@ -51,6 +54,7 @@ __all__ = [
     "RelationReport",
     "SweepReport",
     "build_cases",
+    "build_stress_cases",
     "check_corunner_never_helps",
     "check_mode_ordering",
     "check_rob_monotonicity",

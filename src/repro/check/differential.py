@@ -1,18 +1,26 @@
-"""Differential oracle: seeded config sweeps through both core implementations.
+"""Differential oracle: seeded config sweeps through all core implementations.
 
 Runs the same (workloads, core configuration, instruction budget) through
-:class:`~repro.cpu.smt_core.SMTCore` and
-:class:`~repro.check.reference.ReferenceCore` and demands **bit-identical**
+the three-way engine matrix — :class:`~repro.cpu.fast_core.FastCore` (the
+event-skipping default), :class:`~repro.cpu.smt_core.SMTCore` (the
+instrumented per-cycle legacy loop) and
+:class:`~repro.check.reference.ReferenceCore` (the deliberately naive
+oracle) — and demands **bit-identical**
 :class:`~repro.cpu.metrics.SimulationResult`\\ s — every counter, cycle count
-and histogram bucket.  Because the two cores share the microarchitectural
+and histogram bucket.  Because the cores share the microarchitectural
 components and differ only in the scheduling loop, any mismatch localizes a
-bug to the optimized hot path (ring-buffer dataflow, idle fast-forward,
-slot interleaving) or to the reference itself.
+bug to one of the optimized paths (ring-buffer dataflow, idle fast-forward
+and event-horizon jumps, slot interleaving, batched gap accounting) or to
+the reference itself.
 
 The sweep dimensions cover what the paper's experiments exercise: solo and
 colocated runs, partitioned/shared ROB-LSQ with skewed splits, all three
 fetch policies, private/shared L1s and branch predictor, prefetcher on/off,
 and mid-run ``set_partitions`` mode switches (the drain path).
+:func:`build_stress_cases` adds configurations aimed squarely at the
+event-skipping machinery: back-to-back mode switches, compute-bound runs
+whose idle gaps are all zero-length, measurement windows that open at cycle
+0, and MSHR-starved memory-bound pairs that saturate the miss file.
 
 Entry points: :func:`differential_sweep` (used by ``stretch-repro check``
 and the CI smoke) and :func:`run_case`/:func:`compare_results` for tests.
@@ -25,7 +33,8 @@ from dataclasses import dataclass, field, replace
 
 from repro.check.invariants import InvariantChecker
 from repro.check.reference import ReferenceCore
-from repro.cpu.config import CoreConfig, PartitionPolicy
+from repro.cpu.config import CacheConfig, CoreConfig, PartitionPolicy
+from repro.cpu.fast_core import FastCore
 from repro.cpu.metrics import SimulationResult
 from repro.cpu.smt_core import SMTCore
 from repro.obs.metrics import get_registry
@@ -36,6 +45,7 @@ __all__ = [
     "DifferentialCase",
     "SweepReport",
     "build_cases",
+    "build_stress_cases",
     "compare_results",
     "differential_sweep",
     "run_case",
@@ -50,7 +60,7 @@ _MAX_CYCLES = 2_000_000
 
 @dataclass(frozen=True)
 class DifferentialCase:
-    """One seeded configuration to push through both cores."""
+    """One seeded configuration to push through all three engines."""
 
     case_id: int
     workloads: tuple[str, ...]
@@ -64,6 +74,13 @@ class DifferentialCase:
     #: ``set_partitions`` between two measured windows (exercises the
     #: drain path).  Only generated for two-thread partitioned cases.
     mode_switch: tuple[tuple[int, int], tuple[int, int]] | None = None
+    #: Further switches applied back-to-back after ``mode_switch``, each
+    #: followed by its own measured window — stresses repeated drain/jump
+    #: interleavings in the event-skipping path.
+    extra_switches: tuple[tuple[tuple[int, int], tuple[int, int]], ...] = ()
+    #: Label distinguishing stress families in reports (empty for the
+    #: random sweep).
+    tag: str = ""
 
     def describe(self) -> str:
         parts = [
@@ -75,7 +92,17 @@ class DifferentialCase:
         ]
         if self.mode_switch is not None:
             parts.append(f"switch->{self.mode_switch[0]}")
+        if self.extra_switches:
+            parts.append(f"+{len(self.extra_switches)} switches")
+        if self.tag:
+            parts.append(f"[{self.tag}]")
         return f"case {self.case_id}: " + " ".join(parts)
+
+    @property
+    def switches(self) -> tuple[tuple[tuple[int, int], tuple[int, int]], ...]:
+        """All mode switches in application order."""
+        head = () if self.mode_switch is None else (self.mode_switch,)
+        return head + self.extra_switches
 
 
 @dataclass
@@ -149,6 +176,82 @@ def build_cases(
     return cases
 
 
+def build_stress_cases(seed: int = 0) -> list[DifferentialCase]:
+    """Handcrafted configurations that stress the event-skipping machinery.
+
+    Four families, each the worst case for one FastCore mechanism:
+
+    * ``switch-storm`` — back-to-back ``set_partitions`` mode switches with
+      short measured windows between them, so drains and jumps interleave.
+    * ``no-idle`` — compute-bound pairs whose completions land every cycle:
+      every candidate jump is zero-length and the loop must still step.
+    * ``cycle0`` — no warmup and single-digit instruction budgets, so the
+      measurement window opens at cycle 0 and the first completions land
+      on the window edge.
+    * ``mshr-sat`` — memory-bound pairs against a 2-entry MSHR file
+      (1 per thread), forcing the structural-stall fallback path and
+      maximum-occupancy gap accounting.
+    """
+    rng = random.Random(seed)
+    cases = []
+
+    def add(workloads, config, *, warmup, measure, require_all=True,
+            mode_switch=None, extra_switches=(), tag="", trace_length=3000):
+        cases.append(
+            DifferentialCase(
+                case_id=1000 + len(cases),
+                workloads=workloads,
+                trace_seeds=tuple(rng.randrange(1 << 30) for _ in workloads),
+                trace_length=trace_length,
+                config=config,
+                warmup=warmup,
+                measure=measure,
+                require_all=require_all and len(workloads) == 2,
+                mode_switch=mode_switch,
+                extra_switches=extra_switches,
+                tag=tag,
+            )
+        )
+
+    # Back-to-back mode switches: drain, re-partition, drain again.
+    splits = ((96, 96), (32, 160), (160, 32), (56, 136))
+    for wl in (("mcf", "omnetpp"), ("web_search", "milc")):
+        base = CoreConfig().with_rob_partition(*splits[0])
+        seq = tuple(
+            (CoreConfig().with_rob_partition(*s).rob_limits,
+             CoreConfig().with_rob_partition(*s).lsq_limits)
+            for s in splits[1:]
+        )
+        add(wl, base, warmup=150, measure=120, mode_switch=seq[0],
+            extra_switches=seq[1:], tag="switch-storm")
+
+    # Zero-length idle gaps: compute-bound, completions every cycle.
+    for wl in (("namd", "gamess"), ("povray",), ("calculix", "gromacs")):
+        add(wl, CoreConfig(), warmup=100, measure=400, tag="no-idle")
+
+    # Cycle-0 completions: windows that open at cycle 0.
+    for wl, measure in ((("mcf",), 1), (("mcf", "lbm"), 2),
+                        (("web_search", "zeusmp"), 5)):
+        add(wl, CoreConfig(), warmup=0, measure=measure, tag="cycle0")
+
+    # MSHR saturation: memory-bound pairs vs a starved miss file.
+    starved = replace(
+        CoreConfig(),
+        dcache=CacheConfig(mshrs=2, mshrs_per_thread=1),
+        enable_prefetcher=False,
+    )
+    for wl in (("mcf", "mcf"), ("lbm", "milc"), ("mcf", "libquantum")):
+        add(wl, starved, warmup=100, measure=250, tag="mshr-sat")
+    # ... and one with a mode switch while the file is saturated.
+    add(("mcf", "milc"), starved.with_rob_partition(56, 136),
+        warmup=100, measure=200,
+        mode_switch=(CoreConfig().with_rob_partition(160, 32).rob_limits,
+                     CoreConfig().with_rob_partition(160, 32).lsq_limits),
+        tag="mshr-sat")
+
+    return cases
+
+
 def compare_results(a: SimulationResult, b: SimulationResult) -> list[str]:
     """Field-by-field exact comparison; returns human-readable differences."""
     diffs = []
@@ -173,13 +276,22 @@ def _make_core(cls, case: DifferentialCase, check_invariants: bool):
     return core
 
 
+#: Engine matrix the sweep proves bit-identical, fastest first.
+_ENGINES = (("fast", FastCore), ("smt", SMTCore), ("ref", ReferenceCore))
+
+
 def run_case(
     case: DifferentialCase, check_invariants: bool = False
 ) -> list[str]:
-    """Run one case through both cores; return the list of differences."""
+    """Run one case through all three cores; return the list of differences.
+
+    Comparisons are chained (``fast`` vs ``smt``, ``smt`` vs ``ref``) so a
+    report names the engine pair that disagrees and therefore which loop to
+    suspect.
+    """
     diffs = []
     results = {}
-    for key, cls in (("smt", SMTCore), ("ref", ReferenceCore)):
+    for key, cls in _ENGINES:
         core = _make_core(cls, case, check_invariants)
         windows = [
             core.run(
@@ -189,8 +301,8 @@ def run_case(
                 require_all_threads=case.require_all,
             )
         ]
-        if case.mode_switch is not None:
-            core.set_partitions(*case.mode_switch)
+        for switch in case.switches:
+            core.set_partitions(*switch)
             windows.append(
                 core.run(
                     case.measure,
@@ -200,14 +312,15 @@ def run_case(
             )
         results[key] = (windows, core.cycle)
 
-    smt_windows, smt_cycle = results["smt"]
-    ref_windows, ref_cycle = results["ref"]
-    for i, (ra, rb) in enumerate(zip(smt_windows, ref_windows)):
-        for diff in compare_results(ra, rb):
-            prefix = f"window {i} " if len(smt_windows) > 1 else ""
-            diffs.append(prefix + diff)
-    if smt_cycle != ref_cycle:
-        diffs.append(f"final core cycle: {smt_cycle} != {ref_cycle}")
+    for (ka, _), (kb, _) in zip(_ENGINES, _ENGINES[1:]):
+        windows_a, cycle_a = results[ka]
+        windows_b, cycle_b = results[kb]
+        for i, (ra, rb) in enumerate(zip(windows_a, windows_b)):
+            for diff in compare_results(ra, rb):
+                prefix = f"window {i} " if len(windows_a) > 1 else ""
+                diffs.append(f"{ka}/{kb} {prefix}{diff}")
+        if cycle_a != cycle_b:
+            diffs.append(f"{ka}/{kb} final core cycle: {cycle_a} != {cycle_b}")
     return diffs
 
 

@@ -15,6 +15,10 @@ after every simulated cycle and asserts they agree:
 * **Capacity conservation** — ``total_usage == sum(usage)`` and
   ``usage(t) <= limit(t)`` for both structures.
 * **Monotonic clock** — the cycle counter only moves forward.
+* **Event-respecting jumps** — a multi-cycle clock advance (legacy idle
+  fast-forward or a FastCore event-horizon jump) never passes an enabling
+  event: no ROB-head completion, front-end refill or squash resolution
+  may lie strictly inside the skipped span.
 * **Cursor progress** — committed + in-flight (non-ghost) µops account for
   every µop consumed from the trace; nothing is lost or double-counted
   across fast-forwards and squashes.
@@ -93,13 +97,45 @@ class InvariantChecker:
         fail = self._fail
 
         # Monotonic clock.
-        if self._prev_cycle is not None and cycle <= self._prev_cycle:
-            fail(core, cycle, f"clock moved from {self._prev_cycle} to {cycle}")
+        prev_cycle = self._prev_cycle
+        if prev_cycle is not None and cycle <= prev_cycle:
+            fail(core, cycle, f"clock moved from {prev_cycle} to {cycle}")
         self._prev_cycle = cycle
 
         rob, lsq = core.rob, core.lsq
         threads = core._threads
         n = core.n_threads
+
+        # Multi-cycle jumps (idle fast-forward, event-horizon skips) may
+        # only land *on* the next enabling event, never beyond it: after a
+        # jump from ``prev_cycle`` to ``cycle`` no ROB-head completion
+        # (commit is in-order, so only the head enables progress),
+        # front-end refill or squash resolution may lie strictly inside the
+        # skipped span — each would have changed the machine state
+        # mid-jump.  Sampler window edges are deliberately not a law here:
+        # the legacy loop takes the sample after landing, which is
+        # timing-neutral, while FastCore clamps the jump at the edge.
+        if prev_cycle is not None and cycle > prev_cycle + 1:
+            for t in range(n):
+                ts = threads[t]
+                if ts.rob_q and prev_cycle < ts.rob_q[0][0] < cycle:
+                    fail(
+                        core, cycle,
+                        f"jump {prev_cycle}->{cycle} passed thread {t} "
+                        f"head completion at {ts.rob_q[0][0]}",
+                    )
+                if prev_cycle < ts.fe_stall_until < cycle:
+                    fail(
+                        core, cycle,
+                        f"jump {prev_cycle}->{cycle} passed thread {t} "
+                        f"front-end refill at {ts.fe_stall_until}",
+                    )
+                if prev_cycle < ts.squash_at < cycle:
+                    fail(
+                        core, cycle,
+                        f"jump {prev_cycle}->{cycle} passed thread {t} "
+                        f"squash resolution at {ts.squash_at}",
+                    )
 
         rob_sum = 0
         lsq_sum = 0

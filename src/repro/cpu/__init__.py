@@ -27,6 +27,7 @@ from repro.cpu.config import (
     PartitionPolicy,
     UncoreConfig,
 )
+from repro.cpu.fast_core import CORE_ENV, ENGINES, FastCore, make_core, resolve_engine
 from repro.cpu.isa import OpClass
 from repro.cpu.smt_core import SMTCore, SimulationResult, ThreadResult
 
@@ -41,6 +42,11 @@ __all__ = [
     "PartitionPolicy",
     "UncoreConfig",
     "OpClass",
+    "CORE_ENV",
+    "ENGINES",
+    "FastCore",
+    "make_core",
+    "resolve_engine",
     "SMTCore",
     "SimulationResult",
     "ThreadResult",

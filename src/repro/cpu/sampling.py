@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cpu.config import CoreConfig
+from repro.cpu.fast_core import make_core
 from repro.cpu.isa import OpClass
 from repro.cpu.metrics import SimulationResult
 from repro.cpu.smt_core import SMTCore
@@ -165,7 +166,7 @@ def sample_solo(
     results = []
     for s in range(sampling.n_samples):
         trace, memmap = _trace_for(profile, sampling, s)
-        core = SMTCore(config, (trace,))
+        core = make_core(config, (trace,))
         attach_core_observers(core, {"kind": "solo", "workloads": [profile.name],
                                      "sample": s})
         if sampling.checkpoint_warming:
@@ -196,7 +197,7 @@ def sample_colocation(
     for s in range(sampling.n_samples):
         trace0, memmap0 = _trace_for(profile0, sampling, s)
         trace1, memmap1 = _trace_for(profile1, sampling, s)
-        core = SMTCore(config, (trace0, trace1))
+        core = make_core(config, (trace0, trace1))
         attach_core_observers(
             core, {"kind": "pair", "workloads": [profile0.name, profile1.name],
                    "sample": s},

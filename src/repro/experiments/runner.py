@@ -260,10 +260,12 @@ def _check_main(argv: list[str]) -> int:
     """``stretch-repro check``: differential oracle + metamorphic relations."""
     parser = argparse.ArgumentParser(
         prog="stretch-repro check",
-        description="Validate the optimized SMT core against the unoptimized "
-                    "ReferenceCore on seeded random configurations "
-                    "(bit-identical results required), with per-cycle "
-                    "invariant checking attached to every run.",
+        description="Validate FastCore and the legacy SMTCore against the "
+                    "unoptimized ReferenceCore on seeded random "
+                    "configurations plus targeted stress cases "
+                    "(bit-identical results required across all three "
+                    "engines), with per-cycle invariant checking attached "
+                    "to every run.",
     )
     parser.add_argument(
         "--configs", type=int, default=200, metavar="N",
@@ -278,17 +280,29 @@ def _check_main(argv: list[str]) -> int:
         help="skip attaching the per-cycle invariant checker (faster)",
     )
     parser.add_argument(
+        "--no-stress", action="store_true",
+        help="skip the targeted stress cases (mode-switch storms, zero-idle "
+             "pairs, cycle-0 completions, MSHR-saturated windows)",
+    )
+    parser.add_argument(
         "--metamorphic", action="store_true",
         help="also run the metamorphic relation suite (ROB monotonicity, "
              "co-runner direction, mode ordering)",
     )
     args = parser.parse_args(argv)
 
-    from repro.check import build_cases, differential_sweep, run_metamorphic_suite
+    from repro.check import (
+        build_cases,
+        build_stress_cases,
+        differential_sweep,
+        run_metamorphic_suite,
+    )
 
     start = time.time()
     printer = ProgressPrinter("check:differential")
     cases = build_cases(args.configs, seed=args.seed)
+    if not args.no_stress:
+        cases = cases + build_stress_cases(seed=args.seed)
     done = 0
 
     def progress(case, diffs) -> None:

@@ -1,15 +1,19 @@
-"""Differential oracle: SMTCore must be bit-identical to ReferenceCore.
+"""Differential oracle: FastCore, SMTCore and ReferenceCore bit-identical.
 
-The 200-configuration sweep is the acceptance gate for the optimized hot
-loop (ring-buffer dataflow, idle fast-forward, slot interleaving): any
+The 200-configuration sweep — every case run through all three engines —
+is the acceptance gate for the optimized hot loops (ring-buffer dataflow,
+idle fast-forward, slot interleaving, FastCore's event-horizon jumps): any
 future optimization that changes a single committed instruction, stall
-count, cycle total or MLP bucket on any configuration fails here.
+count, cycle total or MLP bucket on any configuration fails here.  The
+stress cases (``build_stress_cases``) add targeted adversarial shapes for
+the event-skipping path.
 """
 
 import pytest
 
 from repro.check.differential import (
     build_cases,
+    build_stress_cases,
     compare_results,
     differential_sweep,
     run_case,
@@ -88,6 +92,16 @@ class TestDifferentialSweep:
     def test_cases_are_deterministic(self):
         assert build_cases(10, seed=3) == build_cases(10, seed=3)
         assert build_cases(10, seed=3) != build_cases(10, seed=4)
+
+    def test_stress_cases_bit_identical(self):
+        """The adversarial event-skipping shapes survive all three engines."""
+        cases = build_stress_cases(seed=0)
+        tags = {case.tag for case in cases}
+        assert {"switch-storm", "no-idle", "cycle0", "mshr-sat"} <= tags
+        assert build_stress_cases(seed=0) == cases
+        report = differential_sweep(cases, check_invariants=True)
+        assert report.total == len(cases)
+        assert report.ok, report.mismatches + report.errors
 
     def test_run_case_reports_differences(self):
         """compare_results localizes an injected divergence to its field."""
