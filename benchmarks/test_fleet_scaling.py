@@ -1,0 +1,90 @@
+"""Fleet-engine scaling benchmark: 1k → 100k servers over a 24-hour day.
+
+Times :class:`repro.fleet.FleetEngine` (vectorized, surrogate tails) at
+growing fleet sizes on the web_search/zeusmp pair and persists the wall
+times to ``benchmarks/results/BENCH_fleet.json`` so the fleet engine's
+perf trajectory is tracked across PRs.
+
+The tail-surrogate calibration (a one-off DES sweep, memoized in the
+result store) runs *outside* the timed region — the acceptance target is
+the simulation itself: 100k servers × 24 hours in under 60 seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.api import measure
+from repro.fleet import FleetConfig, FleetEngine
+from repro.workloads.registry import get_profile
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+FLEET_SIZES = (1_000, 10_000, 100_000)
+SEED = 29
+
+#: Acceptance bound from the issue: a 100k-server day in under a minute.
+MAX_100K_SECONDS = 60.0
+
+
+def test_fleet_scaling(benchmark, fidelity, save_result):
+    ls = get_profile("web_search")
+    performance = measure("web_search", "zeusmp", sampling=fidelity.sampling)
+    base = FleetConfig(seed=SEED)
+    # Calibrate once, untimed: every size reuses the same fitted surrogate.
+    surrogate = FleetEngine(ls, performance, base).ensure_surrogate()
+
+    wall: dict[int, float] = {}
+    timelines = {}
+    for n_servers in FLEET_SIZES:
+        engine = FleetEngine(
+            ls, performance, replace(base, n_servers=n_servers),
+            surrogate=surrogate,
+        )
+        if n_servers == FLEET_SIZES[-1]:
+            start = time.perf_counter()
+            timelines[n_servers] = benchmark.pedantic(
+                lambda: engine.run_day("web_search"), rounds=1, iterations=1
+            )
+            wall[n_servers] = time.perf_counter() - start
+        else:
+            start = time.perf_counter()
+            timelines[n_servers] = engine.run_day("web_search")
+            wall[n_servers] = time.perf_counter() - start
+
+    largest = FLEET_SIZES[-1]
+    assert wall[largest] < MAX_100K_SECONDS, (
+        f"{largest} servers took {wall[largest]:.1f}s "
+        f"(budget {MAX_100K_SECONDS:.0f}s)"
+    )
+    for n_servers, timeline in timelines.items():
+        n_windows = timeline.mode_counts.shape[0]
+        assert timeline.total_windows == n_servers * n_windows
+        assert 0.0 <= timeline.violation_rate <= 1.0
+        assert 0.0 < timeline.bmode_fraction < 1.0
+
+    payload = {
+        "fidelity": fidelity.name,
+        "seed": SEED,
+        "cpus": os.cpu_count(),
+        "windows_per_day": int(timelines[largest].mode_counts.shape[0]),
+        "surrogate_error_bound_ms": round(surrogate.error_bound_ms, 3),
+        "wall_s": {str(n): round(wall[n], 3) for n in FLEET_SIZES},
+        "server_windows_per_s": {
+            str(n): int(timelines[n].total_windows / wall[n])
+            for n in FLEET_SIZES
+        },
+        "budget_100k_s": MAX_100K_SECONDS,
+        "violation_rate_100k": round(timelines[largest].violation_rate, 5),
+        "bmode_fraction_100k": round(timelines[largest].bmode_fraction, 5),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_fleet.json").write_text(json.dumps(payload, indent=2))
+    save_result(
+        "fleet_scaling",
+        "\n".join(f"{key}: {value}" for key, value in payload.items()),
+    )

@@ -16,10 +16,8 @@ Usage:  python examples/cluster_capacity.py [batch_workload]
 
 import sys
 
-from repro import SamplingConfig, StretchMode, get_profile
-from repro.core.cluster import ClusterSimulator
-from repro.core.colocation import measure_colocation_performance
-from repro.qos.diurnal import web_search_cluster_load
+from repro import StretchMode, get_profile, measure
+from repro.api import run_fleet
 
 OVERPROVISION_POINTS = (1.0, 1.1, 1.25, 1.5, 2.0)
 
@@ -30,9 +28,7 @@ def main() -> None:
     batch = get_profile(batch_name)
 
     print(f"Measuring {ls.name} + {batch.name} per-mode performance ...")
-    performance = measure_colocation_performance(
-        ls, batch, sampling=SamplingConfig(n_samples=3, seed=42)
-    )
+    performance = measure(ls, batch, n_samples=3, seed=42)
     baseline_uipc = performance.per_mode[StretchMode.BASELINE].batch_uipc
 
     print("\nSweeping cluster over-provisioning (4 servers, 20-min windows)\n")
@@ -41,11 +37,10 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for factor in OVERPROVISION_POINTS:
-        cluster = ClusterSimulator(
-            ls, performance, n_servers=4, overprovision=factor, seed=17
-        )
-        day = cluster.run_day(
-            web_search_cluster_load, window_minutes=20, requests_per_window=1000
+        day = run_fleet(
+            ls, performance=performance, load="web_search", engine="legacy",
+            n_servers=4, overprovision=factor, seed=17,
+            window_minutes=20, requests_per_window=1000,
         )
         print(
             f"{factor:>9.2f} {day.violation_rate:>11.1%} "

@@ -20,12 +20,10 @@ Usage:  python examples/datacenter_colocation.py [batch_workload] [--adaptive]
 
 import sys
 
-from repro import SamplingConfig, StretchMode, get_profile
+from repro import StretchMode, get_profile, measure
+from repro.api import run_day
 from repro.core.adaptive import AdaptiveStretchPolicy
-from repro.core.colocation import measure_colocation_performance
 from repro.core.partitioning import B_MODES
-from repro.core.server import ColocatedServer
-from repro.qos.diurnal import web_search_cluster_load
 
 MODE_GLYPH = {
     StretchMode.BASELINE: "=",
@@ -42,9 +40,7 @@ def main() -> None:
     batch = get_profile(batch_name)
 
     print(f"Measuring per-mode performance of {ls.name} + {batch.name} ...")
-    performance = measure_colocation_performance(
-        ls, batch, sampling=SamplingConfig(n_samples=3, seed=42)
-    )
+    performance = measure(ls, batch, n_samples=3, seed=42)
     for mode in StretchMode:
         m = performance.per_mode[mode]
         print(f"  {mode.value:<9} LS factor {performance.ls_perf_factor(mode):.2f}, "
@@ -52,17 +48,14 @@ def main() -> None:
 
     label = "adaptive multi-B-mode policy" if adaptive else "two-point monitor"
     print(f"\nSimulating 24 hours (10-minute windows, {label}) ...")
-    server = ColocatedServer(ls, performance, seed=11)
-    if adaptive:
-        policy = AdaptiveStretchPolicy(ls.qos, performance, tuple(B_MODES))
-        timeline = server.run_day_adaptive(
-            web_search_cluster_load, policy,
-            window_minutes=10, requests_per_window=1200,
-        )
-    else:
-        timeline = server.run_day(
-            web_search_cluster_load, window_minutes=10, requests_per_window=1200
-        )
+    policy = (
+        AdaptiveStretchPolicy(ls.qos, performance, tuple(B_MODES))
+        if adaptive else None
+    )
+    timeline = run_day(
+        ls, performance=performance, load="web_search", adaptive=policy,
+        window_minutes=10, requests_per_window=1200, seed=11,
+    )
 
     print("\nhour  load  mode-per-window                     p99(ms)")
     per_hour = 6  # 10-minute windows

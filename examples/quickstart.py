@@ -16,12 +16,7 @@ Usage:  python examples/quickstart.py [ls_workload] [batch_workload]
 
 import sys
 
-from repro import (
-    SamplingConfig,
-    StretchMode,
-    get_profile,
-    measure_colocation_performance,
-)
+from repro import StretchMode, get_profile, measure
 
 
 def main() -> None:
@@ -34,9 +29,7 @@ def main() -> None:
     print(f"Colocating {ls.name} (latency-sensitive) with {batch.name} (batch)")
     print("Simulating Baseline / B-mode 56-136 / Q-mode 136-56 ...\n")
 
-    performance = measure_colocation_performance(
-        ls, batch, sampling=SamplingConfig(n_samples=3, seed=42)
-    )
+    performance = measure(ls, batch, n_samples=3, seed=42)
 
     print(f"{ls.name} stand-alone full-core UIPC: {performance.ls_solo_uipc:.3f}\n")
     header = f"{'mode':<10} {'LS UIPC':>8} {'LS perf factor':>15} {'batch UIPC':>11} {'batch speedup':>14}"

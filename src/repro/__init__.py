@@ -14,13 +14,19 @@ Package map
 * :mod:`repro.qos` — the request-level queueing substrate (latency vs load,
   slack analysis, diurnal case studies).
 * :mod:`repro.experiments` — one harness per paper figure/table.
+* :mod:`repro.fleet` — the vectorized fleet-scale cluster engine.
+* :mod:`repro.api` — the stable facade: :func:`~repro.api.simulate`,
+  :func:`~repro.api.measure`, :func:`~repro.api.run_day`,
+  :func:`~repro.api.run_fleet`.
 
 Quickstart
 ----------
->>> from repro import quick_colocation_demo
->>> summary = quick_colocation_demo()            # doctest: +SKIP
+>>> from repro import measure, run_fleet
+>>> perf = measure("web_search", "zeusmp", fidelity="quick")  # doctest: +SKIP
+>>> day = run_fleet("web_search", performance=perf)           # doctest: +SKIP
 """
 
+from repro.api import measure, run_day, run_fleet, simulate
 from repro.core import (
     B_MODES,
     BASELINE,
@@ -67,6 +73,10 @@ __all__ = [
     "SPEC2006",
     "all_profiles",
     "get_profile",
+    "simulate",
+    "measure",
+    "run_day",
+    "run_fleet",
     "quick_colocation_demo",
 ]
 
@@ -79,10 +89,7 @@ def quick_colocation_demo(
     Returns a summary dict with the batch speedup of B-mode and the
     latency-sensitive performance factors per mode.
     """
-    sampling = SamplingConfig(n_samples=2, seed=seed)
-    perf = measure_colocation_performance(
-        get_profile(ls), get_profile(batch), sampling=sampling
-    )
+    perf = measure(ls, batch, n_samples=2, seed=seed)
     return {
         "ls_solo_uipc": perf.ls_solo_uipc,
         "b_mode_batch_speedup": perf.batch_speedup(StretchMode.B_MODE),

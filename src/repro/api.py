@@ -1,0 +1,456 @@
+"""The stable public facade (``repro.api``).
+
+Four verbs cover the reproduction's entry points, with consistent keyword
+names (``seed``, ``n_samples``, ``fidelity``, ``sampling``, ``engine``
+mean the same thing everywhere):
+
+* :func:`simulate` — mean UIPC of a stand-alone workload or a colocated
+  pair on the SMT core timing model;
+* :func:`measure` — a pair's full per-mode performance model
+  (:class:`~repro.core.colocation.ColocationPerformance`);
+* :func:`run_day` — one colocated server's 24-hour closed loop
+  (:class:`~repro.core.server.ServerTimeline`);
+* :func:`run_fleet` — a fleet/cluster day at any scale
+  (:class:`~repro.fleet.engine.FleetTimeline`), choosing among the
+  vectorized, exact, sharded and legacy engines.
+
+Sampling effort resolves the same way in every verb: pass ``sampling=``
+(a full :class:`~repro.cpu.sampling.SamplingConfig`) *or* ``fidelity=``
+(``"quick"``/``"full"`` or a :class:`~repro.experiments.common.Fidelity`),
+optionally overridden by ``seed=`` / ``n_samples=``; with neither, the
+library defaults apply.  ``simulate``/``measure`` accept
+``engine="store"`` (memoized through the content-addressed result store)
+or ``engine="direct"`` (always re-run in process); both produce identical
+values.
+
+Superseded entry points (``measure_colocation_performance``,
+``ClusterSimulator.run_day``) remain importable as thin deprecation shims
+— see the "Stable API & deprecation policy" note in ``docs/API.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.core.adaptive import AdaptiveStretchPolicy
+from repro.core.cluster import ClusterSimulator
+from repro.core.colocation import (
+    ColocationPerformance,
+    _measure_colocation_performance,
+)
+from repro.core.monitor import MonitorConfig, validate_monitor_config
+from repro.core.partitioning import (
+    BASELINE,
+    DEFAULT_B_MODE,
+    DEFAULT_Q_MODE,
+    PartitionScheme,
+)
+from repro.core.server import ColocatedServer, ServerTimeline
+from repro.core.stretch import StretchMode
+from repro.cpu.config import CoreConfig
+from repro.cpu.sampling import SamplingConfig
+from repro.engine.job import SimJob
+from repro.engine.store import default_store
+from repro.experiments.common import Fidelity
+from repro.fleet.engine import FleetConfig, FleetEngine, FleetTimeline
+from repro.fleet.policies import resolve_load_curve
+from repro.fleet.shard import run_fleet_sharded
+from repro.workloads import get_profile
+from repro.workloads.profiles import WorkloadProfile
+
+__all__ = ["simulate", "measure", "run_day", "run_fleet"]
+
+
+# ----------------------------------------------------------------------
+# Shared argument resolution
+# ----------------------------------------------------------------------
+
+
+def _resolve_profile(workload) -> WorkloadProfile:
+    if isinstance(workload, WorkloadProfile):
+        return workload
+    return get_profile(str(workload))
+
+
+def _registered(profile: WorkloadProfile) -> bool:
+    """Is this exact profile reachable through the registry by name?
+
+    The memoized (store) paths address jobs by workload *name*; a custom
+    profile object that shadows a registry name must fall back to direct
+    execution or the cache would serve the wrong workload.
+    """
+    try:
+        return get_profile(profile.name) == profile
+    except KeyError:
+        return False
+
+
+def _resolve_sampling(
+    sampling: SamplingConfig | None,
+    fidelity,
+    seed: int | None,
+    n_samples: int | None,
+) -> SamplingConfig:
+    if sampling is not None and fidelity is not None:
+        raise ValueError("pass either sampling= or fidelity=, not both")
+    if fidelity is not None:
+        if isinstance(fidelity, str):
+            root = 42 if seed is None else int(seed)
+            if fidelity == "quick":
+                fidelity = Fidelity.quick(root)
+            elif fidelity == "full":
+                fidelity = Fidelity.full(root)
+            else:
+                raise ValueError(
+                    f"fidelity must be 'quick' or 'full', got {fidelity!r}"
+                )
+        sampling = fidelity.sampling
+    elif sampling is None:
+        sampling = SamplingConfig()
+    overrides = {}
+    if seed is not None:
+        overrides["seed"] = int(seed)
+    if n_samples is not None:
+        overrides["n_samples"] = int(n_samples)
+    return replace(sampling, **overrides) if overrides else sampling
+
+
+_MODE_SCHEMES = {
+    StretchMode.BASELINE: BASELINE,
+    StretchMode.B_MODE: DEFAULT_B_MODE,
+    StretchMode.Q_MODE: DEFAULT_Q_MODE,
+}
+_MODE_NAMES = {
+    "baseline": StretchMode.BASELINE,
+    "b": StretchMode.B_MODE,
+    "b_mode": StretchMode.B_MODE,
+    "q": StretchMode.Q_MODE,
+    "q_mode": StretchMode.Q_MODE,
+}
+
+
+def _resolve_scheme(mode) -> PartitionScheme:
+    if mode is None:
+        return BASELINE
+    if isinstance(mode, PartitionScheme):
+        return mode
+    if isinstance(mode, str):
+        try:
+            mode = _MODE_NAMES[mode.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown mode {mode!r}; use baseline/b_mode/q_mode, a "
+                "StretchMode, or a PartitionScheme"
+            ) from None
+    return _MODE_SCHEMES[mode]
+
+
+def _run_job(job: SimJob, engine: str) -> tuple[float, ...]:
+    if engine == "store":
+        return default_store().compute(job)
+    if engine == "direct":
+        return job.run()
+    raise ValueError(f"engine must be 'store' or 'direct', got {engine!r}")
+
+
+# ----------------------------------------------------------------------
+# simulate / measure — SMT-core sampling
+# ----------------------------------------------------------------------
+
+
+def simulate(
+    workloads,
+    *,
+    mode=None,
+    config: CoreConfig | None = None,
+    engine: str = "store",
+    sampling: SamplingConfig | None = None,
+    fidelity=None,
+    seed: int | None = None,
+    n_samples: int | None = None,
+):
+    """Mean UIPC of a stand-alone workload or a colocated pair.
+
+    ``workloads`` is one workload (name or profile) for a stand-alone
+    full-core run, or a ``(latency_sensitive, batch)`` pair.  For pairs,
+    ``mode`` selects the partitioning (``"baseline"``/``"b_mode"``/
+    ``"q_mode"``, a :class:`~repro.core.stretch.StretchMode`, or an
+    explicit :class:`~repro.core.partitioning.PartitionScheme`); returns a
+    single float for stand-alone runs and ``(ls_uipc, batch_uipc)`` for
+    pairs.
+    """
+    sampling = _resolve_sampling(sampling, fidelity, seed, n_samples)
+    base = config if config is not None else CoreConfig()
+    if isinstance(workloads, (str, WorkloadProfile)):
+        if mode is not None:
+            raise ValueError("mode= applies to colocated pairs only")
+        profile = _resolve_profile(workloads)
+        if engine == "store" and not _registered(profile):
+            engine = "direct"
+        job = SimJob.solo(
+            profile.name, base.single_thread(base.rob_entries), sampling
+        )
+        return _run_job(job, engine)[0]
+
+    ls, batch = workloads
+    ls_profile, batch_profile = _resolve_profile(ls), _resolve_profile(batch)
+    if engine == "store" and not (
+        _registered(ls_profile) and _registered(batch_profile)
+    ):
+        engine = "direct"
+    scheme = _resolve_scheme(mode)
+    job = SimJob.pair(
+        ls_profile.name, batch_profile.name, scheme.apply(base), sampling
+    )
+    values = _run_job(job, engine)
+    return values[0], values[1]
+
+
+def measure(
+    ls,
+    batch,
+    *,
+    b_mode: PartitionScheme = DEFAULT_B_MODE,
+    q_mode: PartitionScheme | None = DEFAULT_Q_MODE,
+    config: CoreConfig | None = None,
+    engine: str = "store",
+    sampling: SamplingConfig | None = None,
+    fidelity=None,
+    seed: int | None = None,
+    n_samples: int | None = None,
+) -> ColocationPerformance:
+    """Measure a pair's per-mode performance model.
+
+    The stable replacement for ``measure_colocation_performance`` — same
+    semantics and bit-identical values, with the facade's sampling kwargs
+    and (by default) memoization through the result store.
+    """
+    sampling = _resolve_sampling(sampling, fidelity, seed, n_samples)
+    ls_profile, batch_profile = _resolve_profile(ls), _resolve_profile(batch)
+    if engine == "store" and not (
+        _registered(ls_profile) and _registered(batch_profile)
+    ):
+        engine = "direct"
+    if engine == "direct":
+        return _measure_colocation_performance(
+            ls_profile, batch_profile, config, b_mode, q_mode, sampling
+        )
+    if engine != "store":
+        raise ValueError(f"engine must be 'store' or 'direct', got {engine!r}")
+
+    # Memoized path: the exact job grid of the direct implementation,
+    # routed through the content-addressed store.
+    from repro.core.colocation import ModePerformance
+
+    base = config if config is not None else CoreConfig()
+    store = default_store()
+    solo = store.compute(
+        SimJob.solo(
+            ls_profile.name, base.single_thread(base.rob_entries), sampling
+        )
+    )[0]
+    schemes: dict[StretchMode, PartitionScheme] = {
+        StretchMode.BASELINE: BASELINE,
+        StretchMode.B_MODE: b_mode,
+    }
+    if q_mode is not None:
+        schemes[StretchMode.Q_MODE] = q_mode
+    per_mode = {}
+    for stretch_mode, scheme in schemes.items():
+        values = store.compute(
+            SimJob.pair(
+                ls_profile.name, batch_profile.name,
+                scheme.apply(base), sampling,
+            )
+        )
+        per_mode[stretch_mode] = ModePerformance(
+            ls_uipc=values[0], batch_uipc=values[1]
+        )
+    if q_mode is None:
+        per_mode[StretchMode.Q_MODE] = per_mode[StretchMode.BASELINE]
+    return ColocationPerformance(
+        ls_workload=ls_profile.name,
+        batch_workload=batch_profile.name,
+        ls_solo_uipc=solo,
+        per_mode=per_mode,
+    )
+
+
+# ----------------------------------------------------------------------
+# run_day / run_fleet — closed-loop QoS simulations
+# ----------------------------------------------------------------------
+
+
+def run_day(
+    ls,
+    batch=None,
+    *,
+    performance: ColocationPerformance | None = None,
+    load="web_search",
+    adaptive: AdaptiveStretchPolicy | None = None,
+    monitor: MonitorConfig | None = None,
+    window_minutes: float = 5.0,
+    requests_per_window: int = 3000,
+    n_workers: int = 8,
+    q_mode_available: bool = True,
+    seed: int = 0,
+    metrics=None,
+    sampling: SamplingConfig | None = None,
+    fidelity=None,
+    n_samples: int | None = None,
+) -> ServerTimeline:
+    """One colocated server's 24-hour closed loop.
+
+    ``load`` is a registered curve name, a ``"flat:<x>"`` spec, or a
+    callable ``hour -> fraction``.  Supply a pre-measured ``performance``
+    model, or a ``batch`` workload to measure one on the fly (using the
+    facade's sampling kwargs).  With ``adaptive=`` the multi-B-mode policy
+    loop runs instead of the fixed monitor.  ``seed`` drives the server's
+    request streams (not the sampling seed — set that via ``sampling=`` /
+    ``fidelity=``).
+    """
+    ls_profile = _resolve_profile(ls)
+    if performance is None:
+        if batch is None:
+            raise ValueError("pass a performance model or a batch workload")
+        performance = measure(
+            ls_profile, batch,
+            sampling=sampling, fidelity=fidelity, n_samples=n_samples,
+        )
+    _, load_fn = resolve_load_curve(load)
+    server = ColocatedServer(
+        ls_profile,
+        performance,
+        monitor_config=(
+            monitor if monitor is not None
+            else MonitorConfig()
+        ),
+        n_workers=n_workers,
+        seed=seed,
+        q_mode_available=q_mode_available,
+        metrics=metrics,
+    )
+    if adaptive is not None:
+        return server.run_day_adaptive(
+            load_fn, adaptive,
+            window_minutes=window_minutes,
+            requests_per_window=requests_per_window,
+        )
+    return server.run_day(
+        load_fn,
+        window_minutes=window_minutes,
+        requests_per_window=requests_per_window,
+    )
+
+
+def run_fleet(
+    ls,
+    batch=None,
+    *,
+    performance: ColocationPerformance | None = None,
+    load="web_search",
+    engine: str = "vectorized",
+    config: FleetConfig | None = None,
+    n_servers: int = 1000,
+    policy: str = "jittered",
+    overprovision: float = 1.2,
+    balance_jitter: float = 0.05,
+    window_minutes: float = 10.0,
+    requests_per_window: int = 2000,
+    n_workers: int = 8,
+    monitor: MonitorConfig | None = None,
+    q_mode_available: bool = True,
+    seed: int = 0,
+    workers: int | None = None,
+    surrogate=None,
+    store=None,
+    metrics=None,
+    sampling: SamplingConfig | None = None,
+    fidelity=None,
+    n_samples: int | None = None,
+) -> FleetTimeline:
+    """Simulate a 24-hour day across a fleet of colocated servers.
+
+    ``engine`` selects the evaluation strategy:
+
+    * ``"vectorized"`` — the numpy fleet engine with the tail surrogate
+      (default; scales to 100k+ servers);
+    * ``"exact"`` — the fleet engine driving one DES per server
+      (bit-compatible with the legacy cluster under ``policy="jittered"``);
+    * ``"sharded"`` — the surrogate engine split into content-addressed
+      shard jobs on the ``repro.engine`` process pool (``workers=`` caps
+      the shard count; ``load`` must be a named curve);
+    * ``"legacy"`` — the per-object :class:`~repro.core.cluster.ClusterSimulator`
+      loop, aggregated into the same :class:`~repro.fleet.engine.FleetTimeline`.
+
+    ``seed`` drives the fleet's per-server streams; sampling kwargs only
+    affect an on-the-fly ``measure`` when no ``performance`` is given.
+    """
+    ls_profile = _resolve_profile(ls)
+    if performance is None:
+        if batch is None:
+            raise ValueError("pass a performance model or a batch workload")
+        performance = measure(
+            ls_profile, batch,
+            sampling=sampling, fidelity=fidelity, n_samples=n_samples,
+        )
+    if config is None:
+        config = FleetConfig(
+            n_servers=n_servers,
+            overprovision=overprovision,
+            balance_jitter=balance_jitter,
+            policy=policy,
+            window_minutes=window_minutes,
+            requests_per_window=requests_per_window,
+            n_workers=n_workers,
+            q_mode_available=q_mode_available,
+            seed=seed,
+            monitor=monitor if monitor is not None else MonitorConfig(),
+        )
+
+    if engine in ("vectorized", "exact"):
+        fleet = FleetEngine(
+            ls_profile, performance, config,
+            surrogate=surrogate, store=store, metrics=metrics,
+        )
+        tail = "surrogate" if engine == "vectorized" else "exact"
+        return fleet.run_day(load, tail=tail)
+    if engine == "sharded":
+        timeline = run_fleet_sharded(
+            ls_profile, performance, config, load,
+            store=store, n_shards=workers, surrogate=surrogate,
+        )
+        if metrics is not None:
+            from repro.obs.fleet import publish_fleet_metrics
+
+            publish_fleet_metrics(metrics, timeline)
+        return timeline
+    if engine == "legacy":
+        _, load_fn = resolve_load_curve(load)
+        cluster = ClusterSimulator(
+            ls_profile,
+            performance,
+            n_servers=config.n_servers,
+            overprovision=config.overprovision,
+            balance_jitter=config.balance_jitter,
+            monitor_config=config.monitor,
+            q_mode_available=config.q_mode_available,
+            seed=config.seed,
+        )
+        cluster_timeline = cluster._run_day(
+            load_fn,
+            window_minutes=config.window_minutes,
+            requests_per_window=config.requests_per_window,
+        )
+        timeline = FleetTimeline.from_cluster(
+            cluster_timeline, config.window_minutes
+        )
+        if metrics is not None:
+            from repro.obs.fleet import publish_fleet_metrics
+
+            publish_fleet_metrics(metrics, timeline)
+        return timeline
+    raise ValueError(
+        f"engine must be vectorized/exact/sharded/legacy, got {engine!r}"
+    )

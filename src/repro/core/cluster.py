@@ -23,9 +23,10 @@ from typing import Callable
 import numpy as np
 
 from repro.core.colocation import ColocationPerformance
-from repro.core.monitor import MonitorConfig
+from repro.core.monitor import MonitorConfig, validate_monitor_config
 from repro.core.server import ColocatedServer, ServerTimeline
 from repro.core.stretch import StretchMode
+from repro.util.deprecation import warn_deprecated
 from repro.util.rng import derive_seed
 from repro.workloads.profiles import WorkloadProfile
 
@@ -73,7 +74,7 @@ class ClusterSimulator:
         n_servers: int = 8,
         overprovision: float = 1.2,
         balance_jitter: float = 0.05,
-        monitor_config: MonitorConfig = MonitorConfig(),
+        monitor_config: MonitorConfig | None = None,
         q_mode_available: bool = True,
         seed: int = 0,
     ):
@@ -83,6 +84,9 @@ class ClusterSimulator:
             raise ValueError("overprovision must be at least 1.0")
         if not 0.0 <= balance_jitter < 0.5:
             raise ValueError("balance_jitter must be in [0, 0.5)")
+        if monitor_config is None:
+            monitor_config = MonitorConfig()
+        validate_monitor_config(monitor_config)
         self.ls_profile = ls_profile
         self.performance = performance
         self.n_servers = n_servers
@@ -121,6 +125,23 @@ class ClusterSimulator:
         return load
 
     def run_day(
+        self,
+        cluster_load_fn: Callable[[float], float],
+        window_minutes: float = 10.0,
+        requests_per_window: int = 2000,
+    ) -> ClusterTimeline:
+        """Deprecated: use :func:`repro.api.run_fleet` (``engine="legacy"``
+        for this exact per-object loop)."""
+        warn_deprecated(
+            "ClusterSimulator.run_day", "repro.api.run_fleet(engine='legacy')"
+        )
+        return self._run_day(
+            cluster_load_fn,
+            window_minutes=window_minutes,
+            requests_per_window=requests_per_window,
+        )
+
+    def _run_day(
         self,
         cluster_load_fn: Callable[[float], float],
         window_minutes: float = 10.0,

@@ -30,12 +30,21 @@ from repro.obs.metrics import MetricsRegistry
 from repro.workloads.profiles import QoSSpec
 
 __all__ = [
+    "MODE_ORDER",
     "MonitorConfig",
     "MonitorDecision",
+    "MonitorState",
     "StretchMonitor",
     "QueueLengthMonitorConfig",
     "QueueLengthMonitor",
+    "monitor_transition",
+    "validate_monitor_config",
 ]
+
+#: Canonical mode indexing shared by the scalar monitor, the metrics
+#: pipeline (``monitor.mode`` series) and the vectorized fleet engine:
+#: 0 = BASELINE, 1 = B_MODE, 2 = Q_MODE.
+MODE_ORDER: tuple[StretchMode, ...] = tuple(StretchMode)
 
 
 def _tail_latency_ms(observation) -> float:
@@ -85,12 +94,124 @@ class MonitorConfig:
             raise ValueError("window counts must be at least 1")
 
 
+def validate_monitor_config(config) -> MonitorConfig:
+    """Validate a monitor configuration eagerly (duck-typed).
+
+    Re-applies the :class:`MonitorConfig` field invariants against whatever
+    object the caller handed over, so a malformed or wrong-typed config
+    raises at construction time instead of mid-``run_day``.  Returns the
+    config unchanged on success.
+    """
+    try:
+        engage_fraction = float(config.engage_fraction)
+        counts = (
+            int(config.engage_windows),
+            int(config.violation_windows_to_throttle),
+            int(config.throttle_windows),
+        )
+    except (AttributeError, TypeError, ValueError) as exc:
+        raise TypeError(
+            f"monitor_config must provide MonitorConfig's numeric fields; "
+            f"got {config!r}"
+        ) from exc
+    if not 0.0 < engage_fraction < 1.0:
+        raise ValueError("engage_fraction must be in (0, 1)")
+    if min(counts) < 1:
+        raise ValueError("window counts must be at least 1")
+    return config
+
+
 @dataclass(frozen=True)
 class MonitorDecision:
     """What the system software should do for the next window."""
 
     mode: StretchMode
     throttle_corunner: bool = False
+
+
+@dataclass(frozen=True)
+class MonitorState:
+    """The complete internal state of the tail-latency monitor state machine.
+
+    ``mode`` is an index into :data:`MODE_ORDER` (0 = Baseline, 1 = B-mode,
+    2 = Q-mode) so the same representation works element-wise over numpy
+    arrays in the vectorized fleet engine.
+    """
+
+    mode: int = 0
+    compliant_streak: int = 0
+    violation_streak: int = 0
+    throttle_remaining: int = 0
+
+
+#: Mode indices (module-private aliases keep the transition readable).
+_BASELINE, _B_MODE, _Q_MODE = 0, 1, 2
+
+
+def monitor_transition(
+    state: MonitorState,
+    violated: bool,
+    slack: bool,
+    config: MonitorConfig,
+    q_mode_available: bool = True,
+) -> tuple[MonitorState, bool, bool]:
+    """One window of the Stretch monitor state machine, as a pure function.
+
+    This is the single source of truth for the monitor's decision logic:
+    :class:`StretchMonitor` applies it per observation, and the vectorized
+    fleet engine (:mod:`repro.fleet`) applies the same rules element-wise
+    over server arrays (equivalence is enforced by an exhaustive
+    state-space test).
+
+    Parameters mirror one digested window: ``violated`` means the QoS
+    metric exceeded its target, ``slack`` means it sat below the engage
+    threshold (``violated`` and ``slack`` are mutually exclusive).
+
+    Returns ``(new_state, throttle_corunner, throttle_ordered)`` where
+    ``throttle_ordered`` marks the windows on which a fresh CPI²-style
+    throttling interval was ordered (for counting throttle orders).
+    """
+    mode = state.mode
+    cs = state.compliant_streak
+    vs = state.violation_streak
+    tr = state.throttle_remaining
+
+    if tr > 0:
+        # Mid-throttle: count down; mode is frozen until the interval ends.
+        tr -= 1
+        return MonitorState(mode, cs, vs, tr), tr > 0, False
+
+    if violated:
+        cs = 0
+        if mode == _B_MODE:
+            # First response: give capacity back to the service.
+            mode = _Q_MODE if q_mode_available else _BASELINE
+            vs = 1
+        else:
+            vs += 1
+            if mode == _BASELINE and q_mode_available:
+                mode = _Q_MODE
+            if vs >= config.violation_windows_to_throttle:
+                # CPI²'s corrective action: throttle the co-runner.
+                return (
+                    MonitorState(mode, cs, 0, config.throttle_windows),
+                    True,
+                    True,
+                )
+        return MonitorState(mode, cs, vs, 0), False, False
+
+    vs = 0
+    if slack:
+        cs += 1
+        if mode != _B_MODE and cs >= config.engage_windows:
+            mode = _B_MODE
+    else:
+        cs = 0
+        # Compliant but tight: prefer Baseline over an engaged B-mode, and
+        # return capacity to the co-runner if Q-mode pressure eased.
+        if mode in (_B_MODE, _Q_MODE):
+            mode = _BASELINE
+    return MonitorState(mode, cs, vs, 0), False, False
 
 
 class StretchMonitor:
@@ -155,50 +276,24 @@ class StretchMonitor:
         violated = tail_latency_ms > self.qos.target_ms
         slack = tail_latency_ms <= self.qos.target_ms * self.config.engage_fraction
 
-        if self._throttle_remaining > 0:
-            self._throttle_remaining -= 1
-            if violated:
-                self.violations += 1
-            return MonitorDecision(self.mode, throttle_corunner=self._throttle_remaining > 0)
-
+        state = MonitorState(
+            MODE_ORDER.index(self.mode),
+            self._compliant_streak,
+            self._violation_streak,
+            self._throttle_remaining,
+        )
+        state, throttle_corunner, ordered = monitor_transition(
+            state, violated, slack, self.config, self.q_mode_available
+        )
+        self.mode = MODE_ORDER[state.mode]
+        self._compliant_streak = state.compliant_streak
+        self._violation_streak = state.violation_streak
+        self._throttle_remaining = state.throttle_remaining
         if violated:
             self.violations += 1
-            self._compliant_streak = 0
-            if self.mode is StretchMode.B_MODE:
-                # First response: give capacity back to the service.
-                self.mode = (
-                    StretchMode.Q_MODE if self.q_mode_available else StretchMode.BASELINE
-                )
-                self._violation_streak = 1
-            else:
-                self._violation_streak += 1
-                if self.mode is StretchMode.BASELINE and self.q_mode_available:
-                    self.mode = StretchMode.Q_MODE
-                if self._violation_streak >= self.config.violation_windows_to_throttle:
-                    # CPI²'s corrective action: throttle the co-runner.
-                    self.throttle_orders += 1
-                    self._throttle_remaining = self.config.throttle_windows
-                    self._violation_streak = 0
-                    return MonitorDecision(self.mode, throttle_corunner=True)
-            return MonitorDecision(self.mode)
-
-        self._violation_streak = 0
-        if slack:
-            self._compliant_streak += 1
-            if (
-                self.mode is not StretchMode.B_MODE
-                and self._compliant_streak >= self.config.engage_windows
-            ):
-                self.mode = StretchMode.B_MODE
-        else:
-            self._compliant_streak = 0
-            # Compliant but tight: prefer Baseline over an engaged B-mode.
-            if self.mode is StretchMode.B_MODE:
-                self.mode = StretchMode.BASELINE
-            elif self.mode is StretchMode.Q_MODE:
-                # Pressure eased; return capacity to the co-runner.
-                self.mode = StretchMode.BASELINE
-        return MonitorDecision(self.mode)
+        if ordered:
+            self.throttle_orders += 1
+        return MonitorDecision(self.mode, throttle_corunner=throttle_corunner)
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ from typing import Callable
 
 from repro.core.adaptive import AdaptiveStretchPolicy
 from repro.core.colocation import ColocationPerformance
-from repro.core.monitor import MonitorConfig, StretchMonitor
+from repro.core.monitor import MonitorConfig, StretchMonitor, validate_monitor_config
 from repro.core.partitioning import PartitionScheme
 from repro.core.stretch import StretchMode
 from repro.obs.metrics import MetricsRegistry
@@ -80,7 +80,7 @@ class ColocatedServer:
         self,
         ls_profile: WorkloadProfile,
         performance: ColocationPerformance,
-        monitor_config: MonitorConfig = MonitorConfig(),
+        monitor_config: MonitorConfig | None = None,
         n_workers: int = 8,
         seed: int = 0,
         q_mode_available: bool = True,
@@ -93,6 +93,9 @@ class ColocatedServer:
                 f"performance model is for {performance.ls_workload!r}, "
                 f"not {ls_profile.name!r}"
             )
+        if monitor_config is None:
+            monitor_config = MonitorConfig()
+        validate_monitor_config(monitor_config)
         self.ls_profile = ls_profile
         self.performance = performance
         self.service = ServiceSimulator(ls_profile.qos, n_workers=n_workers, seed=seed)

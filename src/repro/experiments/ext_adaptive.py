@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import measure
 from repro.core.adaptive import AdaptiveStretchPolicy
-from repro.core.colocation import measure_colocation_performance
 from repro.core.partitioning import B_MODES
 from repro.core.server import ColocatedServer
 from repro.core.stretch import StretchMode
@@ -79,9 +79,7 @@ def run(fidelity: Fidelity | None = None) -> AdaptiveComparison:
     ls = get_profile("web_search")
     days: list[PolicyDay] = []
     for batch_name in BATCH_CORUNNERS:
-        performance = measure_colocation_performance(
-            ls, get_profile(batch_name), sampling=fid.sampling
-        )
+        performance = measure(ls, batch_name, sampling=fid.sampling)
         baseline_uipc = performance.per_mode[StretchMode.BASELINE].batch_uipc
 
         fixed_server = ColocatedServer(ls, performance, seed=11)

@@ -1,0 +1,137 @@
+"""Extension: Fig. 14's cluster case studies at fleet scale (1k-100k servers).
+
+The paper extrapolates its diurnal case studies (§VI-D) from one server's
+measured B-mode gain to a whole cluster.  This harness simulates the
+cluster directly: the vectorized fleet engine (:mod:`repro.fleet`) runs
+every server's monitor state machine and windowed tail latency for a full
+24-hour day, at 1k, 10k and 100k servers, for both case-study clusters
+
+* Web Search (``web_search`` diurnal curve), and
+* a YouTube-style streaming cluster (``media_streaming`` service under the
+  ``youtube`` curve),
+
+each colocated with zeusmp, the paper's high-ROB-sensitivity batch
+exemplar.  Tail latencies come from the CRN-calibrated queueing surrogate;
+each cluster row reports the surrogate's held-out error bound alongside
+QoS violation rate, B-mode residency, throttling, straggler pressure and
+the daily batch throughput gain the paper's extrapolation targets.
+
+Fleet sizes honor ``REPRO_FLEET_SIZES`` (comma/space separated) and
+otherwise default to (1000,) at quick fidelity and (1000, 10000, 100000)
+at full fidelity.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.api import measure, run_fleet
+from repro.core.stretch import StretchMode
+from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.fleet import FleetConfig, FleetEngine
+from repro.util.tables import format_table
+from repro.workloads.registry import get_profile
+
+__all__ = ["ExtFleetResult", "FleetRow", "run", "fleet_sizes", "FLEET_SIZES_ENV"]
+
+FLEET_SIZES_ENV = "REPRO_FLEET_SIZES"
+
+#: (cluster label, latency-sensitive profile, diurnal curve, batch co-runner)
+CASES = (
+    ("web_search", "web_search", "web_search", "zeusmp"),
+    ("youtube", "media_streaming", "youtube", "zeusmp"),
+)
+
+BATCH = "zeusmp"
+SEED = 29
+
+
+def fleet_sizes(fidelity: Fidelity) -> tuple[int, ...]:
+    """Fleet sizes to simulate; ``REPRO_FLEET_SIZES`` overrides."""
+    spec = os.environ.get(FLEET_SIZES_ENV, "").strip()
+    if spec:
+        return tuple(int(token) for token in spec.replace(",", " ").split())
+    if fidelity.name == "full":
+        return (1_000, 10_000, 100_000)
+    return (1_000,)
+
+
+@dataclass(frozen=True)
+class FleetRow:
+    cluster: str
+    n_servers: int
+    violation_rate: float
+    bmode_fraction: float
+    throttled_fraction: float
+    mean_tail_ms: float
+    straggler_p99_violations: float
+    daily_batch_gain: float
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class ExtFleetResult:
+    """Fleet-scale diurnal days plus the surrogate error bounds used."""
+
+    rows: list[FleetRow]
+    error_bound_ms: dict[str, float]
+
+    def rows_for(self, cluster: str) -> list[FleetRow]:
+        return [row for row in self.rows if row.cluster == cluster]
+
+    def format(self) -> str:
+        table = format_table(
+            ["cluster", "servers", "violations", "B-mode", "throttled",
+             "mean p99 (ms)", "stragglers p99", "daily gain", "wall (s)"],
+            [[row.cluster, row.n_servers, f"{row.violation_rate:.1%}",
+              f"{row.bmode_fraction:.0%}", f"{row.throttled_fraction:.1%}",
+              f"{row.mean_tail_ms:.1f}",
+              f"{row.straggler_p99_violations:.0f}",
+              f"{row.daily_batch_gain:+.1%}", f"{row.wall_seconds:.1f}"]
+             for row in self.rows],
+            title="Extension: Fig. 14 case studies simulated at fleet scale "
+                  "(vectorized engine, surrogate tails)",
+        )
+        bounds = ", ".join(
+            f"{name}: ±{bound:.0f}ms"
+            for name, bound in sorted(self.error_bound_ms.items())
+        )
+        return f"{table}\nsurrogate held-out error bounds — {bounds}"
+
+
+def run(fidelity: Fidelity | None = None) -> ExtFleetResult:
+    fid = fidelity or fidelity_from_env()
+    sizes = fleet_sizes(fid)
+    rows: list[FleetRow] = []
+    bounds: dict[str, float] = {}
+    for cluster, ls_name, load, batch_name in CASES:
+        ls = get_profile(ls_name)
+        performance = measure(ls, batch_name, sampling=fid.sampling)
+        baseline_uipc = performance.per_mode[StretchMode.BASELINE].batch_uipc
+        # One surrogate per cluster, content-cached and shared across fleet
+        # sizes (its key depends on the QoS contract and mode performance
+        # factors, not the fleet size).
+        surrogate = FleetEngine(
+            ls, performance, FleetConfig(seed=SEED)
+        ).ensure_surrogate()
+        bounds[cluster] = surrogate.error_bound_ms
+        for n_servers in sizes:
+            start = time.time()
+            day = run_fleet(
+                ls, performance=performance, load=load,
+                n_servers=n_servers, seed=SEED, surrogate=surrogate,
+            )
+            rows.append(FleetRow(
+                cluster=cluster,
+                n_servers=n_servers,
+                violation_rate=day.violation_rate,
+                bmode_fraction=day.bmode_fraction,
+                throttled_fraction=day.throttled_fraction,
+                mean_tail_ms=day.mean_tail_ms,
+                straggler_p99_violations=day.straggler_p99_violations,
+                daily_batch_gain=day.batch_throughput_gain(baseline_uipc),
+                wall_seconds=time.time() - start,
+            ))
+    return ExtFleetResult(rows=rows, error_bound_ms=bounds)

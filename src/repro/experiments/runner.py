@@ -88,6 +88,7 @@ EXPERIMENTS: dict[str, str] = {
     "ext_sensitivity": "repro.experiments.ext_sensitivity",
     "ext_adaptive": "repro.experiments.ext_adaptive",
     "ext_energy": "repro.experiments.ext_energy",
+    "ext_fleet": "repro.experiments.ext_fleet",
     "characterize": "repro.experiments.characterization",
 }
 

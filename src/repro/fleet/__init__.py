@@ -1,0 +1,62 @@
+"""Fleet-scale vectorized cluster simulation (``repro.fleet``).
+
+The paper's case studies (Figs. 13–14) argue at datacenter scale; this
+package advances *fleets* of colocated servers — all servers of a
+monitoring window as numpy array operations:
+
+* :mod:`repro.fleet.engine` — the vectorized Stretch monitor state machine
+  (:func:`monitor_transition_vec`, one source of truth with the scalar
+  monitor via :func:`repro.core.monitor.monitor_transition`) and
+  :class:`FleetEngine`, with an ``exact`` per-server DES evaluator
+  (bit-compatible with the legacy :class:`~repro.core.cluster.ClusterSimulator`)
+  and a ``surrogate`` evaluator for 100k+ servers;
+* :mod:`repro.fleet.surrogate` — the CRN-calibrated tail-latency surrogate
+  with a stated, held-out-validated error bound;
+* :mod:`repro.fleet.policies` — pluggable load-balancing policies
+  (``uniform``, ``jittered``, ``power-of-two-choices``,
+  ``locality-sharded``) and the named diurnal load-curve registry;
+* :mod:`repro.fleet.shard` — content-addressed shard jobs on the
+  ``repro.engine`` process pool; sharding never changes results.
+
+The stable entry point is :func:`repro.api.run_fleet`.
+"""
+
+from repro.fleet.engine import (
+    FleetConfig,
+    FleetEngine,
+    FleetTimeline,
+    monitor_transition_vec,
+)
+from repro.fleet.policies import (
+    POLICY_NAMES,
+    LoadBalancingPolicy,
+    make_policy,
+    register_load_curve,
+    resolve_load_curve,
+)
+from repro.fleet.shard import FleetShardJob, run_fleet_sharded, shard_bounds
+from repro.fleet.surrogate import (
+    SurrogateFitJob,
+    SurrogateGrid,
+    TailSurrogate,
+    fit_tail_surrogate,
+)
+
+__all__ = [
+    "FleetConfig",
+    "FleetEngine",
+    "FleetShardJob",
+    "FleetTimeline",
+    "LoadBalancingPolicy",
+    "POLICY_NAMES",
+    "SurrogateFitJob",
+    "SurrogateGrid",
+    "TailSurrogate",
+    "fit_tail_surrogate",
+    "make_policy",
+    "monitor_transition_vec",
+    "register_load_curve",
+    "resolve_load_curve",
+    "run_fleet_sharded",
+    "shard_bounds",
+]

@@ -1,0 +1,553 @@
+"""Numpy-vectorized fleet simulation engine.
+
+Advances **all servers of a window as array operations**: per-server
+Stretch monitor state lives in integer arrays (mode index, compliant and
+violation streaks, remaining throttle windows) and each window applies the
+extracted :func:`repro.core.monitor.monitor_transition` rules element-wise
+via :func:`monitor_transition_vec`.  Tail latency comes from either
+
+* ``tail="surrogate"`` — the fitted queueing surrogate
+  (:mod:`repro.fleet.surrogate`), one vectorized evaluation per window,
+  which is what makes 100k+ servers × 144 windows tractable; or
+* ``tail="exact"`` — one :class:`~repro.qos.queueing.ServiceSimulator` per
+  server, driven with the *identical* seeds, peak calibration and request
+  streams as the legacy per-object
+  :class:`~repro.core.cluster.ClusterSimulator` loop.  With the
+  ``jittered`` policy the exact path is bit-compatible with the legacy
+  cluster — the fidelity anchor for the seeded equivalence gate.
+
+``run_day(server_range=(lo, hi))`` simulates any contiguous slice of the
+fleet while drawing every per-server random stream from the *global*
+server index, so sharding the fleet across processes
+(:mod:`repro.fleet.shard`) changes nothing but wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.colocation import ColocationPerformance
+from repro.core.monitor import (
+    MODE_ORDER,
+    MonitorConfig,
+    validate_monitor_config,
+)
+from repro.core.stretch import StretchMode
+from repro.fleet.policies import PolicyContext, make_policy, resolve_load_curve
+from repro.fleet.surrogate import SurrogateFitJob, SurrogateGrid, TailSurrogate
+from repro.obs.metrics import MetricsRegistry
+from repro.qos.queueing import ServiceSimulator
+from repro.util.rng import derive_seed
+from repro.workloads.profiles import WorkloadProfile
+
+__all__ = [
+    "FleetConfig",
+    "FleetTimeline",
+    "FleetEngine",
+    "monitor_transition_vec",
+]
+
+#: Mode indices, identical to ``MODE_ORDER`` positions.
+_BASELINE, _B_MODE, _Q_MODE = 0, 1, 2
+#: Extra perf row used while the co-runner is throttled (service owns the core).
+_THROTTLED_ROW = 3
+
+
+def monitor_transition_vec(
+    mode: np.ndarray,
+    compliant: np.ndarray,
+    violation: np.ndarray,
+    throttle: np.ndarray,
+    violated: np.ndarray,
+    slack: np.ndarray,
+    config: MonitorConfig,
+    q_mode_available: bool = True,
+) -> np.ndarray:
+    """Element-wise :func:`~repro.core.monitor.monitor_transition`.
+
+    Updates the four state arrays in place and returns the mask of servers
+    that *ordered* a fresh throttle interval this window.  Equivalence with
+    the scalar transition is enforced by an exhaustive state-space test
+    (``tests/test_fleet.py``).
+    """
+    throttling = throttle > 0
+    throttle[throttling] -= 1
+    active = ~throttling
+
+    hit = active & violated
+    compliant[hit] = 0
+    from_b = hit & (mode == _B_MODE)
+    mode[from_b] = _Q_MODE if q_mode_available else _BASELINE
+    violation[from_b] = 1
+    other = hit & ~from_b
+    violation[other] += 1
+    if q_mode_available:
+        mode[other & (mode == _BASELINE)] = _Q_MODE
+    ordered = other & (violation >= config.violation_windows_to_throttle)
+    violation[ordered] = 0
+    throttle[ordered] = config.throttle_windows
+
+    ok = active & ~violated
+    violation[ok] = 0
+    slacking = ok & slack
+    compliant[slacking] += 1
+    engage = slacking & (mode != _B_MODE) & (compliant >= config.engage_windows)
+    mode[engage] = _B_MODE
+    tight = ok & ~slack
+    compliant[tight] = 0
+    mode[tight & (mode != _BASELINE)] = _BASELINE
+    return ordered
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape and control parameters of one fleet run.
+
+    Mirrors :class:`~repro.core.cluster.ClusterSimulator`'s knobs (same
+    defaults, same validation — eagerly, at construction) plus the fleet
+    policy selection.  ``policy`` is a name from
+    :data:`repro.fleet.policies.POLICY_NAMES` so configurations stay
+    content-addressable for the shard-job cache.
+    """
+
+    n_servers: int = 1000
+    overprovision: float = 1.2
+    balance_jitter: float = 0.05
+    policy: str = "jittered"
+    window_minutes: float = 10.0
+    requests_per_window: int = 2000
+    n_workers: int = 8
+    q_mode_available: bool = True
+    seed: int = 0
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        if self.overprovision < 1.0:
+            raise ValueError("overprovision must be at least 1.0")
+        if not 0.0 <= self.balance_jitter < 0.5:
+            raise ValueError("balance_jitter must be in [0, 0.5)")
+        if self.window_minutes <= 0:
+            raise ValueError("window_minutes must be positive")
+        if self.requests_per_window < 1:
+            raise ValueError("requests_per_window must be positive")
+        if self.n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        make_policy(self.policy)
+        validate_monitor_config(self.monitor)
+
+    @property
+    def n_windows(self) -> int:
+        return int(round(24 * 60 / self.window_minutes))
+
+
+@dataclass
+class FleetTimeline:
+    """Aggregated day trace of a fleet slice (array-of-windows form).
+
+    The fleet engine never materializes per-(server, window) records; this
+    is the vectorized counterpart of
+    :class:`~repro.core.cluster.ClusterTimeline`, carrying per-window
+    fleet aggregates plus per-server day totals (the straggler axis).
+    """
+
+    n_servers: int
+    shard_lo: int
+    window_minutes: float
+    hours: np.ndarray  # (W,)
+    mode_counts: np.ndarray  # (W, 3) servers per mode, pre-transition
+    violations: np.ndarray  # (W,)
+    throttled: np.ndarray  # (W,)
+    tail_ms_sum: np.ndarray  # (W,)
+    batch_uipc_sum: np.ndarray  # (W,)
+    server_violations: np.ndarray  # (n_servers,)
+    server_bmode_windows: np.ndarray  # (n_servers,)
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.hours)
+
+    @property
+    def total_windows(self) -> int:
+        return self.n_servers * self.n_windows
+
+    @property
+    def violation_rate(self) -> float:
+        if self.total_windows == 0:
+            return 0.0
+        return float(self.violations.sum()) / self.total_windows
+
+    @property
+    def bmode_fraction(self) -> float:
+        if self.total_windows == 0:
+            return 0.0
+        return float(self.mode_counts[:, _B_MODE].sum()) / self.total_windows
+
+    @property
+    def mode_occupancy(self) -> np.ndarray:
+        """Fraction of (server, window) pairs per mode — shape (3,)."""
+        if self.total_windows == 0:
+            return np.zeros(3)
+        return self.mode_counts.sum(axis=0) / self.total_windows
+
+    @property
+    def throttled_fraction(self) -> float:
+        if self.total_windows == 0:
+            return 0.0
+        return float(self.throttled.sum()) / self.total_windows
+
+    @property
+    def mean_tail_ms(self) -> float:
+        if self.total_windows == 0:
+            return 0.0
+        return float(self.tail_ms_sum.sum()) / self.total_windows
+
+    @property
+    def straggler_p99_violations(self) -> float:
+        """99th percentile of per-server daily violation counts."""
+        if len(self.server_violations) == 0:
+            return 0.0
+        return float(np.percentile(self.server_violations, 99))
+
+    def batch_throughput_gain(self, baseline_batch_uipc: float) -> float:
+        """Fleet batch throughput gain vs an always-Baseline pool."""
+        if self.total_windows == 0 or baseline_batch_uipc <= 0:
+            return 0.0
+        mean = float(self.batch_uipc_sum.sum()) / self.total_windows
+        return mean / baseline_batch_uipc - 1.0
+
+    # -- composition and transport --------------------------------------
+
+    @classmethod
+    def merge(cls, parts: list["FleetTimeline"]) -> "FleetTimeline":
+        """Stitch contiguous shard timelines back into one fleet timeline."""
+        if not parts:
+            raise ValueError("cannot merge zero fleet timelines")
+        parts = sorted(parts, key=lambda t: t.shard_lo)
+        first = parts[0]
+        for part in parts[1:]:
+            if part.n_windows != first.n_windows or (
+                part.window_minutes != first.window_minutes
+            ):
+                raise ValueError("shard timelines disagree on window grid")
+        return cls(
+            n_servers=sum(p.n_servers for p in parts),
+            shard_lo=first.shard_lo,
+            window_minutes=first.window_minutes,
+            hours=first.hours.copy(),
+            mode_counts=np.sum([p.mode_counts for p in parts], axis=0),
+            violations=np.sum([p.violations for p in parts], axis=0),
+            throttled=np.sum([p.throttled for p in parts], axis=0),
+            tail_ms_sum=np.sum([p.tail_ms_sum for p in parts], axis=0),
+            batch_uipc_sum=np.sum([p.batch_uipc_sum for p in parts], axis=0),
+            server_violations=np.concatenate(
+                [p.server_violations for p in parts]
+            ),
+            server_bmode_windows=np.concatenate(
+                [p.server_bmode_windows for p in parts]
+            ),
+        )
+
+    @classmethod
+    def from_cluster(
+        cls, timeline, window_minutes: float, shard_lo: int = 0
+    ) -> "FleetTimeline":
+        """Aggregate a legacy :class:`~repro.core.cluster.ClusterTimeline`.
+
+        Bridges the per-object loop into the fleet representation so the
+        equivalence gate (and ``engine="legacy"`` fleet runs) compare
+        identical quantities.
+        """
+        servers = timeline.servers
+        if not servers:
+            raise ValueError("cluster timeline has no servers")
+        n_windows = len(servers[0].windows)
+        out = cls.empty(len(servers), n_windows, window_minutes, shard_lo)
+        for s, server in enumerate(servers):
+            if len(server.windows) != n_windows:
+                raise ValueError("servers disagree on window count")
+            for k, w in enumerate(server.windows):
+                out.hours[k] = w.hour
+                out.mode_counts[k, MODE_ORDER.index(w.mode)] += 1
+                out.violations[k] += bool(w.qos_violated)
+                out.throttled[k] += bool(w.throttled)
+                out.tail_ms_sum[k] += w.tail_latency_ms
+                out.batch_uipc_sum[k] += w.batch_uipc
+                out.server_violations[s] += bool(w.qos_violated)
+                out.server_bmode_windows[s] += w.mode is StretchMode.B_MODE
+        return out
+
+    @classmethod
+    def empty(
+        cls,
+        n_servers: int,
+        n_windows: int,
+        window_minutes: float,
+        shard_lo: int = 0,
+    ) -> "FleetTimeline":
+        return cls(
+            n_servers=n_servers,
+            shard_lo=shard_lo,
+            window_minutes=window_minutes,
+            hours=np.zeros(n_windows),
+            mode_counts=np.zeros((n_windows, 3), dtype=np.int64),
+            violations=np.zeros(n_windows, dtype=np.int64),
+            throttled=np.zeros(n_windows, dtype=np.int64),
+            tail_ms_sum=np.zeros(n_windows),
+            batch_uipc_sum=np.zeros(n_windows),
+            server_violations=np.zeros(n_servers, dtype=np.int64),
+            server_bmode_windows=np.zeros(n_servers, dtype=np.int64),
+        )
+
+    def to_values(self) -> tuple[float, ...]:
+        """Flatten for the content-addressed result store (shard transport)."""
+        return tuple(
+            [
+                float(self.n_servers),
+                float(self.shard_lo),
+                float(self.n_windows),
+                float(self.window_minutes),
+            ]
+            + [float(v) for v in self.mode_counts.ravel()]
+            + [float(v) for v in self.violations]
+            + [float(v) for v in self.throttled]
+            + [float(v) for v in self.tail_ms_sum]
+            + [float(v) for v in self.batch_uipc_sum]
+            + [float(v) for v in self.server_violations]
+            + [float(v) for v in self.server_bmode_windows]
+        )
+
+    @classmethod
+    def from_values(cls, values) -> "FleetTimeline":
+        values = np.asarray(values, dtype=float)
+        n_servers, shard_lo, n_windows = (int(v) for v in values[:3])
+        window_minutes = float(values[3])
+        cursor = 4
+
+        def take(count: int) -> np.ndarray:
+            nonlocal cursor
+            chunk = values[cursor:cursor + count]
+            cursor += count
+            return chunk
+
+        out = cls(
+            n_servers=n_servers,
+            shard_lo=shard_lo,
+            window_minutes=window_minutes,
+            hours=np.arange(n_windows) * window_minutes / 60.0,
+            mode_counts=take(n_windows * 3).astype(np.int64).reshape(n_windows, 3),
+            violations=take(n_windows).astype(np.int64),
+            throttled=take(n_windows).astype(np.int64),
+            tail_ms_sum=take(n_windows).copy(),
+            batch_uipc_sum=take(n_windows).copy(),
+            server_violations=take(n_servers).astype(np.int64),
+            server_bmode_windows=take(n_servers).astype(np.int64),
+        )
+        if cursor != len(values):
+            raise ValueError("fleet timeline payload has trailing values")
+        return out
+
+
+class FleetEngine:
+    """Vectorized day simulation of a Stretch-managed server fleet."""
+
+    def __init__(
+        self,
+        ls_profile: WorkloadProfile,
+        performance: ColocationPerformance,
+        config: FleetConfig | None = None,
+        *,
+        surrogate: TailSurrogate | None = None,
+        store=None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if ls_profile.qos is None:
+            raise ValueError(f"{ls_profile.name!r} has no QoS contract")
+        if ls_profile.name != performance.ls_workload:
+            raise ValueError(
+                f"performance model is for {performance.ls_workload!r}, "
+                f"not {ls_profile.name!r}"
+            )
+        self.ls_profile = ls_profile
+        self.performance = performance
+        self.config = config if config is not None else FleetConfig()
+        self.metrics = metrics
+        self._store = store
+        self._surrogate = surrogate
+        # Rows 0..2: per-mode LS perf factor / batch UIPC with the legacy
+        # clamps; row 3: throttled (service owns the core, batch suspended).
+        self._perf_rows = np.array(
+            [max(performance.ls_perf_factor(m), 0.05) for m in MODE_ORDER]
+            + [1.0]
+        )
+        self._batch_rows = np.array(
+            [performance.per_mode[m].batch_uipc for m in MODE_ORDER] + [0.0]
+        )
+
+    @property
+    def baseline_batch_uipc(self) -> float:
+        return self.performance.per_mode[StretchMode.BASELINE].batch_uipc
+
+    @property
+    def perf_factors(self) -> tuple[float, ...]:
+        """The perf-factor set a surrogate must cover for this fleet."""
+        return tuple(sorted(set(float(p) for p in self._perf_rows)))
+
+    def surrogate_grid(self) -> SurrogateGrid:
+        """Calibration grid matched to this fleet's window parameters."""
+        rpw = self.config.requests_per_window
+        return SurrogateGrid(
+            n_requests=rpw, peak_requests=max(20000, rpw)
+        )
+
+    def ensure_surrogate(self) -> TailSurrogate:
+        """Fit (or fetch from the result store) the tail surrogate."""
+        if self._surrogate is None:
+            job = SurrogateFitJob(
+                qos=self.ls_profile.qos,
+                perf_factors=self.perf_factors,
+                grid=self.surrogate_grid(),
+                n_workers=self.config.n_workers,
+            )
+            store = self._store
+            if store is None:
+                from repro.engine.store import default_store
+
+                store = default_store()
+            self._surrogate = TailSurrogate.from_values(store.compute(job))
+        return self._surrogate
+
+    # -- evaluation ------------------------------------------------------
+
+    def run_day(
+        self,
+        load,
+        *,
+        tail: str = "surrogate",
+        server_range: tuple[int, int] | None = None,
+    ) -> FleetTimeline:
+        """Simulate 24 hours for fleet servers ``[lo, hi)``.
+
+        ``load`` is a cluster-level diurnal curve: a registered name, a
+        ``"flat:<x>"`` spec, or a callable ``hour -> fraction``.  ``tail``
+        selects the evaluator (``"surrogate"`` or ``"exact"``).  All
+        per-server randomness keys off the *global* server index, so a
+        sliced run reproduces exactly the slice of a full run.
+        """
+        cfg = self.config
+        lo, hi = server_range if server_range is not None else (0, cfg.n_servers)
+        if not 0 <= lo < hi <= cfg.n_servers:
+            raise ValueError(
+                f"server_range {(lo, hi)} outside fleet [0, {cfg.n_servers})"
+            )
+        if tail not in ("surrogate", "exact"):
+            raise ValueError("tail must be 'surrogate' or 'exact'")
+        _, load_fn = resolve_load_curve(load)
+        evaluate = (
+            self._surrogate_evaluator(lo, hi)
+            if tail == "surrogate"
+            else self._exact_evaluator(lo, hi)
+        )
+
+        n = hi - lo
+        n_windows = cfg.n_windows
+        policy = make_policy(cfg.policy)
+        ctx = PolicyContext(
+            n_servers=cfg.n_servers,
+            n_windows=n_windows,
+            overprovision=cfg.overprovision,
+            balance_jitter=cfg.balance_jitter,
+            seed=cfg.seed,
+        )
+        qos = self.ls_profile.qos
+        engage_ms = qos.target_ms * cfg.monitor.engage_fraction
+
+        mode = np.zeros(n, dtype=np.int64)
+        compliant = np.zeros(n, dtype=np.int64)
+        violation = np.zeros(n, dtype=np.int64)
+        throttle = np.zeros(n, dtype=np.int64)
+        out = FleetTimeline.empty(n, n_windows, cfg.window_minutes, shard_lo=lo)
+
+        for k in range(n_windows):
+            hour = k * cfg.window_minutes / 60.0
+            # The legacy loop indexes jitter with int(hour * 60 / wm); keep
+            # the float-faithful expression so both paths pick identical
+            # per-window streams even when the division does not round-trip.
+            window_index = int(hour * 60.0 / cfg.window_minutes)
+            loads = policy.server_loads(load_fn(hour), window_index, ctx)[lo:hi]
+            loads = np.maximum(np.clip(loads, 0.0, 1.2), 0.02)
+
+            throttled_now = throttle > 0
+            rows = np.where(throttled_now, _THROTTLED_ROW, mode)
+            perf = self._perf_rows[rows]
+            tails = evaluate(k, loads, perf)
+            violated = tails > qos.target_ms
+            slack = tails <= engage_ms
+
+            out.hours[k] = hour
+            out.mode_counts[k] = np.bincount(mode, minlength=3)
+            out.violations[k] = int(violated.sum())
+            out.throttled[k] = int(throttled_now.sum())
+            out.tail_ms_sum[k] = float(tails.sum())
+            out.batch_uipc_sum[k] = float(self._batch_rows[rows].sum())
+            out.server_violations += violated
+            out.server_bmode_windows += mode == _B_MODE
+
+            monitor_transition_vec(
+                mode, compliant, violation, throttle, violated, slack,
+                cfg.monitor, cfg.q_mode_available,
+            )
+
+        if self.metrics is not None:
+            from repro.obs.fleet import publish_fleet_metrics
+
+            publish_fleet_metrics(self.metrics, out)
+        return out
+
+    def _surrogate_evaluator(self, lo: int, hi: int) -> Callable:
+        surrogate = self.ensure_surrogate()
+        n_total = self.config.n_servers
+        seed = self.config.seed
+
+        def evaluate(window: int, loads, perf):
+            # One uniform per (server, window), drawn for the whole fleet
+            # and sliced, so shard boundaries never change the streams.
+            rng = np.random.default_rng(
+                derive_seed(seed, "fleet-noise", window)
+            )
+            u = rng.random(n_total)[lo:hi]
+            return surrogate.sample(loads, perf, u)
+
+        return evaluate
+
+    def _exact_evaluator(self, lo: int, hi: int) -> Callable:
+        cfg = self.config
+        qos = self.ls_profile.qos
+        sims = [
+            ServiceSimulator(
+                qos,
+                n_workers=cfg.n_workers,
+                seed=derive_seed(cfg.seed, "server", k) & 0x7FFFFF,
+            )
+            for k in range(lo, hi)
+        ]
+        horizon = max(20000, cfg.requests_per_window)
+        peaks = [sim.peak_load(n_requests=horizon) for sim in sims]
+
+        def evaluate(window: int, loads, perf):
+            tails = np.empty(len(sims))
+            for i, sim in enumerate(sims):
+                stats = sim.run(
+                    peaks[i] * loads[i],
+                    perf[i],
+                    cfg.requests_per_window,
+                    seed_offset=window + 1,
+                )
+                tails[i] = stats.percentile(qos.percentile)
+            return tails
+
+        return evaluate

@@ -1,0 +1,363 @@
+"""Fitted tail-latency surrogate over the discrete-event queueing simulator.
+
+The fleet engine cannot afford one :class:`~repro.qos.queueing.ServiceSimulator`
+run per (server, window) — at 100k servers × 144 windows that is 14M DES
+runs.  Instead it evaluates tail latency through a surrogate fitted *once*
+per ``(QoS contract, perf-factor set)``:
+
+* **Calibration** runs the DES over a ``perf × load`` grid with common
+  random numbers: each calibration replicate uses one simulator seed —
+  drawn like a fleet server seed — across the whole grid, so replicate
+  surfaces are paired and load/perf interpolation is smooth.
+* Window tails are a *mixture*: the MMPP burst pattern of a window is
+  rate-independent, so a window is either calm (tail ≈ the service-time
+  tail) or bursty (tail blows up with load).  A mean/variance summary
+  would misrepresent that, so the surrogate keeps the **sorted replicate
+  tails per grid point** (empirical order statistics) and samples windows
+  by inverse-CDF over deterministic per-(server, window) uniforms —
+  reproducing both the calm/bursty split and its load dependence.
+* **Validation** replays *held-out* simulator seeds at off-grid (midpoint)
+  loads and reports the worst absolute error of the predicted mean tail as
+  :attr:`TailSurrogate.error_bound_ms` — the stated bound the fleet
+  equivalence gate checks against the legacy per-object simulator.
+
+Only the load axis interpolates (piecewise-linear).  Performance factors
+are categorical: the fleet uses exactly one factor per Stretch mode plus
+1.0 for throttled windows, and each gets its own fitted row.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qos.queueing import ServiceSimulator
+from repro.util.rng import derive_seed
+from repro.workloads.profiles import QoSSpec
+
+__all__ = [
+    "SurrogateGrid",
+    "SurrogateFitJob",
+    "TailSurrogate",
+    "fit_tail_surrogate",
+]
+
+#: Bump to invalidate cached surrogate fits after calibration changes.
+SURROGATE_VERSION = 2
+
+#: Default load grid; spans the fleet engine's clamp range [0.02, 1.2] so
+#: prediction never extrapolates.
+_DEFAULT_LOADS = (
+    0.02, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2,
+)
+
+
+@dataclass(frozen=True)
+class SurrogateGrid:
+    """Calibration design for :func:`fit_tail_surrogate`.
+
+    ``n_requests`` should equal the fleet's ``requests_per_window`` so the
+    surrogate reproduces the same finite-sample tail distribution the
+    per-server DES would produce; ``peak_requests`` must match the horizon
+    servers use to calibrate their peak (``max(20000, requests_per_window)``
+    in the legacy loop).  ``n_reps`` doubles as the quantile resolution of
+    the stored window-tail distribution.
+    """
+
+    loads: tuple[float, ...] = _DEFAULT_LOADS
+    n_requests: int = 2000
+    peak_requests: int = 20000
+    n_reps: int = 10
+    n_val_reps: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.loads) < 2:
+            raise ValueError("surrogate grid needs at least 2 load points")
+        if list(self.loads) != sorted(set(self.loads)):
+            raise ValueError("surrogate loads must be strictly increasing")
+        if min(self.n_requests, self.peak_requests) < 1:
+            raise ValueError("request counts must be positive")
+        if self.n_reps < 2:
+            raise ValueError("n_reps must be >= 2 (distribution needs replicates)")
+        if self.n_val_reps < 1:
+            raise ValueError("n_val_reps must be >= 1")
+
+
+def _calibration_sim(
+    qos: QoSSpec, grid: SurrogateGrid, label: str, rep: int, n_workers: int
+) -> ServiceSimulator:
+    # Replicate seeds are drawn exactly like fleet server seeds (masked
+    # derive_seed), so across-replicate spread reflects across-server and
+    # across-window spread in the fleet.
+    seed = derive_seed(grid.seed, label, rep) & 0x7FFFFF
+    return ServiceSimulator(qos, n_workers=n_workers, seed=seed)
+
+
+def _measure_surface(
+    qos: QoSSpec,
+    perf_factors: tuple[float, ...],
+    loads: tuple[float, ...],
+    grid: SurrogateGrid,
+    label: str,
+    n_reps: int,
+    n_workers: int,
+) -> np.ndarray:
+    """DES tail surface, shape ``(n_reps, n_perf, n_loads)``."""
+    surface = np.empty((n_reps, len(perf_factors), len(loads)))
+    for rep in range(n_reps):
+        sim = _calibration_sim(qos, grid, label, rep, n_workers)
+        peak = sim.peak_load(n_requests=grid.peak_requests)
+        for p, perf in enumerate(perf_factors):
+            for l, load in enumerate(loads):
+                stats = sim.run(
+                    peak * load, perf, grid.n_requests, seed_offset=l + 1
+                )
+                surface[rep, p, l] = stats.percentile(qos.percentile)
+    return surface
+
+
+@dataclass(frozen=True)
+class TailSurrogate:
+    """Fitted window-tail model: categorical in perf, linear in load.
+
+    ``quantiles_ms`` has shape ``(n_perf, n_reps, n_loads)`` and is sorted
+    along the replicate axis — the empirical window-tail distribution at
+    each grid point.
+    """
+
+    qos: QoSSpec
+    perf_factors: tuple[float, ...]
+    loads: tuple[float, ...]
+    quantiles_ms: np.ndarray  # (n_perf, n_reps, n_loads), sorted on axis 1
+    error_bound_ms: float
+
+    @property
+    def n_reps(self) -> int:
+        return self.quantiles_ms.shape[1]
+
+    @property
+    def mean_ms(self) -> np.ndarray:
+        """Mean window tail per grid point — shape (n_perf, n_loads)."""
+        return self.quantiles_ms.mean(axis=1)
+
+    @property
+    def std_ms(self) -> np.ndarray:
+        """Across-replicate std per grid point — shape (n_perf, n_loads)."""
+        return self.quantiles_ms.std(axis=1, ddof=1)
+
+    def _row_indices(self, perf: np.ndarray) -> np.ndarray:
+        perfs = np.asarray(self.perf_factors)
+        idx = np.clip(np.searchsorted(perfs, perf), 0, len(perfs) - 1)
+        below = np.maximum(idx - 1, 0)
+        use_below = np.abs(perfs[below] - perf) < np.abs(perfs[idx] - perf)
+        idx = np.where(use_below, below, idx)
+        if not np.allclose(perfs[idx], perf, rtol=0.0, atol=1e-9):
+            missing = sorted(
+                set(np.round(np.unique(perf), 6)) - set(np.round(perfs, 6))
+            )
+            raise KeyError(
+                f"perf factors {missing} not in fitted rows {tuple(perfs)}; "
+                "refit the surrogate with the fleet's perf-factor set"
+            )
+        return idx
+
+    def _load_weights(
+        self, load: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        loads = np.asarray(self.loads)
+        li = np.clip(
+            np.searchsorted(loads, load, side="right") - 1, 0, len(loads) - 2
+        )
+        span = loads[li + 1] - loads[li]
+        weight = np.clip((load - loads[li]) / span, 0.0, 1.0)
+        return li, weight
+
+    def _interpolate(self, table: np.ndarray, load, perf) -> np.ndarray:
+        load = np.asarray(load, dtype=float)
+        perf = np.broadcast_to(np.asarray(perf, dtype=float), load.shape)
+        rows = self._row_indices(perf)
+        out = np.empty(load.shape)
+        for r in np.unique(rows):
+            mask = rows == r
+            out[mask] = np.interp(load[mask], self.loads, table[r])
+        return out
+
+    def predict(self, load, perf) -> np.ndarray:
+        """Mean window tail latency (ms) at ``load`` fraction under ``perf``."""
+        return self._interpolate(self.mean_ms, load, perf)
+
+    def spread(self, load, perf) -> np.ndarray:
+        """Across-window std of the tail percentile (ms)."""
+        return self._interpolate(self.std_ms, load, perf)
+
+    def sample(self, load, perf, u) -> np.ndarray:
+        """Draw window tails by inverse-CDF over uniforms ``u`` in [0, 1).
+
+        The quantile stacks at the two neighboring load grid points are
+        blended linearly (sortedness is preserved), then ``u`` picks an
+        order statistic with midpoint plotting positions — so the sampled
+        windows reproduce the calm/bursty mixture of the DES, not just its
+        mean.  ``u`` carries the caller's deterministic per-(server,
+        window) uniforms; a window's draw is exogenous arrival burstiness,
+        so the same ``u`` applies whichever mode the server is in.
+        """
+        load = np.asarray(load, dtype=float)
+        perf = np.broadcast_to(np.asarray(perf, dtype=float), load.shape)
+        rows = self._row_indices(perf)
+        li, weight = self._load_weights(load)
+        lower = self.quantiles_ms[rows, :, li]  # (n, n_reps)
+        upper = self.quantiles_ms[rows, :, li + 1]
+        stack = lower * (1.0 - weight)[:, None] + upper * weight[:, None]
+
+        n_reps = stack.shape[1]
+        position = np.clip(
+            np.asarray(u, dtype=float) * n_reps - 0.5, 0.0, n_reps - 1.0
+        )
+        j0 = np.floor(position).astype(np.int64)
+        j1 = np.minimum(j0 + 1, n_reps - 1)
+        fraction = position - j0
+        v0 = np.take_along_axis(stack, j0[:, None], axis=1)[:, 0]
+        v1 = np.take_along_axis(stack, j1[:, None], axis=1)[:, 0]
+        tail = v0 * (1.0 - fraction) + v1 * fraction
+        return np.maximum(tail, 0.5 * self.qos.base_service_ms)
+
+    # -- content-addressed persistence ---------------------------------
+
+    def to_values(self) -> tuple[float, ...]:
+        """Flatten to a float tuple (the result-store value format)."""
+        n_perf, n_reps, n_loads = self.quantiles_ms.shape
+        header = [
+            float(n_perf),
+            float(n_reps),
+            float(n_loads),
+            float(self.error_bound_ms),
+            float(self.qos.target_ms),
+            float(self.qos.percentile),
+            float(self.qos.base_service_ms),
+            float(self.qos.service_cv),
+        ]
+        return tuple(
+            header
+            + list(self.perf_factors)
+            + list(self.loads)
+            + [float(v) for v in self.quantiles_ms.ravel()]
+        )
+
+    @classmethod
+    def from_values(cls, values) -> "TailSurrogate":
+        values = tuple(values)
+        n_perf, n_reps, n_loads = (int(v) for v in values[:3])
+        error_bound = float(values[3])
+        qos = QoSSpec(
+            target_ms=values[4],
+            percentile=values[5],
+            base_service_ms=values[6],
+            service_cv=values[7],
+        )
+        cursor = 8
+        perfs = tuple(values[cursor:cursor + n_perf])
+        cursor += n_perf
+        loads = tuple(values[cursor:cursor + n_loads])
+        cursor += n_loads
+        size = n_perf * n_reps * n_loads
+        quantiles = np.array(values[cursor:cursor + size]).reshape(
+            n_perf, n_reps, n_loads
+        )
+        if cursor + size != len(values):
+            raise ValueError("surrogate payload has trailing values")
+        return cls(
+            qos=qos,
+            perf_factors=perfs,
+            loads=loads,
+            quantiles_ms=quantiles,
+            error_bound_ms=error_bound,
+        )
+
+
+def fit_tail_surrogate(
+    qos: QoSSpec,
+    perf_factors,
+    grid: SurrogateGrid = SurrogateGrid(),
+    n_workers: int = 8,
+) -> TailSurrogate:
+    """Calibrate a :class:`TailSurrogate` against the DES.
+
+    ``perf_factors`` is the exact set of performance factors the fleet will
+    evaluate (one per Stretch mode, plus 1.0 for throttled windows); each
+    becomes a fitted row.  The returned surrogate's
+    :attr:`~TailSurrogate.error_bound_ms` is measured on held-out simulator
+    seeds at midpoint loads never used in calibration.
+    """
+    perfs = tuple(sorted(set(float(p) for p in perf_factors)))
+    if not perfs:
+        raise ValueError("perf_factors must be non-empty")
+
+    calibration = _measure_surface(
+        qos, perfs, grid.loads, grid, "surrogate-cal", grid.n_reps, n_workers
+    )
+    quantiles = np.sort(np.transpose(calibration, (1, 0, 2)), axis=1)
+
+    surrogate = TailSurrogate(
+        qos=qos,
+        perf_factors=perfs,
+        loads=tuple(float(l) for l in grid.loads),
+        quantiles_ms=quantiles,
+        error_bound_ms=0.0,
+    )
+
+    # Held-out validation: fresh simulator seeds, off-grid midpoint loads.
+    loads = np.asarray(grid.loads)
+    midpoints = tuple((loads[:-1] + loads[1:]) / 2.0)
+    validation = _measure_surface(
+        qos, perfs, midpoints, grid, "surrogate-val", grid.n_val_reps, n_workers
+    ).mean(axis=0)
+    predicted = np.stack(
+        [surrogate.predict(np.asarray(midpoints), p) for p in perfs]
+    )
+    error_bound = float(np.max(np.abs(predicted - validation)))
+
+    return TailSurrogate(
+        qos=qos,
+        perf_factors=perfs,
+        loads=surrogate.loads,
+        quantiles_ms=quantiles,
+        error_bound_ms=error_bound,
+    )
+
+
+@dataclass(frozen=True)
+class SurrogateFitJob:
+    """Content-addressed surrogate calibration (cacheable, picklable).
+
+    Runs on the :class:`~repro.engine.ExecutionEngine` like any simulation
+    job: ``key`` content-addresses the QoS contract, perf-factor set and
+    calibration grid; ``run`` returns the flattened surrogate.
+    """
+
+    qos: QoSSpec
+    perf_factors: tuple[float, ...]
+    grid: SurrogateGrid = SurrogateGrid()
+    n_workers: int = 8
+
+    @property
+    def key(self) -> str:
+        from repro.engine.store import CACHE_VERSION
+
+        payload = repr((
+            CACHE_VERSION,
+            SURROGATE_VERSION,
+            "fleet-surrogate",
+            self.qos,
+            tuple(sorted(set(float(p) for p in self.perf_factors))),
+            self.grid,
+            self.n_workers,
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def run(self) -> tuple[float, ...]:
+        return fit_tail_surrogate(
+            self.qos, self.perf_factors, self.grid, n_workers=self.n_workers
+        ).to_values()

@@ -21,6 +21,7 @@ Everything is surfaced through ``stretch-repro run --trace/--metrics/
 --profile`` and ``stretch-repro inspect``; see docs/API.md §Observability.
 """
 
+from repro.obs.fleet import publish_fleet_metrics
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -73,5 +74,6 @@ __all__ = [
     "enable_profiling",
     "get_registry",
     "pipeline_trace",
+    "publish_fleet_metrics",
     "set_registry",
 ]

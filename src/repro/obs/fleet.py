@@ -1,0 +1,56 @@
+"""Fleet-level observability: publish per-shard fleet metrics.
+
+Mirrors a :class:`~repro.fleet.engine.FleetTimeline` into a
+:class:`~repro.obs.metrics.MetricsRegistry` under the ``fleet.*``
+namespace (duck-typed on the timeline, so this module never imports
+``repro.fleet``):
+
+========================================  =======================================
+``fleet.windows``                         counter: (server, window) pairs simulated
+``fleet.violation_rate``                  gauge: fraction of windows violating QoS
+``fleet.mode_occupancy.{baseline,b_mode,q_mode}``  gauges: mode residency fractions
+``fleet.throttled_fraction``              gauge: windows spent throttling
+``fleet.mean_tail_ms``                    gauge: mean window tail latency
+``fleet.straggler_p99_violations``        gauge: p99 of per-server violation counts
+``fleet.server_violations``               histogram: per-server daily violations
+``fleet.violations``                      series: violating servers per window
+``fleet.throttled``                       series: throttled servers per window
+========================================  =======================================
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["publish_fleet_metrics"]
+
+#: Daily per-server violation-count buckets for the straggler histogram.
+_VIOLATION_BOUNDS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+_MODE_NAMES = ("baseline", "b_mode", "q_mode")
+
+
+def publish_fleet_metrics(registry: MetricsRegistry, timeline) -> None:
+    """Publish one fleet (or shard) timeline into ``registry``."""
+    if registry is None:
+        return
+    registry.counter("fleet.windows").inc(timeline.total_windows)
+    registry.gauge("fleet.violation_rate").set(timeline.violation_rate)
+    for name, fraction in zip(_MODE_NAMES, timeline.mode_occupancy):
+        registry.gauge(f"fleet.mode_occupancy.{name}").set(float(fraction))
+    registry.gauge("fleet.throttled_fraction").set(timeline.throttled_fraction)
+    registry.gauge("fleet.mean_tail_ms").set(timeline.mean_tail_ms)
+    registry.gauge("fleet.straggler_p99_violations").set(
+        timeline.straggler_p99_violations
+    )
+    histogram = registry.histogram(
+        "fleet.server_violations", bounds=_VIOLATION_BOUNDS
+    )
+    for count in timeline.server_violations:
+        histogram.observe(float(count))
+    violations = registry.series("fleet.violations")
+    throttled = registry.series("fleet.throttled")
+    for k in range(timeline.n_windows):
+        hour = float(timeline.hours[k])
+        violations.append(hour, float(timeline.violations[k]))
+        throttled.append(hour, float(timeline.throttled[k]))

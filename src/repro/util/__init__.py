@@ -1,5 +1,6 @@
 """Shared utilities: RNG discipline, statistics, tables, progress reporting."""
 
+from repro.util.deprecation import warn_deprecated
 from repro.util.progress import ProgressPrinter, format_duration
 from repro.util.rng import SeedSequenceFactory, derive_seed
 from repro.util.stats import (
@@ -20,4 +21,5 @@ __all__ = [
     "format_table",
     "ProgressPrinter",
     "format_duration",
+    "warn_deprecated",
 ]

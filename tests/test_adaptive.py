@@ -182,3 +182,43 @@ class TestAdaptiveClosedLoop:
         assert adaptive.batch_throughput_gain(baseline_uipc) >= (
             fixed.batch_throughput_gain(baseline_uipc) - 0.01
         )
+
+    def test_run_day_adaptive_zero_load(self):
+        from repro.core.server import ColocatedServer
+        from repro.core.stretch import StretchMode
+        from repro.workloads.registry import get_profile
+
+        ls = get_profile("web_search")
+        perf = performance(baseline_ls=0.55, bmode_ls=0.48)
+        server = ColocatedServer(ls, perf, seed=6)
+        policy = AdaptiveStretchPolicy(ls.qos, perf, tuple(B_MODES))
+        timeline = server.run_day_adaptive(
+            lambda h: 0.0, policy, window_minutes=120, requests_per_window=400
+        )
+        # Zero offered load clamps to the 2% floor: permanent slack.
+        assert all(w.load_fraction == 0.02 for w in timeline.windows)
+        assert timeline.violation_rate == 0.0
+        engaged = [w for w in timeline.windows if w.mode is StretchMode.B_MODE]
+        assert len(engaged) >= len(timeline.windows) // 2
+        # With nothing queued the policy can afford the deepest skews.
+        assert {w.scheme for w in engaged} & {"40-152", "32-160"}
+
+    def test_run_day_adaptive_saturating_load(self):
+        from repro.core.server import ColocatedServer
+        from repro.core.stretch import StretchMode
+        from repro.workloads.registry import get_profile
+
+        ls = get_profile("web_search")
+        perf = performance(baseline_ls=0.55, bmode_ls=0.48)
+        server = ColocatedServer(ls, perf, seed=6)
+        policy = AdaptiveStretchPolicy(ls.qos, perf, tuple(B_MODES))
+        timeline = server.run_day_adaptive(
+            lambda h: 5.0, policy, window_minutes=120, requests_per_window=400
+        )
+        # 5x the calibrated peak: the queue never drains, every window
+        # violates, and the policy never finds budget for any B-mode.
+        assert all(w.load_fraction == 5.0 for w in timeline.windows)
+        assert timeline.violation_rate == 1.0
+        assert not any(
+            w.mode is StretchMode.B_MODE for w in timeline.windows
+        )

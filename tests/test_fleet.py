@@ -1,0 +1,430 @@
+"""Tests for the vectorized fleet engine (`repro.fleet`).
+
+The load-bearing guarantees:
+
+* `monitor_transition_vec` is element-wise identical to the scalar
+  `monitor_transition` (exhaustive state-space sweep);
+* the `tail="exact"` fleet path is bit-compatible with the legacy
+  per-object `ClusterSimulator` loop;
+* the surrogate path matches the exact path within the surrogate's
+  *stated* held-out error bound (the ISSUE's seeded equivalence gate);
+* sharding a fleet run never changes results (integer aggregates are
+  exactly equal; float sums only to summation-order noise).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import ClusterSimulator
+from repro.core.colocation import ColocationPerformance, ModePerformance
+from repro.core.monitor import MonitorConfig, MonitorState, monitor_transition
+from repro.core.stretch import StretchMode
+from repro.engine import EngineConfig, ExecutionEngine
+from repro.engine.store import ResultStore
+from repro.fleet import (
+    FleetConfig,
+    FleetEngine,
+    FleetTimeline,
+    SurrogateGrid,
+    TailSurrogate,
+    fit_tail_surrogate,
+    make_policy,
+    monitor_transition_vec,
+    register_load_curve,
+    resolve_load_curve,
+    run_fleet_sharded,
+    shard_bounds,
+)
+from repro.fleet.policies import EXACT_JITTER_MAX, PolicyContext
+from repro.util.rng import derive_seed
+from repro.workloads.registry import get_profile
+
+
+def performance_model() -> ColocationPerformance:
+    """Hand-built per-mode model (avoids slow core simulation in tests)."""
+    return ColocationPerformance(
+        ls_workload="web_search",
+        batch_workload="zeusmp",
+        ls_solo_uipc=0.6,
+        per_mode={
+            StretchMode.BASELINE: ModePerformance(0.52, 0.50),
+            StretchMode.B_MODE: ModePerformance(0.46, 0.58),
+            StretchMode.Q_MODE: ModePerformance(0.58, 0.40),
+        },
+    )
+
+
+#: Small calibration grid: same request horizon the exact evaluator uses
+#: (peak at max(20000, rpw)), coarse load axis, few replicates.
+TEST_RPW = 400
+TEST_GRID = SurrogateGrid(
+    loads=(0.02, 0.3, 0.6, 0.9, 1.2),
+    n_requests=TEST_RPW,
+    peak_requests=20000,
+    n_reps=6,
+    n_val_reps=2,
+    seed=0,
+)
+
+
+def fleet_config(**kwargs) -> FleetConfig:
+    defaults = dict(
+        n_servers=8,
+        window_minutes=120.0,
+        requests_per_window=TEST_RPW,
+        seed=5,
+    )
+    defaults.update(kwargs)
+    return FleetConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def web_search_qos():
+    return get_profile("web_search").qos
+
+
+@pytest.fixture(scope="module")
+def surrogate(web_search_qos) -> TailSurrogate:
+    perf_factors = FleetEngine(
+        get_profile("web_search"), performance_model(), fleet_config()
+    ).perf_factors
+    return fit_tail_surrogate(web_search_qos, perf_factors, TEST_GRID)
+
+
+class TestMonitorTransitionVec:
+    def test_exhaustive_equivalence_with_scalar(self):
+        config = MonitorConfig(
+            engage_fraction=0.6, engage_windows=2,
+            violation_windows_to_throttle=2, throttle_windows=3,
+        )
+        space = list(itertools.product(
+            range(3),            # mode
+            range(4),            # compliant streak
+            range(4),            # violation streak
+            range(3),            # throttle remaining
+            (False, True),       # violated
+            (False, True),       # slack
+        ))
+        for q_mode_available in (True, False):
+            mode = np.array([s[0] for s in space], dtype=np.int64)
+            compliant = np.array([s[1] for s in space], dtype=np.int64)
+            violation = np.array([s[2] for s in space], dtype=np.int64)
+            throttle = np.array([s[3] for s in space], dtype=np.int64)
+            violated = np.array([s[4] for s in space])
+            slack = np.array([s[5] for s in space])
+            ordered = monitor_transition_vec(
+                mode, compliant, violation, throttle, violated, slack,
+                config, q_mode_available,
+            )
+            for i, (m, cs, vs, tr, v, s) in enumerate(space):
+                state, _, want_ordered = monitor_transition(
+                    MonitorState(m, cs, vs, tr), v, s, config, q_mode_available
+                )
+                got = (mode[i], compliant[i], violation[i], throttle[i])
+                want = (state.mode, state.compliant_streak,
+                        state.violation_streak, state.throttle_remaining)
+                assert got == want, (space[i], q_mode_available)
+                assert bool(ordered[i]) == want_ordered, (
+                    space[i], q_mode_available,
+                )
+
+    def test_throttle_corunner_equals_pre_window_throttle(self):
+        # The engine derives "co-runner throttled this window" from
+        # throttle_remaining > 0 at window start; scalar decisions agree.
+        config = MonitorConfig()
+        state = MonitorState(mode=0, violation_streak=2)
+        state, corunner, ordered = monitor_transition(
+            state, True, False, config
+        )
+        assert ordered and corunner
+        assert state.throttle_remaining == config.throttle_windows
+        # Next windows: throttling continues exactly while remaining > 0.
+        for _ in range(config.throttle_windows - 1):
+            pre = state.throttle_remaining > 0
+            state, corunner, _ = monitor_transition(state, False, True, config)
+            assert pre  # engine's view of "throttled now"
+
+
+class TestPolicies:
+    def ctx(self, n_servers=6, n_windows=12, seed=5) -> PolicyContext:
+        return PolicyContext(
+            n_servers=n_servers, n_windows=n_windows,
+            overprovision=1.2, balance_jitter=0.05, seed=seed,
+        )
+
+    def test_uniform_equal_shares(self):
+        ctx = self.ctx()
+        loads = make_policy("uniform").server_loads(0.9, 3, ctx)
+        assert loads.shape == (6,)
+        assert np.allclose(loads, 0.9 / 1.2)
+
+    def test_jittered_matches_legacy_streams(self):
+        # Small fleets reproduce ClusterSimulator's per-server jitter rngs.
+        ctx = self.ctx()
+        loads = make_policy("jittered").server_loads(0.6, 4, ctx)
+        share = 0.6 / 1.2
+        for k in range(ctx.n_servers):
+            rng = np.random.default_rng(derive_seed(ctx.seed, "jitter", k))
+            jitter = 1.0 + rng.uniform(-0.05, 0.05, size=ctx.n_windows + 1)
+            assert loads[k] == share * jitter[4 % (ctx.n_windows + 1)]
+
+    def test_jittered_large_fleet_branch(self):
+        ctx = self.ctx(n_servers=EXACT_JITTER_MAX + 1)
+        policy = make_policy("jittered")
+        loads = policy.server_loads(0.6, 2, ctx)
+        share = 0.6 / 1.2
+        assert loads.shape == (EXACT_JITTER_MAX + 1,)
+        assert np.all(loads >= share * 0.95) and np.all(loads <= share * 1.05)
+        assert np.array_equal(loads, policy.server_loads(0.6, 2, self.ctx(
+            n_servers=EXACT_JITTER_MAX + 1)))
+        assert not np.array_equal(loads, policy.server_loads(0.6, 3, ctx))
+
+    def test_power_of_two_conserves_total_load(self):
+        ctx = self.ctx(n_servers=64)
+        loads = make_policy("power-of-two-choices").server_loads(0.6, 1, ctx)
+        share = 0.6 / 1.2
+        assert loads.mean() == pytest.approx(share)
+        assert loads.std() > 0.0
+
+    def test_locality_sharded_static_weights(self):
+        ctx = self.ctx(n_servers=64)
+        policy = make_policy("locality-sharded")
+        first = policy.server_loads(0.6, 0, ctx)
+        again = policy.server_loads(0.6, 7, ctx)
+        assert np.array_equal(first, again)  # weights are static per fleet
+        assert first.mean() == pytest.approx(0.6 / 1.2)
+        assert len(np.unique(np.round(first, 12))) <= 16
+
+    def test_make_policy_and_curves(self):
+        with pytest.raises(KeyError, match="unknown load-balancing policy"):
+            make_policy("round-robin")
+        name, fn = resolve_load_curve("flat:0.4")
+        assert name == "flat:0.4" and fn(13.0) == 0.4
+        with pytest.raises(KeyError, match="unknown load curve"):
+            resolve_load_curve("tides")
+        register_load_curve("test-constant", lambda hour: 0.25)
+        _, registered = resolve_load_curve("test-constant")
+        assert registered(0.0) == 0.25
+        assert resolve_load_curve(lambda hour: 0.1)[0] is None
+
+
+class TestSurrogate:
+    def test_roundtrip_values(self, surrogate):
+        clone = TailSurrogate.from_values(surrogate.to_values())
+        assert clone.perf_factors == surrogate.perf_factors
+        assert clone.loads == surrogate.loads
+        assert clone.error_bound_ms == surrogate.error_bound_ms
+        assert np.array_equal(clone.quantiles_ms, surrogate.quantiles_ms)
+        assert clone.qos == surrogate.qos
+
+    def test_predict_interpolates_grid_means(self, surrogate):
+        perf = surrogate.perf_factors[0]
+        at_grid = surrogate.predict(np.asarray(surrogate.loads), perf)
+        assert np.allclose(at_grid, surrogate.mean_ms[0])
+        mid = (surrogate.loads[1] + surrogate.loads[2]) / 2.0
+        between = surrogate.predict(np.array([mid]), perf)[0]
+        lo, hi = sorted(surrogate.mean_ms[0][1:3])
+        assert lo <= between <= hi
+
+    def test_sample_monotone_in_uniform(self, surrogate):
+        perf = np.full(9, surrogate.perf_factors[-1])
+        load = np.full(9, 0.9)
+        u = np.linspace(0.02, 0.98, 9)
+        tails = surrogate.sample(load, perf, u)
+        assert np.all(np.diff(tails) >= 0.0)
+        assert np.all(tails >= 0.5 * surrogate.qos.base_service_ms)
+
+    def test_unknown_perf_row_raises(self, surrogate):
+        with pytest.raises(KeyError, match="not in fitted rows"):
+            surrogate.sample(np.array([0.5]), np.array([0.123]), np.array([0.5]))
+
+    def test_error_bound_is_positive_and_finite(self, surrogate):
+        assert 0.0 < surrogate.error_bound_ms < 10_000.0
+
+
+class TestExactEquivalence:
+    """tail="exact" fleet runs are bit-compatible with ClusterSimulator."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        profile = get_profile("web_search")
+        performance = performance_model()
+        config = fleet_config(n_servers=2, window_minutes=240.0,
+                              requests_per_window=300)
+        fleet = FleetEngine(profile, performance, config).run_day(
+            "web_search", tail="exact"
+        )
+        legacy = ClusterSimulator(
+            profile, performance, n_servers=2, seed=config.seed
+        )._run_day(resolve_load_curve("web_search")[1],
+                   window_minutes=240.0, requests_per_window=300)
+        return fleet, FleetTimeline.from_cluster(legacy, 240.0)
+
+    def test_integer_aggregates_identical(self, pair):
+        fleet, legacy = pair
+        assert np.array_equal(fleet.mode_counts, legacy.mode_counts)
+        assert np.array_equal(fleet.violations, legacy.violations)
+        assert np.array_equal(fleet.throttled, legacy.throttled)
+        assert np.array_equal(fleet.server_violations, legacy.server_violations)
+        assert np.array_equal(
+            fleet.server_bmode_windows, legacy.server_bmode_windows
+        )
+
+    def test_float_aggregates_identical(self, pair):
+        fleet, legacy = pair
+        assert np.allclose(fleet.tail_ms_sum, legacy.tail_ms_sum, rtol=1e-9)
+        assert np.allclose(
+            fleet.batch_uipc_sum, legacy.batch_uipc_sum, rtol=1e-9
+        )
+        assert np.allclose(fleet.hours, legacy.hours)
+
+
+class TestSurrogateEquivalenceGate:
+    """Surrogate fleet vs exact DES fleet, within the stated error bound."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, surrogate):
+        profile = get_profile("web_search")
+        performance = performance_model()
+        config = fleet_config(n_servers=8)
+        exact = FleetEngine(profile, performance, config).run_day(
+            "web_search", tail="exact"
+        )
+        approx = FleetEngine(
+            profile, performance, config, surrogate=surrogate
+        ).run_day("web_search", tail="surrogate")
+        return exact, approx
+
+    def test_mean_tail_within_stated_error_bound(self, runs, surrogate):
+        exact, approx = runs
+        assert abs(approx.mean_tail_ms - exact.mean_tail_ms) <= (
+            surrogate.error_bound_ms
+        )
+
+    def test_dynamics_agree(self, runs):
+        exact, approx = runs
+        assert abs(approx.violation_rate - exact.violation_rate) <= 0.15
+        assert abs(approx.bmode_fraction - exact.bmode_fraction) <= 0.30
+        # Both see the diurnal shape: more B-mode off-peak than at peak.
+        assert approx.bmode_fraction > 0.2
+        assert exact.bmode_fraction > 0.2
+
+
+class TestSharding:
+    def test_shard_bounds(self):
+        assert shard_bounds(10, 3) == [(0, 3), (3, 6), (6, 10)]
+        assert shard_bounds(2, 8) == [(0, 1), (1, 2)]
+        assert shard_bounds(5, 1) == [(0, 5)]
+        with pytest.raises(ValueError):
+            shard_bounds(0, 2)
+
+    def test_server_range_slices_match_full_run(self, surrogate):
+        profile = get_profile("web_search")
+        config = fleet_config(n_servers=64)
+        engine = FleetEngine(
+            profile, performance_model(), config, surrogate=surrogate
+        )
+        full = engine.run_day("web_search")
+        parts = [
+            engine.run_day("web_search", server_range=(lo, hi))
+            for lo, hi in ((0, 21), (21, 43), (43, 64))
+        ]
+        merged = FleetTimeline.merge(parts)
+        assert merged.n_servers == full.n_servers
+        assert np.array_equal(merged.mode_counts, full.mode_counts)
+        assert np.array_equal(merged.violations, full.violations)
+        assert np.array_equal(merged.server_violations, full.server_violations)
+        # Float sums agree up to summation-order noise only.
+        assert np.allclose(merged.tail_ms_sum, full.tail_ms_sum, rtol=1e-12)
+        assert np.allclose(
+            merged.batch_uipc_sum, full.batch_uipc_sum, rtol=1e-12
+        )
+
+    def test_run_fleet_sharded_on_process_pool(self, tmp_path, surrogate):
+        profile = get_profile("web_search")
+        config = fleet_config(n_servers=12)
+        full = FleetEngine(
+            profile, performance_model(), config, surrogate=surrogate
+        ).run_day("web_search")
+        store = ResultStore(tmp_path)
+        sharded = run_fleet_sharded(
+            profile, performance_model(), config, "web_search",
+            engine=ExecutionEngine(EngineConfig(workers=2)),
+            store=store, n_shards=3, surrogate=surrogate,
+        )
+        assert sharded.n_servers == 12
+        assert np.array_equal(sharded.violations, full.violations)
+        assert np.array_equal(sharded.mode_counts, full.mode_counts)
+        assert np.allclose(sharded.tail_ms_sum, full.tail_ms_sum, rtol=1e-12)
+
+    def test_sharded_requires_named_curve(self):
+        config = fleet_config(n_servers=4)
+        with pytest.raises(TypeError, match="named load curve"):
+            run_fleet_sharded(
+                get_profile("web_search"), performance_model(), config,
+                lambda hour: 0.5,
+            )
+
+
+class TestFleetTimeline:
+    def test_values_roundtrip(self, surrogate):
+        engine = FleetEngine(
+            get_profile("web_search"), performance_model(),
+            fleet_config(n_servers=4), surrogate=surrogate,
+        )
+        timeline = engine.run_day("flat:0.5")
+        clone = FleetTimeline.from_values(timeline.to_values())
+        assert clone.n_servers == timeline.n_servers
+        assert np.array_equal(clone.mode_counts, timeline.mode_counts)
+        assert np.array_equal(clone.server_violations, timeline.server_violations)
+        assert np.allclose(clone.tail_ms_sum, timeline.tail_ms_sum)
+        assert clone.violation_rate == timeline.violation_rate
+
+    def test_merge_rejects_mismatched_grids(self):
+        a = FleetTimeline.empty(2, 12, 120.0)
+        b = FleetTimeline.empty(2, 6, 240.0, shard_lo=2)
+        with pytest.raises(ValueError, match="window grid"):
+            FleetTimeline.merge([a, b])
+        with pytest.raises(ValueError):
+            FleetTimeline.merge([])
+
+    def test_empty_aggregates(self):
+        t = FleetTimeline.empty(0, 0, 10.0)
+        assert t.violation_rate == 0.0
+        assert t.bmode_fraction == 0.0
+        assert t.mean_tail_ms == 0.0
+        assert t.batch_throughput_gain(1.0) == 0.0
+        assert t.straggler_p99_violations == 0.0
+
+
+class TestFleetConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(n_servers=0)
+        with pytest.raises(ValueError):
+            FleetConfig(overprovision=0.9)
+        with pytest.raises(ValueError):
+            FleetConfig(balance_jitter=0.7)
+        with pytest.raises(KeyError):
+            FleetConfig(policy="round-robin")
+        with pytest.raises(ValueError):
+            FleetConfig(monitor=MonitorConfig(engage_fraction=0.5).__class__(
+                engage_fraction=0.5, engage_windows=0))
+
+    def test_engine_rejects_bad_ranges(self, surrogate):
+        engine = FleetEngine(
+            get_profile("web_search"), performance_model(),
+            fleet_config(n_servers=4), surrogate=surrogate,
+        )
+        with pytest.raises(ValueError, match="server_range"):
+            engine.run_day("flat:0.5", server_range=(2, 8))
+        with pytest.raises(ValueError, match="tail"):
+            engine.run_day("flat:0.5", tail="psychic")
+
+    def test_engine_requires_qos_and_matching_model(self):
+        with pytest.raises(ValueError, match="no QoS contract"):
+            FleetEngine(get_profile("zeusmp"), performance_model())
+        with pytest.raises(ValueError, match="performance model"):
+            FleetEngine(get_profile("data_serving"), performance_model())

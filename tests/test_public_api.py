@@ -1,0 +1,126 @@
+"""Public-API audit: every ``repro.*`` ``__all__`` vs the docs export index.
+
+The "Export index" appendix in ``docs/API.md`` is a machine-readable
+snapshot of every module's ``__all__``.  This test fails in BOTH
+directions — a name exported but undocumented, or documented but gone —
+so the docs and the code surface cannot drift apart silently.
+
+Regenerate the appendix after an intentional surface change:
+
+    PYTHONPATH=src python tests/test_public_api.py --regen
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import re
+from pathlib import Path
+
+import pytest
+
+API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+INDEX_RE = re.compile(
+    r"^## Export index.*?```text\n(.*?)```", re.DOTALL | re.MULTILINE
+)
+
+
+def actual_exports() -> dict[str, list[str]]:
+    """Import every ``repro`` module and collect its ``__all__``."""
+    import repro
+
+    names = ["repro"]
+    names += [m.name for m in pkgutil.walk_packages(repro.__path__, "repro.")]
+    out = {}
+    for name in sorted(names):
+        module = importlib.import_module(name)
+        out[name] = list(getattr(module, "__all__", []))
+    return out
+
+
+def documented_exports() -> dict[str, list[str]]:
+    """Parse the Export index appendix out of docs/API.md."""
+    match = INDEX_RE.search(API_MD.read_text())
+    assert match, "docs/API.md is missing the '## Export index' appendix"
+    out = {}
+    for line in match.group(1).splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        module, _, exports = line.partition(":")
+        out[module.strip()] = exports.split()
+    return out
+
+
+def render_index(exports: dict[str, list[str]]) -> str:
+    return "".join(
+        f"{module}: {' '.join(names)}\n"
+        for module, names in sorted(exports.items())
+    )
+
+
+class TestExportIndex:
+    def test_every_module_declares_all(self):
+        for module, exports in actual_exports().items():
+            assert exports, f"{module} has no (or an empty) __all__"
+
+    def test_all_names_resolve_and_are_unique(self):
+        for module_name, exports in actual_exports().items():
+            module = importlib.import_module(module_name)
+            missing = [n for n in exports if not hasattr(module, n)]
+            assert not missing, f"{module_name}.__all__ lists {missing}"
+            dupes = {n for n in exports if exports.count(n) > 1}
+            assert not dupes, f"{module_name}.__all__ repeats {dupes}"
+
+    def test_docs_match_code(self):
+        actual = actual_exports()
+        documented = documented_exports()
+        hint = (
+            "docs/API.md Export index is stale; regenerate with "
+            "`PYTHONPATH=src python tests/test_public_api.py --regen`"
+        )
+        assert sorted(documented) == sorted(actual), (
+            f"module list drift: undocumented={sorted(set(actual) - set(documented))} "
+            f"vanished={sorted(set(documented) - set(actual))}\n{hint}"
+        )
+        for module in actual:
+            assert sorted(documented[module]) == sorted(actual[module]), (
+                f"{module}: docs say {sorted(documented[module])}, "
+                f"code says {sorted(actual[module])}\n{hint}"
+            )
+
+
+class TestStarImport:
+    def test_star_import_matches_all(self):
+        import repro
+
+        namespace: dict = {}
+        exec("from repro import *", namespace)
+        imported = {n for n in namespace if not n.startswith("_")}
+        assert imported == set(repro.__all__)
+
+    def test_facade_verbs_front_and_centre(self):
+        import repro
+
+        for verb in ("simulate", "measure", "run_day", "run_fleet"):
+            assert verb in repro.__all__
+
+
+def _regen() -> None:
+    text = API_MD.read_text()
+    index = render_index(actual_exports())
+    new, n = INDEX_RE.subn(
+        lambda m: m.group(0).replace(m.group(1), index), text, count=1
+    )
+    assert n == 1, "could not locate the Export index appendix"
+    API_MD.write_text(new)
+    print(f"rewrote Export index ({len(actual_exports())} modules)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        sys.exit(pytest.main([__file__, "-q"]))
