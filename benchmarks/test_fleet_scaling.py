@@ -1,13 +1,19 @@
-"""Fleet-engine scaling benchmark: 1k → 100k servers over a 24-hour day.
+"""Fleet-engine scaling benchmark: 1k → 1M servers over a 24-hour day.
 
 Times :class:`repro.fleet.FleetEngine` (vectorized, surrogate tails) at
 growing fleet sizes on the web_search/zeusmp pair and persists the wall
 times to ``benchmarks/results/BENCH_fleet.json`` so the fleet engine's
 perf trajectory is tracked across PRs.
 
+Windows advance in chunks of :data:`repro.fleet.DEFAULT_CHUNK_SERVERS`
+(the streaming path behind ``repro.service``), which keeps the
+per-server temporaries cache-resident — ``server_windows_per_s`` should
+hold roughly flat from 10k to 1M instead of falling off with the
+working set.
+
 The tail-surrogate calibration (a one-off DES sweep, memoized in the
 result store) runs *outside* the timed region — the acceptance target is
-the simulation itself: 100k servers × 24 hours in under 60 seconds.
+the simulation itself: a 1M-server day in under 60 seconds.
 """
 
 from __future__ import annotations
@@ -24,11 +30,11 @@ from repro.workloads.registry import get_profile
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
-FLEET_SIZES = (1_000, 10_000, 100_000)
+FLEET_SIZES = (1_000, 10_000, 100_000, 1_000_000)
 SEED = 29
 
-#: Acceptance bound from the issue: a 100k-server day in under a minute.
-MAX_100K_SECONDS = 60.0
+#: Acceptance bound from the issue: a 1M-server day in under a minute.
+MAX_LARGEST_SECONDS = 60.0
 
 
 def test_fleet_scaling(benchmark, fidelity, save_result):
@@ -57,9 +63,9 @@ def test_fleet_scaling(benchmark, fidelity, save_result):
             wall[n_servers] = time.perf_counter() - start
 
     largest = FLEET_SIZES[-1]
-    assert wall[largest] < MAX_100K_SECONDS, (
+    assert wall[largest] < MAX_LARGEST_SECONDS, (
         f"{largest} servers took {wall[largest]:.1f}s "
-        f"(budget {MAX_100K_SECONDS:.0f}s)"
+        f"(budget {MAX_LARGEST_SECONDS:.0f}s)"
     )
     for n_servers, timeline in timelines.items():
         n_windows = timeline.mode_counts.shape[0]
@@ -78,9 +84,9 @@ def test_fleet_scaling(benchmark, fidelity, save_result):
             str(n): int(timelines[n].total_windows / wall[n])
             for n in FLEET_SIZES
         },
-        "budget_100k_s": MAX_100K_SECONDS,
-        "violation_rate_100k": round(timelines[largest].violation_rate, 5),
-        "bmode_fraction_100k": round(timelines[largest].bmode_fraction, 5),
+        "budget_1m_s": MAX_LARGEST_SECONDS,
+        "violation_rate_1m": round(timelines[largest].violation_rate, 5),
+        "bmode_fraction_1m": round(timelines[largest].bmode_fraction, 5),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_fleet.json").write_text(json.dumps(payload, indent=2))

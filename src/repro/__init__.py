@@ -15,9 +15,11 @@ Package map
   slack analysis, diurnal case studies).
 * :mod:`repro.experiments` — one harness per paper figure/table.
 * :mod:`repro.fleet` — the vectorized fleet-scale cluster engine.
+* :mod:`repro.service` — the live simulation-as-a-service loop (feeds,
+  what-if queries, checkpoint/resume, LDJSON control plane).
 * :mod:`repro.api` — the stable facade: :func:`~repro.api.simulate`,
   :func:`~repro.api.measure`, :func:`~repro.api.run_day`,
-  :func:`~repro.api.run_fleet`.
+  :func:`~repro.api.run_fleet`, :func:`~repro.api.serve`.
 
 Quickstart
 ----------
@@ -26,7 +28,7 @@ Quickstart
 >>> day = run_fleet("web_search", performance=perf)           # doctest: +SKIP
 """
 
-from repro.api import measure, run_day, run_fleet, simulate
+from repro.api import FleetService, measure, run_day, run_fleet, serve, simulate
 from repro.core import (
     B_MODES,
     BASELINE,
@@ -77,6 +79,8 @@ __all__ = [
     "measure",
     "run_day",
     "run_fleet",
+    "serve",
+    "FleetService",
     "quick_colocation_demo",
 ]
 

@@ -12,7 +12,11 @@ mean the same thing everywhere):
   (:class:`~repro.core.server.ServerTimeline`);
 * :func:`run_fleet` — a fleet/cluster day at any scale
   (:class:`~repro.fleet.engine.FleetTimeline`), choosing among the
-  vectorized, exact, sharded and legacy engines.
+  vectorized, exact, sharded and legacy engines;
+* :func:`serve` — the same fleet as a *live service*
+  (:class:`~repro.service.FleetService`): a load feed advances it window
+  by window, with streaming metrics, what-if queries, and bit-identical
+  checkpoint/resume.
 
 Sampling effort resolves the same way in every verb: pass ``sampling=``
 (a full :class:`~repro.cpu.sampling.SamplingConfig`) *or* ``fidelity=``
@@ -56,10 +60,11 @@ from repro.experiments.common import Fidelity
 from repro.fleet.engine import FleetConfig, FleetEngine, FleetTimeline
 from repro.fleet.policies import resolve_load_curve
 from repro.fleet.shard import run_fleet_sharded
+from repro.service import FleetService
 from repro.workloads import get_profile
 from repro.workloads.profiles import WorkloadProfile
 
-__all__ = ["simulate", "measure", "run_day", "run_fleet"]
+__all__ = ["simulate", "measure", "run_day", "run_fleet", "serve", "FleetService"]
 
 
 # ----------------------------------------------------------------------
@@ -454,3 +459,81 @@ def run_fleet(
     raise ValueError(
         f"engine must be vectorized/exact/sharded/legacy, got {engine!r}"
     )
+
+
+def serve(
+    ls,
+    batch=None,
+    *,
+    performance: ColocationPerformance | None = None,
+    feed="web_search",
+    tail: str = "surrogate",
+    config: FleetConfig | None = None,
+    n_servers: int = 1000,
+    policy: str = "jittered",
+    overprovision: float = 1.2,
+    balance_jitter: float = 0.05,
+    window_minutes: float = 10.0,
+    requests_per_window: int = 2000,
+    n_workers: int = 8,
+    monitor: MonitorConfig | None = None,
+    q_mode_available: bool = True,
+    seed: int = 0,
+    resume: str | None = None,
+    max_gap_windows: int = 6,
+    chunk_size: int | None = None,
+    surrogate=None,
+    store=None,
+    registry=None,
+    sink=None,
+    tracer=None,
+    sampling: SamplingConfig | None = None,
+    fidelity=None,
+    n_samples: int | None = None,
+) -> FleetService:
+    """Stand up a live :class:`~repro.service.FleetService` (not yet run).
+
+    The fleet construction kwargs mirror :func:`run_fleet`; ``feed`` is a
+    :class:`~repro.service.LoadFeed`, a registered curve name,
+    ``"flat:<x>"``, ``"phases:<spec>"``, ``"replay:<path>"``, or a
+    callable ``hour -> fraction``.  Pass ``resume=`` a checkpoint key to
+    restore mid-day state bit-identically.  Drive the returned service
+    with :meth:`~repro.service.FleetService.run` (the ``stretch-repro
+    serve`` loop) or :meth:`~repro.service.FleetService.advance`.
+    """
+    ls_profile = _resolve_profile(ls)
+    if performance is None:
+        if batch is None:
+            raise ValueError("pass a performance model or a batch workload")
+        performance = measure(
+            ls_profile, batch,
+            sampling=sampling, fidelity=fidelity, n_samples=n_samples,
+        )
+    if config is None:
+        config = FleetConfig(
+            n_servers=n_servers,
+            overprovision=overprovision,
+            balance_jitter=balance_jitter,
+            policy=policy,
+            window_minutes=window_minutes,
+            requests_per_window=requests_per_window,
+            n_workers=n_workers,
+            q_mode_available=q_mode_available,
+            seed=seed,
+            monitor=monitor if monitor is not None else MonitorConfig(),
+        )
+    engine = FleetEngine(
+        ls_profile, performance, config, surrogate=surrogate, store=store
+    )
+    kwargs = dict(
+        tail=tail,
+        store=store,
+        registry=registry,
+        sink=sink,
+        tracer=tracer,
+        max_gap_windows=max_gap_windows,
+        chunk_size=chunk_size,
+    )
+    if resume is not None:
+        return FleetService.resume(resume, engine, feed, **kwargs)
+    return FleetService(engine, feed, **kwargs)

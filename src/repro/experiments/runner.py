@@ -12,6 +12,7 @@
    $ stretch-repro check --configs 200        # differential oracle sweep
    $ stretch-repro inspect                    # store + job telemetry
    $ stretch-repro inspect 3fb2               # jobs whose key starts 3fb2
+   $ stretch-repro serve --servers 10000 --feed web_search --metrics out.jsonl
 
 With ``--jobs N`` (or ``auto``) each experiment's simulation grid is first
 executed on a process pool through :mod:`repro.engine`, populating the
@@ -330,6 +331,158 @@ def _check_main(argv: list[str]) -> int:
     return 1 if failed else 0
 
 
+def _serve_main(argv: list[str]) -> int:
+    """``stretch-repro serve``: the live fleet service loop.
+
+    Streams one LDJSON line per completed window (with ``--metrics``),
+    answers control commands from stdin (``status`` / ``whatif`` /
+    ``checkpoint`` / ``reconfigure`` / ``stop`` — see
+    :mod:`repro.service.control`), and shuts down cleanly on SIGINT with
+    a final summary line on stdout.
+    """
+    parser = argparse.ArgumentParser(
+        prog="stretch-repro serve",
+        description="Run a colocated server fleet as a live service: "
+                    "ingest a load feed window by window, stream fleet.* "
+                    "metrics, answer what-if/checkpoint/reconfigure "
+                    "queries over a line-delimited JSON control plane.",
+    )
+    parser.add_argument(
+        "--ls", default="web_search", metavar="WORKLOAD",
+        help="latency-sensitive workload (default: web_search)",
+    )
+    parser.add_argument(
+        "--batch", default="zeusmp", metavar="WORKLOAD",
+        help="batch co-runner (default: zeusmp)",
+    )
+    parser.add_argument(
+        "--servers", type=int, default=1000, metavar="N",
+        help="fleet size (default: 1000)",
+    )
+    parser.add_argument(
+        "--feed", default="web_search", metavar="SPEC",
+        help="load feed: curve name, flat:<x>, phases:<spec>, or "
+             "replay:<path.jsonl> (default: web_search)",
+    )
+    parser.add_argument(
+        "--windows", type=int, default=None, metavar="N",
+        help="serve at most N windows (default: the rest of the day)",
+    )
+    parser.add_argument(
+        "--window-minutes", type=float, default=10.0, metavar="MIN",
+        help="monitoring window length (default: 10)",
+    )
+    parser.add_argument(
+        "--requests-per-window", type=int, default=2000, metavar="N",
+        help="request samples per window (default: 2000)",
+    )
+    parser.add_argument(
+        "--policy", default="jittered", metavar="NAME",
+        help="load-balancing policy (default: jittered)",
+    )
+    parser.add_argument(
+        "--tail", choices=("surrogate", "exact"), default="surrogate",
+        help="tail evaluator (default: surrogate)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="fleet seed (default: 0)",
+    )
+    parser.add_argument(
+        "--fidelity", choices=("quick", "full"), default="quick",
+        help="sampling effort for the on-the-fly performance measurement "
+             "(default: quick; memoized via the result store)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="stream one fleet_window JSONL record per window to FILE",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write Chrome trace-event JSON over the "
+             "ingest->advance->publish loop",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="persist a content-addressed checkpoint every N windows "
+             "(plus one final checkpoint at shutdown)",
+    )
+    parser.add_argument(
+        "--resume", metavar="KEY", default=None,
+        help="resume from a checkpoint key (bit-identical to never "
+             "having stopped)",
+    )
+    parser.add_argument(
+        "--max-gap", type=int, default=6, metavar="N",
+        help="tolerated consecutive feed gaps (hold-last fill) before a "
+             "clean feed_stalled shutdown (default: 6)",
+    )
+    parser.add_argument(
+        "--chunk", type=int, default=None, metavar="N",
+        help="servers advanced per chunk (default: "
+             "$REPRO_FLEET_CHUNK or 65536)",
+    )
+    parser.add_argument(
+        "--pace", type=float, default=0.0, metavar="SECONDS",
+        help="real seconds per simulated window (0 = flat out)",
+    )
+    parser.add_argument(
+        "--no-control", action="store_true",
+        help="do not read control commands from stdin",
+    )
+    args = parser.parse_args(argv)
+
+    import signal
+
+    from repro.api import serve
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.sampler import JsonlSink
+    from repro.service.control import ControlPlane, respond
+
+    sink = JsonlSink(args.metrics) if args.metrics else None
+    tracer = SpanTracer(process_name="stretch-repro serve") if args.trace else None
+    service = serve(
+        args.ls,
+        args.batch,
+        feed=args.feed,
+        tail=args.tail,
+        n_servers=args.servers,
+        policy=args.policy,
+        window_minutes=args.window_minutes,
+        requests_per_window=args.requests_per_window,
+        seed=args.seed,
+        fidelity=args.fidelity,
+        resume=args.resume,
+        max_gap_windows=args.max_gap,
+        chunk_size=args.chunk,
+        registry=MetricsRegistry(),
+        sink=sink,
+        tracer=tracer,
+    )
+    control = None if args.no_control else ControlPlane(sys.stdin)
+    previous = signal.signal(
+        signal.SIGINT, lambda signum, frame: service.stop("sigint")
+    )
+    try:
+        summary = service.run(
+            n_windows=args.windows,
+            control=control,
+            out=sys.stdout,
+            checkpoint_every=args.checkpoint_every,
+            pace_seconds=args.pace,
+        )
+    finally:
+        signal.signal(signal.SIGINT, previous)
+    if args.checkpoint_every and service.window > 0:
+        summary["checkpoint"] = service.checkpoint()
+    respond(sys.stdout, summary)
+    if sink is not None:
+        sink.flush()
+    if tracer is not None:
+        tracer.write(args.trace)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -337,6 +490,8 @@ def main(argv: list[str] | None = None) -> int:
         return _inspect_main(argv[1:])
     if argv and argv[0] == "check":
         return _check_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     if argv and argv[0] == "run":
         # Explicit subcommand form: ``stretch-repro run fig06 …``.
         argv = argv[1:]

@@ -22,8 +22,11 @@ The stable entry point is :func:`repro.api.run_fleet`.
 """
 
 from repro.fleet.engine import (
+    DEFAULT_CHUNK_SERVERS,
     FleetConfig,
     FleetEngine,
+    FleetState,
+    FleetStepper,
     FleetTimeline,
     monitor_transition_vec,
 )
@@ -43,9 +46,12 @@ from repro.fleet.surrogate import (
 )
 
 __all__ = [
+    "DEFAULT_CHUNK_SERVERS",
     "FleetConfig",
     "FleetEngine",
     "FleetShardJob",
+    "FleetState",
+    "FleetStepper",
     "FleetTimeline",
     "LoadBalancingPolicy",
     "POLICY_NAMES",

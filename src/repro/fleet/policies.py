@@ -73,8 +73,10 @@ def resolve_load_curve(load) -> tuple[str | None, Callable[[float], float]]:
     """Resolve a load spec into ``(name, fn)``.
 
     Accepts a registered curve name, ``"flat:<fraction>"`` for a constant
-    load, or a bare callable (name ``None`` — usable everywhere except
-    sharded runs, which need a content-addressable name).
+    load, ``"replay:<path>"`` to replay a recorded JSONL window stream
+    (see :func:`repro.service.feeds.replay_curve`), or a bare callable
+    (name ``None`` — usable everywhere except sharded runs, which need a
+    content-addressable name).
     """
     if callable(load):
         return None, load
@@ -82,12 +84,18 @@ def resolve_load_curve(load) -> tuple[str | None, Callable[[float], float]]:
     if name.startswith("flat:"):
         level = float(name.split(":", 1)[1])
         return name, lambda hour: level
+    if name.startswith("replay:"):
+        # Lazy import: repro.service.feeds imports this module at load.
+        from repro.service.feeds import replay_curve
+
+        return name, replay_curve(name.split(":", 1)[1])
     try:
         return name, _LOAD_CURVES[name]
     except KeyError:
         known = ", ".join(sorted(_LOAD_CURVES))
         raise KeyError(
-            f"unknown load curve {name!r}; known: {known}, or 'flat:<x>'"
+            f"unknown load curve {name!r}; known: {known}, "
+            "or 'flat:<x>' / 'replay:<path>'"
         ) from None
 
 

@@ -21,7 +21,7 @@ Everything is surfaced through ``stretch-repro run --trace/--metrics/
 --profile`` and ``stretch-repro inspect``; see docs/API.md §Observability.
 """
 
-from repro.obs.fleet import publish_fleet_metrics
+from repro.obs.fleet import publish_fleet_metrics, publish_fleet_window
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -75,5 +75,6 @@ __all__ = [
     "get_registry",
     "pipeline_trace",
     "publish_fleet_metrics",
+    "publish_fleet_window",
     "set_registry",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["publish_fleet_metrics"]
+__all__ = ["publish_fleet_metrics", "publish_fleet_window"]
 
 #: Daily per-server violation-count buckets for the straggler histogram.
 _VIOLATION_BOUNDS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
@@ -54,3 +54,39 @@ def publish_fleet_metrics(registry: MetricsRegistry, timeline) -> None:
         hour = float(timeline.hours[k])
         violations.append(hour, float(timeline.violations[k]))
         throttled.append(hour, float(timeline.throttled[k]))
+
+
+def publish_fleet_window(registry: MetricsRegistry, record: dict) -> None:
+    """Publish one live window record (the streaming-service counterpart).
+
+    ``record`` is the per-window aggregate dict a
+    :meth:`repro.fleet.engine.FleetStepper.step` call returns.  Gauges
+    track the latest window; series accumulate the day so far, on the
+    same ``fleet.*`` names the batch publisher uses.
+    """
+    if registry is None:
+        return
+    hour = float(record["hour"])
+    servers = max(int(record["servers"]), 1)
+    registry.counter("fleet.windows").inc(int(record["servers"]))
+    registry.gauge("fleet.window").set(float(record["window"]))
+    registry.gauge("fleet.violation_rate").set(
+        record["violations"] / servers
+    )
+    registry.gauge("fleet.throttled_fraction").set(
+        record["throttled"] / servers
+    )
+    registry.gauge("fleet.mean_tail_ms").set(float(record["mean_tail_ms"]))
+    for name, key in zip(_MODE_NAMES, ("mode_baseline", "mode_b", "mode_q")):
+        registry.gauge(f"fleet.mode_occupancy.{name}").set(
+            record[key] / servers
+        )
+    registry.series("fleet.cluster_load").append(
+        hour, float(record["cluster_load"])
+    )
+    registry.series("fleet.violations").append(
+        hour, float(record["violations"])
+    )
+    registry.series("fleet.throttled").append(
+        hour, float(record["throttled"])
+    )

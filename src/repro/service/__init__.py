@@ -1,0 +1,62 @@
+"""Live simulation-as-a-service fleet loop (``repro.service``).
+
+Where :func:`repro.api.run_fleet` simulates a whole day in one batch
+call, this package keeps a vectorized fleet *running*: a
+:class:`FleetService` ingests a load feed one monitoring window at a
+time, streams ``fleet.*`` metrics as it goes, answers **what-if**
+reconfiguration queries against a shadow copy of the fleet, and can be
+checkpointed and resumed bit-identically mid-day.
+
+* :mod:`repro.service.feeds` — the :class:`LoadFeed` abstraction: named
+  diurnal curves, phase-structured synthetic generators, and JSONL
+  replay (also registered as ``"replay:<path>"`` load curves for the
+  batch entry points);
+* :mod:`repro.service.service` — the :class:`FleetService` loop
+  (ingest → advance → publish) with what-if, reconfigure, and graceful
+  feed-gap degradation;
+* :mod:`repro.service.checkpoint` — content-addressed state snapshots
+  on the :mod:`repro.engine.store`;
+* :mod:`repro.service.control` — the line-delimited JSON control plane
+  behind ``stretch-repro serve``.
+
+The stable entry point is :func:`repro.api.serve`.
+"""
+
+from repro.service.checkpoint import (
+    CHECKPOINT_VERSION,
+    checkpoint_key,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.service.control import COMMANDS, ControlPlane, handle_command, respond
+from repro.service.feeds import (
+    CurveFeed,
+    LoadFeed,
+    Phase,
+    PhaseFeed,
+    ReplayFeed,
+    make_feed,
+    parse_phases,
+    replay_curve,
+)
+from repro.service.service import FleetService
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "COMMANDS",
+    "ControlPlane",
+    "CurveFeed",
+    "FleetService",
+    "LoadFeed",
+    "Phase",
+    "PhaseFeed",
+    "ReplayFeed",
+    "checkpoint_key",
+    "handle_command",
+    "load_checkpoint",
+    "make_feed",
+    "parse_phases",
+    "replay_curve",
+    "respond",
+    "save_checkpoint",
+]

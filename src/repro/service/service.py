@@ -1,0 +1,369 @@
+"""The live fleet service: ingest → advance → publish, window by window.
+
+:class:`FleetService` owns a :class:`~repro.fleet.engine.FleetEngine`
+and drives it through a :class:`~repro.fleet.engine.FleetStepper`, one
+monitoring window per :meth:`advance` tick, with the cluster load for
+each window *ingested* from a pluggable
+:class:`~repro.service.feeds.LoadFeed` rather than baked in up front.
+Around that loop it layers the three service-grade capabilities:
+
+* **streaming observability** — every completed window is published to a
+  :class:`~repro.obs.metrics.MetricsRegistry` (``fleet.*`` gauges and
+  series), appended to a JSONL sink, and bracketed by Perfetto spans
+  (``service.ingest`` / ``service.advance`` / ``service.publish``);
+* **what-if queries** — :meth:`whatif` deep-copies the fleet state, forks
+  a shadow engine under an alternate monitor/policy, runs both the live
+  and alternate configurations ``horizon`` windows ahead on the feed's
+  forecast, and returns a metric diff — the live arrays are never touched;
+* **checkpoint/resume** — :meth:`checkpoint` writes the flattened state
+  to the content-addressed result store; :meth:`resume` rebuilds a
+  service that is bit-identical to one that never stopped.
+
+Feed gaps degrade gracefully: a missing window is filled by holding the
+last ingested load, and :attr:`max_gap_windows` bounds the lag — beyond
+it the service stops cleanly (``stop_reason="feed_stalled"``) instead of
+free-running on stale data forever.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, replace
+
+from repro.fleet.engine import FleetEngine, FleetState
+from repro.fleet.shard import _performance_payload
+from repro.obs.fleet import publish_fleet_window
+from repro.service.checkpoint import load_checkpoint, save_checkpoint
+from repro.service.feeds import LoadFeed, make_feed
+
+__all__ = ["FleetService"]
+
+
+class FleetService:
+    """A long-lived, queryable fleet simulation advanced by a load feed."""
+
+    def __init__(
+        self,
+        engine: FleetEngine,
+        feed,
+        *,
+        tail: str = "surrogate",
+        state: FleetState | None = None,
+        store=None,
+        registry=None,
+        sink=None,
+        tracer=None,
+        max_gap_windows: int = 6,
+        chunk_size: int | None = None,
+    ):
+        if max_gap_windows < 0:
+            raise ValueError("max_gap_windows must be non-negative")
+        self.engine = engine
+        self.feed: LoadFeed = make_feed(
+            feed,
+            seed=engine.config.seed,
+            window_minutes=engine.config.window_minutes,
+        )
+        self.tail = tail
+        self.registry = registry
+        self.sink = sink
+        self.tracer = tracer
+        self.max_gap_windows = int(max_gap_windows)
+        self._store = store
+        self._chunk_size = chunk_size
+        self._stepper = engine.stepper(
+            None, tail=tail, state=state, chunk_size=chunk_size
+        )
+        self._last_load: float | None = None
+        self._gap_run = 0
+        self.feed_gaps = 0
+        self.stopped = False
+        self.stop_reason: str | None = None
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def state(self) -> FleetState:
+        return self._stepper.state
+
+    @property
+    def timeline(self):
+        return self._stepper.timeline
+
+    @property
+    def window(self) -> int:
+        """Index of the *next* window to advance."""
+        return self.state.window
+
+    @property
+    def done(self) -> bool:
+        return self._stepper.done
+
+    @property
+    def remaining(self) -> int:
+        return self._stepper.remaining
+
+    def _identity(self) -> str:
+        """Content identity of this service for checkpoint addressing."""
+        return repr((
+            self.engine.ls_profile.name,
+            _performance_payload(self.engine.performance),
+            self.engine.config,
+            self.feed.name,
+            self.tail,
+        ))
+
+    def _hour(self, window: int) -> float:
+        return window * self.engine.config.window_minutes / 60.0
+
+    def _span(self, name: str, **args):
+        if self.tracer is not None:
+            return self.tracer.span(name, cat="service", args=args or None)
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    # -- the ingest → advance → publish loop -----------------------------
+
+    def ingest(self, window: int) -> tuple[float, bool]:
+        """Pull window ``window``'s load from the feed.
+
+        Returns ``(load, gap_filled)``.  A gap holds the last ingested
+        window (0.0 before any); :attr:`max_gap_windows` consecutive gaps
+        later, the service stops itself (``feed_stalled``).
+        """
+        load = self.feed.load(window, self._hour(window))
+        if load is None:
+            self.feed_gaps += 1
+            self._gap_run += 1
+            if self._gap_run > self.max_gap_windows:
+                self.stop("feed_stalled")
+            return (self._last_load if self._last_load is not None else 0.0,
+                    True)
+        self._gap_run = 0
+        self._last_load = float(load)
+        return float(load), False
+
+    def advance(self, n_windows: int = 1) -> list[dict]:
+        """Ingest and simulate up to ``n_windows`` windows; returns records."""
+        records = []
+        for _ in range(n_windows):
+            if self.done or self.stopped:
+                break
+            k = self.window
+            with self._span("service.ingest", window=k):
+                load, gap_filled = self.ingest(k)
+            if self.stopped:
+                break
+            with self._span("service.advance", window=k):
+                record = self._stepper.step(load)
+            record["gap_filled"] = gap_filled
+            with self._span("service.publish", window=k):
+                publish_fleet_window(self.registry, record)
+                if self.sink is not None:
+                    self.sink.write(dict(record, type="fleet_window"))
+                    self.sink.flush()
+            records.append(record)
+        return records
+
+    # -- control-plane verbs ---------------------------------------------
+
+    def status(self) -> dict:
+        """Live snapshot: progress, configuration, metrics so far."""
+        sofar = self.timeline.slice_metrics(0, self.window)
+        return {
+            "window": self.window,
+            "n_windows": self.state.n_windows,
+            "n_servers": self.state.n_servers,
+            "done": self.done,
+            "stopped": self.stopped,
+            "stop_reason": self.stop_reason,
+            "feed": self.feed.name,
+            "feed_gaps": self.feed_gaps,
+            "tail": self.tail,
+            "policy": self.engine.config.policy,
+            "monitor": asdict(self.engine.config.monitor),
+            "metrics": sofar,
+        }
+
+    def _forecast_loads(self, horizon: int) -> list[float]:
+        held = self._last_load if self._last_load is not None else 0.0
+        loads = []
+        for i in range(horizon):
+            k = self.window + i
+            load = self.feed.forecast(k, self._hour(k))
+            loads.append(float(load) if load is not None else held)
+        return loads
+
+    def _shadow_engine(self, config) -> FleetEngine:
+        """An engine clone under ``config`` sharing the fitted surrogate."""
+        return FleetEngine(
+            self.engine.ls_profile,
+            self.engine.performance,
+            config,
+            surrogate=self.engine._surrogate,
+            store=self.engine._store,
+        )
+
+    def whatif(
+        self,
+        *,
+        monitor=None,
+        policy: str | None = None,
+        horizon: int = 12,
+    ) -> dict:
+        """Fork a shadow fleet under an alternate config; return the diff.
+
+        Both the live configuration and the alternate advance ``horizon``
+        windows from a deep copy of the current state, on the feed's
+        forecast loads, so the diff isolates the *configuration* effect
+        under identical traffic.  The live fleet is never perturbed.
+        """
+        if monitor is None and policy is None:
+            raise ValueError("whatif needs a monitor and/or policy change")
+        horizon = min(int(horizon), self.remaining)
+        if horizon <= 0:
+            raise ValueError("no windows remaining to project over")
+        loads = self._forecast_loads(horizon)
+        k = self.window
+
+        def project(config) -> dict:
+            shadow = self._shadow_engine(config).stepper(
+                None,
+                tail=self.tail,
+                state=self.state.copy(),
+                chunk_size=self._chunk_size,
+            )
+            for load in loads:
+                shadow.step(load)
+            return shadow.timeline.slice_metrics(k, k + horizon)
+
+        alt_config = replace(
+            self.engine.config,
+            monitor=monitor if monitor is not None else
+            self.engine.config.monitor,
+            policy=policy if policy is not None else self.engine.config.policy,
+        )
+        live = project(self.engine.config)
+        alt = project(alt_config)
+        return {
+            "window": k,
+            "horizon": horizon,
+            "monitor": asdict(alt_config.monitor),
+            "policy": alt_config.policy,
+            "live": live,
+            "whatif": alt,
+            "diff": {
+                key: alt[key] - live[key]
+                for key in live
+                if isinstance(live[key], float)
+            },
+        }
+
+    def checkpoint(self) -> dict:
+        """Persist the full state; returns the content-addressed key."""
+        key = save_checkpoint(self._store, self._identity(), self.state)
+        record = {
+            "key": key,
+            "window": self.window,
+            "n_servers": self.state.n_servers,
+        }
+        if self.sink is not None:
+            self.sink.write(dict(record, type="checkpoint"))
+            self.sink.flush()
+        return record
+
+    @classmethod
+    def resume(
+        cls, key: str, engine: FleetEngine, feed, *, store=None, **kwargs
+    ) -> "FleetService":
+        """Rebuild a service from a checkpoint key (bit-identical resume)."""
+        state = load_checkpoint(store, key)
+        return cls(engine, feed, state=state, store=store, **kwargs)
+
+    def reconfigure(self, *, monitor=None, policy: str | None = None) -> dict:
+        """Swap the live monitor/policy configuration at a window boundary.
+
+        The carried :class:`FleetState` (modes, streaks, timeline rows so
+        far) is kept; only the forward-looking configuration changes.
+        """
+        if monitor is None and policy is None:
+            raise ValueError("reconfigure needs a monitor and/or policy change")
+        config = replace(
+            self.engine.config,
+            monitor=monitor if monitor is not None else
+            self.engine.config.monitor,
+            policy=policy if policy is not None else self.engine.config.policy,
+        )
+        self.engine = self._shadow_engine(config)
+        self._stepper = self.engine.stepper(
+            None, tail=self.tail, state=self.state,
+            chunk_size=self._chunk_size,
+        )
+        return {
+            "window": self.window,
+            "monitor": asdict(config.monitor),
+            "policy": config.policy,
+        }
+
+    def stop(self, reason: str = "requested") -> None:
+        """Stop the serve loop at the next window boundary."""
+        self.stopped = True
+        if self.stop_reason is None:
+            self.stop_reason = reason
+
+    # -- the serve loop ----------------------------------------------------
+
+    def run(
+        self,
+        *,
+        n_windows: int | None = None,
+        control=None,
+        out=None,
+        checkpoint_every: int | None = None,
+        pace_seconds: float = 0.0,
+    ) -> dict:
+        """Serve until done/stopped; returns a summary record.
+
+        ``control`` is drained between windows (see
+        :mod:`repro.service.control`) with responses written to ``out``;
+        ``checkpoint_every`` persists the state every N windows;
+        ``pace_seconds`` throttles real time per window (live pacing for
+        demos and the CI smoke test — 0 runs flat out).
+        """
+        from repro.service.control import handle_command, respond
+
+        def drain() -> None:
+            if control is None:
+                return
+            for request in control.drain():
+                response = handle_command(self, request)
+                if out is not None:
+                    respond(out, response)
+
+        budget = self.remaining if n_windows is None else min(
+            int(n_windows), self.remaining
+        )
+        served = 0
+        while served < budget and not self.stopped and not self.done:
+            drain()
+            if self.stopped:
+                break
+            for record in self.advance(1):
+                served += 1
+                if out is not None:
+                    respond(out, dict(record, type="fleet_window"))
+            if (
+                checkpoint_every
+                and self.window % checkpoint_every == 0
+                and not self.done
+            ):
+                self.checkpoint()
+            if pace_seconds > 0:
+                time.sleep(pace_seconds)
+        drain()  # answer any trailing control commands before summarizing
+        summary = dict(self.status(), type="summary", served_windows=served)
+        if self.sink is not None:
+            self.sink.write(summary)
+            self.sink.flush()
+        return summary

@@ -428,3 +428,140 @@ class TestFleetConfig:
             FleetEngine(get_profile("zeusmp"), performance_model())
         with pytest.raises(ValueError, match="performance model"):
             FleetEngine(get_profile("data_serving"), performance_model())
+
+
+class TestFleetStepper:
+    """The resumable step-window API behind `repro.service`."""
+
+    def engine(self, surrogate, **cfg_kwargs) -> FleetEngine:
+        return FleetEngine(
+            get_profile("web_search"), performance_model(),
+            fleet_config(**cfg_kwargs), surrogate=surrogate,
+        )
+
+    @staticmethod
+    def assert_timelines_identical(a, b):
+        assert np.array_equal(a.hours, b.hours)
+        assert np.array_equal(a.mode_counts, b.mode_counts)
+        assert np.array_equal(a.violations, b.violations)
+        assert np.array_equal(a.throttled, b.throttled)
+        assert np.array_equal(a.tail_ms_sum, b.tail_ms_sum)
+        assert np.array_equal(a.batch_uipc_sum, b.batch_uipc_sum)
+        assert np.array_equal(a.server_violations, b.server_violations)
+        assert np.array_equal(a.server_bmode_windows, b.server_bmode_windows)
+
+    def test_stepping_matches_run_day(self, surrogate):
+        engine = self.engine(surrogate)
+        stepper = engine.stepper("web_search")
+        records = []
+        while not stepper.done:
+            records.append(stepper.step())
+        self.assert_timelines_identical(
+            stepper.timeline, self.engine(surrogate).run_day("web_search")
+        )
+        assert [r["window"] for r in records] == list(range(12))
+        assert records[3]["hour"] == pytest.approx(6.0)
+
+    def test_step_load_override_matches_curve(self, surrogate):
+        """Feeding the curve's own values per window is bit-identical."""
+        _, fn = resolve_load_curve("web_search")
+        engine = self.engine(surrogate)
+        fed = engine.stepper()
+        k = 0
+        while not fed.done:
+            fed.step(fn(k * 2.0))
+            k += 1
+        self.assert_timelines_identical(
+            fed.timeline, self.engine(surrogate).run_day("web_search")
+        )
+
+    def test_stepper_without_load_requires_fed_windows(self, surrogate):
+        stepper = self.engine(surrogate).stepper()
+        with pytest.raises(ValueError, match="cluster_load"):
+            stepper.step()
+
+    def test_step_past_end_raises(self, surrogate):
+        stepper = self.engine(surrogate).stepper("flat:0.5")
+        stepper.run()
+        assert stepper.done and stepper.remaining == 0
+        with pytest.raises(RuntimeError, match="complete"):
+            stepper.step()
+
+    def test_partial_run_then_finish(self, surrogate):
+        stepper = self.engine(surrogate).stepper("web_search")
+        stepper.run(n_windows=5)
+        assert stepper.remaining == 7
+        stepper.run()
+        self.assert_timelines_identical(
+            stepper.timeline, self.engine(surrogate).run_day("web_search")
+        )
+
+    def test_state_roundtrip_resumes_bit_identical(self, surrogate):
+        from repro.fleet import FleetState
+
+        first = self.engine(surrogate).stepper("web_search")
+        first.run(n_windows=7)
+        values = first.state.to_values()
+        resumed = self.engine(surrogate).stepper(
+            "web_search", state=FleetState.from_values(values)
+        )
+        resumed.run()
+        self.assert_timelines_identical(
+            resumed.timeline, self.engine(surrogate).run_day("web_search")
+        )
+
+    def test_state_slice_validation(self, surrogate):
+        from repro.fleet import FleetState
+
+        engine = self.engine(surrogate)
+        state = FleetState.fresh(0, 4, 12, 120.0)
+        with pytest.raises(ValueError, match="state covers"):
+            engine.stepper("flat:0.5", state=state)
+
+    def test_chunked_integer_aggregates_are_invariant(self, surrogate):
+        whole = self.engine(surrogate).run_day("web_search")
+        chunked = self.engine(surrogate).stepper(
+            "web_search", chunk_size=3
+        )
+        chunked.run()
+        t = chunked.timeline
+        assert np.array_equal(t.mode_counts, whole.mode_counts)
+        assert np.array_equal(t.violations, whole.violations)
+        assert np.array_equal(t.throttled, whole.throttled)
+        assert np.array_equal(t.server_violations, whole.server_violations)
+        assert np.array_equal(
+            t.server_bmode_windows, whole.server_bmode_windows
+        )
+        # float window sums differ only by summation order
+        assert t.tail_ms_sum == pytest.approx(whole.tail_ms_sum)
+        assert t.batch_uipc_sum == pytest.approx(whole.batch_uipc_sum)
+
+    def test_chunk_env_override(self, surrogate, monkeypatch):
+        from repro.fleet.engine import _resolve_chunk_size
+
+        monkeypatch.setenv("REPRO_FLEET_CHUNK", "17")
+        assert _resolve_chunk_size(None) == 17
+        assert _resolve_chunk_size(4) == 4
+        monkeypatch.setenv("REPRO_FLEET_CHUNK", "0")
+        with pytest.raises(ValueError, match="REPRO_FLEET_CHUNK"):
+            _resolve_chunk_size(None)
+
+    def test_sliced_steppers_merge_to_whole(self, surrogate):
+        parts = []
+        for lo, hi in ((0, 3), (3, 8)):
+            stepper = self.engine(surrogate).stepper(
+                "web_search", server_range=(lo, hi)
+            )
+            stepper.run()
+            parts.append(stepper.timeline)
+        merged = FleetTimeline.merge(parts)
+        whole = self.engine(surrogate).run_day("web_search")
+        assert np.array_equal(merged.mode_counts, whole.mode_counts)
+        assert np.array_equal(merged.violations, whole.violations)
+        assert np.array_equal(merged.throttled, whole.throttled)
+        assert np.array_equal(
+            merged.server_violations, whole.server_violations
+        )
+        # float sums reassociate across the slice boundary
+        assert merged.tail_ms_sum == pytest.approx(whole.tail_ms_sum)
+        assert merged.batch_uipc_sum == pytest.approx(whole.batch_uipc_sum)
