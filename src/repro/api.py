@@ -487,6 +487,9 @@ def serve(
     registry=None,
     sink=None,
     tracer=None,
+    slos=None,
+    recorder=None,
+    postmortem_path: str | None = None,
     sampling: SamplingConfig | None = None,
     fidelity=None,
     n_samples: int | None = None,
@@ -497,9 +500,15 @@ def serve(
     :class:`~repro.service.LoadFeed`, a registered curve name,
     ``"flat:<x>"``, ``"phases:<spec>"``, ``"replay:<path>"``, or a
     callable ``hour -> fraction``.  Pass ``resume=`` a checkpoint key to
-    restore mid-day state bit-identically.  Drive the returned service
-    with :meth:`~repro.service.FleetService.run` (the ``stretch-repro
-    serve`` loop) or :meth:`~repro.service.FleetService.advance`.
+    restore mid-day state bit-identically.  ``slos`` (SLO spec strings,
+    :class:`~repro.obs.slo.SLOSpec` objects, or an
+    :class:`~repro.obs.slo.SLOEngine`) scores every window against the
+    declared objectives; ``recorder`` (``True`` or a
+    :class:`~repro.obs.recorder.FlightRecorder`) keeps the violation
+    flight-recorder ring, dumped to ``postmortem_path`` on abnormal
+    stops.  Drive the returned service with
+    :meth:`~repro.service.FleetService.run` (the ``stretch-repro serve``
+    loop) or :meth:`~repro.service.FleetService.advance`.
     """
     ls_profile = _resolve_profile(ls)
     if performance is None:
@@ -533,6 +542,9 @@ def serve(
         tracer=tracer,
         max_gap_windows=max_gap_windows,
         chunk_size=chunk_size,
+        slos=slos,
+        recorder=recorder,
+        postmortem_path=postmortem_path,
     )
     if resume is not None:
         return FleetService.resume(resume, engine, feed, **kwargs)

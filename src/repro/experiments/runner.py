@@ -13,6 +13,9 @@
    $ stretch-repro inspect                    # store + job telemetry
    $ stretch-repro inspect 3fb2               # jobs whose key starts 3fb2
    $ stretch-repro serve --servers 10000 --feed web_search --metrics out.jsonl
+   $ stretch-repro serve --listen 9100 --dashboard --slo "qos:violation_rate<0.05"
+   $ stretch-repro top http://127.0.0.1:9100  # attach a live dashboard
+   $ stretch-repro postmortem postmortem.jsonl  # attribute an SLO alert
 
 With ``--jobs N`` (or ``auto``) each experiment's simulation grid is first
 executed on a process pool through :mod:`repro.engine`, populating the
@@ -336,9 +339,12 @@ def _serve_main(argv: list[str]) -> int:
 
     Streams one LDJSON line per completed window (with ``--metrics``),
     answers control commands from stdin (``status`` / ``whatif`` /
-    ``checkpoint`` / ``reconfigure`` / ``stop`` — see
+    ``checkpoint`` / ``reconfigure`` / ``dump`` / ``stop`` — see
     :mod:`repro.service.control`), and shuts down cleanly on SIGINT with
-    a final summary line on stdout.
+    a final summary line on stdout.  ``--listen`` adds the OpenMetrics
+    scrape endpoint, ``--dashboard`` a live terminal panel on stderr;
+    SLO scoring and the violation flight recorder are on by default
+    (``--slo none`` / ``--no-recorder`` to disable).
     """
     parser = argparse.ArgumentParser(
         prog="stretch-repro serve",
@@ -430,15 +436,49 @@ def _serve_main(argv: list[str]) -> int:
         "--no-control", action="store_true",
         help="do not read control commands from stdin",
     )
+    parser.add_argument(
+        "--slo", action="append", metavar="SPEC", default=None,
+        help="SLO spec NAME:violation_rate<FRACTION or NAME:tail<MSms, "
+             "each optionally @FAST/SLOWxTHRESHOLD[,...]; repeatable; "
+             "'none' disables scoring "
+             "(default: qos:violation_rate<0.05)",
+    )
+    parser.add_argument(
+        "--no-recorder", action="store_true",
+        help="disable the violation flight recorder",
+    )
+    parser.add_argument(
+        "--postmortem", metavar="FILE", default="postmortem.jsonl",
+        help="flight-recorder bundle path, written by the control "
+             "plane's dump verb and automatically on feed_stalled/SIGINT "
+             "stops (default: postmortem.jsonl)",
+    )
+    parser.add_argument(
+        "--listen", metavar="[HOST:]PORT", default=None,
+        help="serve /metrics (OpenMetrics), /status and /healthz from a "
+             "background HTTP thread; port 0 binds an ephemeral port — "
+             "the bound address is announced as a 'listen' record on "
+             "stdout",
+    )
+    parser.add_argument(
+        "--dashboard", action="store_true",
+        help="repaint a live status panel on stderr every window",
+    )
     args = parser.parse_args(argv)
 
     import signal
+    import time
 
     from repro.api import serve
+    from repro.obs.export import DashboardPrinter, ObservabilityServer
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.sampler import JsonlSink
     from repro.service.control import ControlPlane, respond
 
+    slo_specs = args.slo if args.slo else ["qos:violation_rate<0.05"]
+    if any(spec.strip().lower() == "none" for spec in slo_specs):
+        slo_specs = None
+    use_recorder = not args.no_recorder
     sink = JsonlSink(args.metrics) if args.metrics else None
     tracer = SpanTracer(process_name="stretch-repro serve") if args.trace else None
     service = serve(
@@ -458,7 +498,39 @@ def _serve_main(argv: list[str]) -> int:
         registry=MetricsRegistry(),
         sink=sink,
         tracer=tracer,
+        slos=slo_specs,
+        recorder=use_recorder,
+        postmortem_path=args.postmortem if use_recorder else None,
     )
+    obs_server = None
+    if args.listen is not None:
+        host, _, port = args.listen.rpartition(":")
+        obs_server = ObservabilityServer(
+            service.registry,
+            host=host or "127.0.0.1",
+            port=int(port),
+            status_fn=service.status,
+        ).start()
+        respond(sys.stdout, {
+            "type": "listen", "url": obs_server.url,
+            "host": obs_server.host, "port": obs_server.port,
+        })
+    printer = (
+        DashboardPrinter(sys.stderr) if args.dashboard else None
+    )
+    progress = {"windows": 0, "t0": time.monotonic()}
+
+    def on_window(svc, record) -> None:
+        progress["windows"] += 1
+        if printer is not None:
+            elapsed = time.monotonic() - progress["t0"]
+            printer.update(
+                svc.status(), svc.registry,
+                windows_per_s=(
+                    progress["windows"] / elapsed if elapsed > 0 else None
+                ),
+            )
+
     control = None if args.no_control else ControlPlane(sys.stdin)
     previous = signal.signal(
         signal.SIGINT, lambda signum, frame: service.stop("sigint")
@@ -470,9 +542,14 @@ def _serve_main(argv: list[str]) -> int:
             out=sys.stdout,
             checkpoint_every=args.checkpoint_every,
             pace_seconds=args.pace,
+            on_window=on_window,
         )
     finally:
         signal.signal(signal.SIGINT, previous)
+        if obs_server is not None:
+            obs_server.stop()
+    if printer is not None:
+        printer.update(service.status(), service.registry)
     if args.checkpoint_every and service.window > 0:
         summary["checkpoint"] = service.checkpoint()
     respond(sys.stdout, summary)
@@ -480,6 +557,124 @@ def _serve_main(argv: list[str]) -> int:
         sink.flush()
     if tracer is not None:
         tracer.write(args.trace)
+    return 0
+
+
+def _top_main(argv: list[str]) -> int:
+    """``stretch-repro top``: live dashboard over a serve ``--listen`` URL."""
+    parser = argparse.ArgumentParser(
+        prog="stretch-repro top",
+        description="Attach a terminal dashboard to a running "
+                    "'stretch-repro serve --listen' endpoint by polling "
+                    "its /status route.",
+    )
+    parser.add_argument(
+        "url", nargs="?", default="http://127.0.0.1:9100",
+        help="base URL from the serve 'listen' record "
+             "(default: http://127.0.0.1:9100)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval (default: 2.0)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render one panel and exit (scripting/smoke-test mode)",
+    )
+    args = parser.parse_args(argv)
+
+    import json as _json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.export import DashboardPrinter
+
+    base = args.url.rstrip("/")
+    printer = DashboardPrinter(sys.stdout)
+    while True:
+        try:
+            with urllib.request.urlopen(base + "/status", timeout=10) as rsp:
+                status = _json.loads(rsp.read().decode())
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"top: cannot read {base}/status: {exc}", file=sys.stderr)
+            return 1
+        printer.update(status)
+        if args.once or status.get("stopped") or status.get("done"):
+            return 0
+        try:
+            time.sleep(max(args.interval, 0.1))
+        except KeyboardInterrupt:
+            return 0
+
+
+def _postmortem_main(argv: list[str]) -> int:
+    """``stretch-repro postmortem``: analyze a flight-recorder bundle."""
+    parser = argparse.ArgumentParser(
+        prog="stretch-repro postmortem",
+        description="Analyze a postmortem JSONL bundle written by the "
+                    "serve loop's flight recorder: summarize the window "
+                    "history and attribute each SLO-alert capture to "
+                    "load_spike / mode_switch_lag / straggler.",
+    )
+    parser.add_argument("bundle", help="postmortem bundle path (.jsonl)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full analysis as JSON instead of a report",
+    )
+    args = parser.parse_args(argv)
+
+    import json as _json
+
+    from repro.obs.recorder import analyze_bundle
+
+    try:
+        report = analyze_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        print(f"postmortem: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(report, indent=2))
+        return 0
+    meta = report["meta"]
+    summary = report["summary"]
+    service = meta.get("service", {})
+    print(f"postmortem: {args.bundle}")
+    print(
+        f"  service   {service.get('ls_profile', '?')} fleet, "
+        f"{service.get('n_servers', '?')} servers, feed "
+        f"{service.get('feed', '?')}, policy {service.get('policy', '?')}"
+        f" (dump reason: {meta.get('reason', '?')})"
+    )
+    windows = summary.get("windows")
+    span = f"{windows[0]}..{windows[1]}" if windows else "none"
+    print(
+        f"  recorded  {summary['frames']} windows ({span}), "
+        f"violation_rate {summary['violation_rate']:.4f}, "
+        f"load median {summary['median_load']:.2f} / "
+        f"peak {summary['peak_load']:.2f}"
+    )
+    print(
+        f"  alerts    {summary['alerts']} fired, "
+        f"{summary['captures']} captures"
+    )
+    for i, capture in enumerate(report["captures"]):
+        evidence = capture["evidence"]
+        scores = capture["scores"]
+        score_txt = ", ".join(
+            f"{name}={value:.2f}" for name, value in sorted(scores.items())
+        )
+        print(
+            f"  capture {i}: windows {capture.get('lo_window')}.."
+            f"{capture.get('hi_window')}, alert at "
+            f"{evidence.get('alert_window')} "
+            f"({evidence.get('slo')}/{evidence.get('policy')})"
+        )
+        print(f"    primary: {capture['primary']}  [{score_txt}]")
+        if evidence.get("repeat_servers"):
+            print(f"    repeat violators: {evidence['repeat_servers']}")
+    if not report["captures"]:
+        print("  no captures (no SLO alert fired while recording)")
     return 0
 
 
@@ -492,6 +687,10 @@ def main(argv: list[str] | None = None) -> int:
         return _check_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
+    if argv and argv[0] == "postmortem":
+        return _postmortem_main(argv[1:])
     if argv and argv[0] == "run":
         # Explicit subcommand form: ``stretch-repro run fig06 …``.
         argv = argv[1:]

@@ -669,6 +669,13 @@ class FleetStepper:
     aggregates are chunk-size-invariant, float window sums vary only by
     summation order.  The ``exact`` tail path is per-server DES-bound and
     runs unchunked.
+
+    Setting :attr:`capture_violators` to K > 0 additionally exposes, in
+    :attr:`last_violators`, the window's top-K violating servers (by
+    cumulative day violations) with the mode they violated in and their
+    post-transition monitor state — the flight recorder's per-window
+    diagnostic feed.  Capture is a pure read of existing arrays: results
+    are bit-identical with it on or off.
     """
 
     def __init__(
@@ -718,6 +725,10 @@ class FleetStepper:
         self._target_ms = qos.target_ms
         self._engage_ms = qos.target_ms * cfg.monitor.engage_fraction
         self._heap_pin: tuple | None = None
+        #: Top-K violating servers to expose per window (0 disables).
+        self.capture_violators = 0
+        #: Last window's captured violators (see :meth:`step`).
+        self.last_violators: list[dict] = []
         n = hi - lo
         if tail == "surrogate":
             self._surrogate = engine.ensure_surrogate()
@@ -829,6 +840,8 @@ class FleetStepper:
         mode_counts = np.zeros(3, dtype=np.int64)
         violations = throttled = 0
         tail_ms_sum = batch_uipc_sum = 0.0
+        top_k = int(self.capture_violators)
+        captured: list[np.ndarray] = []
         for s0 in range(0, n, self._chunk):
             s1 = min(s0 + self._chunk, n)
             mode = state.mode[s0:s1]
@@ -854,6 +867,21 @@ class FleetStepper:
                 mode, state.compliant[s0:s1], state.violation[s0:s1],
                 throttle, violated, slack, cfg.monitor, cfg.q_mode_available,
             )
+            if top_k > 0:
+                idx = np.flatnonzero(violated)
+                if len(idx):
+                    # Columns: global server, day violations (cumulative,
+                    # incl. this window), mode row at violation time
+                    # (0-2 per MODE_ORDER, 3 = throttled), then the
+                    # post-transition monitor state.
+                    captured.append(np.column_stack((
+                        idx + (state.lo + s0),
+                        out.server_violations[s0 + idx],
+                        rows[idx],
+                        mode[idx],
+                        state.violation[s0:s1][idx],
+                        throttle[idx],
+                    )))
         # Keep the final window temporaries alive until the next step.  If
         # they all die when this frame returns, the top of the heap frees
         # entirely and glibc trims it back to the OS — re-faulting ~3 MB of
@@ -861,6 +889,8 @@ class FleetStepper:
         # time at 10k servers).  Holding the last chunk's arrays pins the
         # heap top so the arena is reused across windows.
         self._heap_pin = (loads, u, rows, perf, tails, violated, slack)
+        if top_k > 0:
+            self.last_violators = self._rank_violators(captured, top_k)
         out.mode_counts[k] = mode_counts
         out.violations[k] = violations
         out.throttled[k] = throttled
@@ -880,6 +910,26 @@ class FleetStepper:
             "mean_tail_ms": tail_ms_sum / n,
             "mean_batch_uipc": batch_uipc_sum / n,
         }
+
+    @staticmethod
+    def _rank_violators(captured: list[np.ndarray], top_k: int) -> list[dict]:
+        """Top-K violator rows by day violations (server index tiebreak)."""
+        if not captured:
+            return []
+        table = np.concatenate(captured, axis=0)
+        order = np.lexsort((table[:, 0], -table[:, 1]))[:top_k]
+        mode_names = tuple(m.value for m in MODE_ORDER) + ("throttled",)
+        return [
+            {
+                "server": int(row[0]),
+                "day_violations": int(row[1]),
+                "mode": mode_names[int(row[2])],
+                "mode_after": mode_names[int(row[3])],
+                "violation_streak": int(row[4]),
+                "throttle_left": int(row[5]),
+            }
+            for row in table[order]
+        ]
 
     def run(self, n_windows: int | None = None) -> FleetTimeline:
         """Advance ``n_windows`` (default: to end of day); return the timeline."""

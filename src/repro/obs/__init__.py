@@ -15,12 +15,26 @@ kind of visibility:
   JSON (Perfetto-viewable) for the engine job lifecycle and, via
   :func:`pipeline_trace`, the SMT pipeline's µop interleaving;
 * :mod:`repro.obs.profiler` — scoped wall-time timers around the
-  simulator and engine hot loops, rendered as a self-time table.
+  simulator and engine hot loops, rendered as a self-time table;
+* :mod:`repro.obs.slo` — declarative fleet SLOs with multi-window
+  burn-rate alerting and error-budget accounting;
+* :mod:`repro.obs.recorder` — the violation flight recorder and its
+  postmortem-bundle analyzer;
+* :mod:`repro.obs.export` — OpenMetrics rendering, the ``/metrics``
+  scrape endpoint, and the terminal live dashboard.
 
 Everything is surfaced through ``stretch-repro run --trace/--metrics/
 --profile`` and ``stretch-repro inspect``; see docs/API.md §Observability.
 """
 
+from repro.obs.export import (
+    DashboardPrinter,
+    ObservabilityServer,
+    parse_openmetrics,
+    render_dashboard,
+    render_openmetrics,
+    validate_openmetrics,
+)
 from repro.obs.fleet import publish_fleet_metrics, publish_fleet_window
 from repro.obs.metrics import (
     Counter,
@@ -49,11 +63,28 @@ from repro.obs.sampler import (
     WindowSample,
     attach_core_observers,
 )
+from repro.obs.recorder import (
+    FlightRecorder,
+    analyze_bundle,
+    attribute_capture,
+    load_bundle,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    BurnPolicy,
+    SLOEngine,
+    SLOSpec,
+    parse_slo,
+)
 from repro.obs.tracer import SpanTracer, pipeline_trace
 
 __all__ = [
+    "BurnPolicy",
     "Counter",
+    "DEFAULT_SLOS",
     "DEFAULT_WINDOW_CYCLES",
+    "DashboardPrinter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "IntervalSampler",
@@ -61,7 +92,10 @@ __all__ = [
     "METRICS_ENV",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "ObservabilityServer",
     "Profiler",
+    "SLOEngine",
+    "SLOSpec",
     "ServiceSampler",
     "ServiceWindowSample",
     "SpanTracer",
@@ -69,12 +103,20 @@ __all__ = [
     "TimeSeries",
     "WindowSample",
     "active_profiler",
+    "analyze_bundle",
     "attach_core_observers",
+    "attribute_capture",
     "disable_profiling",
     "enable_profiling",
     "get_registry",
+    "load_bundle",
+    "parse_openmetrics",
+    "parse_slo",
     "pipeline_trace",
     "publish_fleet_metrics",
     "publish_fleet_window",
+    "render_dashboard",
+    "render_openmetrics",
     "set_registry",
+    "validate_openmetrics",
 ]

@@ -1,0 +1,479 @@
+"""Metric export: OpenMetrics rendering, a scrape endpoint, dashboards.
+
+Three consumers of a :class:`~repro.obs.metrics.MetricsRegistry` live
+here, all read-only (exporting never perturbs a run):
+
+* :func:`render_openmetrics` — the registry as OpenMetrics/Prometheus
+  text exposition.  Dotted instrument names become underscore-separated
+  metric names (``fleet.slo.qos.budget_remaining`` →
+  ``fleet_slo_qos_budget_remaining``); counters gain the ``_total``
+  suffix, histograms render cumulative ``_bucket{le=...}`` samples plus
+  ``_sum``/``_count``, and windowed series export their latest point as
+  a gauge.  :func:`parse_openmetrics` / :func:`validate_openmetrics`
+  are the matching strict reader (used by tests and the CI scrape
+  check), so renderer and parser cannot drift apart.
+* :class:`ObservabilityServer` — an optional stdlib ``http.server``
+  thread serving ``/metrics`` (OpenMetrics), ``/status`` (the live
+  service's JSON status snapshot) and ``/healthz``; this is what
+  ``stretch-repro serve --listen`` starts, and what ``stretch-repro
+  top`` attaches to.
+* :func:`render_dashboard` — a terminal live-status panel (burn rates,
+  mode occupancy, window throughput, load sparkline) rendered from a
+  service ``status()`` dict, shared by ``serve --dashboard`` (local)
+  and ``top`` (over HTTP).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DashboardPrinter",
+    "ObservabilityServer",
+    "escape_label_value",
+    "parse_openmetrics",
+    "render_dashboard",
+    "render_openmetrics",
+    "sanitize_metric_name",
+    "sparkline",
+    "validate_openmetrics",
+]
+
+#: The OpenMetrics content type served on ``/metrics``.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_NAME_OK_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the OpenMetrics name grammar."""
+    out = _SANITIZE_RE.sub("_", name)
+    if not out or not _NAME_OK_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format (``\\``, ``"``, LF)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _sample(name: str, labels: dict | None, value: float) -> str:
+    if labels:
+        body = ",".join(
+            f'{key}="{escape_label_value(val)}"'
+            for key, val in labels.items()
+        )
+        return f"{name}{{{body}}} {_format_value(value)}\n"
+    return f"{name} {_format_value(value)}\n"
+
+
+def render_openmetrics(registry) -> str:
+    """Render a registry (or a ``collect()`` snapshot) as OpenMetrics text.
+
+    Every instrument kind has a defined mapping:
+
+    ======================  ============================================
+    counter                 ``# TYPE n counter`` + ``n_total``
+    gauge                   ``# TYPE n gauge`` + ``n``
+    histogram               cumulative ``n_bucket{le=...}`` (incl.
+                            ``+Inf``) + ``n_sum`` + ``n_count``
+    series (non-empty)      ``# TYPE n gauge`` + latest point's value
+    ======================  ============================================
+
+    Empty series and null instruments are skipped.  The text ends with
+    the mandatory ``# EOF`` terminator.
+    """
+    if isinstance(registry, MetricsRegistry):
+        snapshot = registry.collect()
+    else:
+        snapshot = dict(registry)
+    lines: list[str] = []
+    for raw_name in sorted(snapshot):
+        payload = snapshot[raw_name]
+        kind = payload.get("type")
+        name = sanitize_metric_name(raw_name)
+        if kind == "counter":
+            lines.append(f"# TYPE {name} counter\n")
+            lines.append(_sample(name + "_total", None, payload["value"]))
+        elif kind == "gauge":
+            lines.append(f"# TYPE {name} gauge\n")
+            lines.append(_sample(name, None, payload["value"]))
+        elif kind == "histogram":
+            lines.append(f"# TYPE {name} histogram\n")
+            cumulative = 0
+            for bound, count in zip(
+                payload["bounds"], payload["buckets"]
+            ):
+                cumulative += count
+                lines.append(_sample(
+                    name + "_bucket",
+                    {"le": _format_value(bound)},
+                    cumulative,
+                ))
+            lines.append(_sample(
+                name + "_bucket", {"le": "+Inf"}, payload["count"]
+            ))
+            lines.append(_sample(name + "_sum", None, payload["total"]))
+            lines.append(_sample(name + "_count", None, payload["count"]))
+        elif kind == "series":
+            points = payload.get("points") or []
+            if not points:
+                continue
+            lines.append(f"# TYPE {name} gauge\n")
+            lines.append(_sample(name, None, points[-1][1]))
+        # "null" (disabled-registry) payloads are silently skipped.
+    lines.append("# EOF\n")
+    return "".join(lines)
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)(?: \d+(?:\.\d+)?)?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_openmetrics(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Strictly parse exposition text back into ``{name: [(labels, v)]}``.
+
+    Raises :class:`ValueError` on any malformed line, a sample whose
+    name was not announced by a preceding ``# TYPE`` family, or a
+    missing/misplaced ``# EOF`` terminator.  Deliberately minimal — it
+    understands exactly what :func:`render_openmetrics` emits, which is
+    what the CI scrape check needs.
+    """
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    families: set[str] = set()
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            raise ValueError(f"line {lineno}: blank line in exposition")
+        if line == "# EOF":
+            if lineno != len(lines):
+                raise ValueError(f"line {lineno}: '# EOF' before the end")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "unknown"
+            ):
+                raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
+            families.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT comments are legal noise
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        name = match.group("name")
+        base = re.sub(r"_(?:total|bucket|sum|count)$", "", name)
+        if name not in families and base not in families:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no TYPE family"
+            )
+        labels = {}
+        if match.group("labels"):
+            consumed = _LABEL_RE.findall(match.group("labels"))
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in consumed)
+            if rebuilt != match.group("labels"):
+                raise ValueError(
+                    f"line {lineno}: bad label syntax {line!r}"
+                )
+            labels = dict(consumed)
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparseable sample value {raw!r}"
+            ) from None
+        samples.setdefault(name, []).append((labels, value))
+    return samples
+
+
+def validate_openmetrics(text: str) -> int:
+    """Parse strictly; return the number of samples (raises on error)."""
+    return sum(len(v) for v in parse_openmetrics(text).values())
+
+
+# ----------------------------------------------------------------------
+# HTTP scrape endpoint
+# ----------------------------------------------------------------------
+
+
+class ObservabilityServer:
+    """A stdlib HTTP thread exposing the live service's observability.
+
+    Endpoints: ``/metrics`` (OpenMetrics text from the registry),
+    ``/status`` (JSON from ``status_fn``, when given), ``/healthz``.
+    The server thread is a daemon and every request is served from a
+    snapshot, so a slow or hostile scraper can never stall the serve
+    loop.  ``port=0`` binds an ephemeral port — read :attr:`port` after
+    :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        status_fn=None,
+    ):
+        self.registry = registry
+        self.host = host
+        self._requested_port = int(port)
+        self.status_fn = status_fn
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server is not running")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObservabilityServer":
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def _send(self, code, body: bytes, content_type: str) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        body = render_openmetrics(outer.registry)
+                        self._send(200, body.encode(), CONTENT_TYPE)
+                    elif path == "/status" and outer.status_fn is not None:
+                        body = json.dumps(outer.status_fn())
+                        self._send(200, body.encode(), "application/json")
+                    elif path == "/healthz":
+                        self._send(200, b"ok\n", "text/plain")
+                    else:
+                        self._send(404, b"not found\n", "text/plain")
+                except Exception as exc:  # never kill the scrape thread
+                    try:
+                        self._send(
+                            500, f"{exc}\n".encode(), "text/plain"
+                        )
+                    except OSError:
+                        pass
+
+            def log_message(self, *args) -> None:
+                pass  # scrapes must not spam the serve loop's stderr
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="obs-export",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+            self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# Terminal dashboard
+# ----------------------------------------------------------------------
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 32) -> str:
+    """Render a numeric series as a fixed-width unicode sparkline."""
+    values = [float(v) for v in values][-width:]
+    if not values:
+        return " " * width
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    chars = []
+    for v in values:
+        frac = (v - lo) / span if span > 0 else 0.5
+        chars.append(_SPARK_CHARS[1 + int(frac * (len(_SPARK_CHARS) - 2))])
+    return "".join(chars).rjust(width)
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(max(float(fraction), 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "█" * filled + "·" * (width - filled)
+
+
+def _series_values(registry, name: str) -> list[float]:
+    if registry is None or name not in registry:
+        return []
+    return registry.series(name).values()
+
+
+def render_dashboard(
+    status: dict,
+    registry: MetricsRegistry | None = None,
+    *,
+    width: int = 72,
+    windows_per_s: float | None = None,
+) -> str:
+    """Render a terminal status panel from a service ``status()`` dict.
+
+    ``registry`` (when given) supplies the ``fleet.cluster_load`` /
+    ``fleet.violations`` series for sparklines; ``windows_per_s`` is the
+    caller-measured serve throughput.  Works identically on a local
+    registry (``serve --dashboard``) and on a remote ``/status`` payload
+    (``stretch-repro top``), which carries no series.
+    """
+    metrics = status.get("metrics") or {}
+    n_windows = max(int(status.get("n_windows", 0)), 1)
+    window = int(status.get("window", 0))
+    bar_w = max(width - 36, 8)
+    lines = [
+        f"─── stretch-repro fleet ─ {status.get('n_servers', '?')} servers "
+        f"─ feed {status.get('feed', '?')} ─ policy "
+        f"{status.get('policy', '?')}",
+        f"window  {window:>4}/{n_windows:<4} "
+        f"[{_bar(window / n_windows, bar_w)}] "
+        + (f"{windows_per_s:,.1f} win/s" if windows_per_s else ""),
+    ]
+    # Mode occupancy: status carries bmode/throttled fractions; the
+    # registry (when local) carries the full per-mode gauges.
+    if registry is not None and "fleet.mode_occupancy.baseline" in registry:
+        occupancy = [
+            (name, registry.gauge(f"fleet.mode_occupancy.{name}").value)
+            for name in ("baseline", "b_mode", "q_mode")
+        ]
+    else:
+        bmode = float(metrics.get("bmode_fraction", 0.0) or 0.0)
+        occupancy = [("b_mode", bmode), ("other", 1.0 - bmode)]
+    occ = "  ".join(
+        f"{name} {float(frac or 0.0):5.1%}" for name, frac in occupancy
+    )
+    lines.append(f"modes   {occ}")
+    lines.append(
+        f"qos     violation_rate {float(metrics.get('violation_rate', 0.0)):.4f}"
+        f"  mean_tail {float(metrics.get('mean_tail_ms', 0.0)):7.1f} ms"
+        f"  throttled {float(metrics.get('throttled_fraction', 0.0)):.3f}"
+    )
+    load_series = _series_values(registry, "fleet.cluster_load")
+    if load_series:
+        lines.append(
+            f"load    {sparkline(load_series, width - 20)} "
+            f"now {load_series[-1]:.2f}"
+        )
+    viol_series = _series_values(registry, "fleet.violations")
+    if viol_series:
+        lines.append(
+            f"viol    {sparkline(viol_series, width - 20)} "
+            f"now {viol_series[-1]:.0f}"
+        )
+    slo = status.get("slo") or {}
+    for spec_name, spec in sorted(slo.items()):
+        budget = float(spec.get("budget_remaining", 1.0))
+        burns = spec.get("burn", {})
+        burn_txt = "  ".join(
+            f"{policy}:{float(b.get('fast', 0.0)):.1f}/"
+            f"{float(b.get('slow', 0.0)):.1f}x"
+            for policy, b in sorted(burns.items())
+        )
+        flag = " ALERT" if spec.get("alerting") else ""
+        lines.append(
+            f"slo     {spec_name}: budget [{_bar(budget, bar_w)}] "
+            f"{budget:6.1%}  burn {burn_txt}{flag}"
+        )
+    recorder = status.get("recorder")
+    if recorder:
+        lines.append(
+            f"flight  ring {recorder.get('frames', 0)}/"
+            f"{recorder.get('capacity', 0)} windows, "
+            f"{recorder.get('captures', 0)} captures, "
+            f"{recorder.get('dumps', 0)} dumps"
+        )
+    if status.get("stopped"):
+        lines.append(f"STOPPED ({status.get('stop_reason')})")
+    return "\n".join(lines)
+
+
+class DashboardPrinter:
+    """Re-render the dashboard in place on a terminal stream.
+
+    On a TTY each call repaints from the panel's first row (cursor-up +
+    clear-to-end); on a plain pipe it prints one panel per ``every``
+    windows so logs stay readable.
+    """
+
+    def __init__(self, stream, *, every: int = 1, width: int = 72):
+        self.stream = stream
+        self.every = max(int(every), 1)
+        self.width = width
+        self._calls = 0
+        self._last_lines = 0
+        self._tty = bool(getattr(stream, "isatty", lambda: False)())
+
+    def update(
+        self, status: dict, registry=None, windows_per_s=None
+    ) -> None:
+        self._calls += 1
+        if self._calls % self.every and not status.get("stopped"):
+            return
+        panel = render_dashboard(
+            status, registry, width=self.width,
+            windows_per_s=windows_per_s,
+        )
+        if self._tty and self._last_lines:
+            self.stream.write(f"\x1b[{self._last_lines}A\x1b[J")
+        self.stream.write(panel + "\n")
+        self.stream.flush()
+        self._last_lines = panel.count("\n") + 1

@@ -7,15 +7,25 @@ namespace (duck-typed on the timeline, so this module never imports
 
 ========================================  =======================================
 ``fleet.windows``                         counter: (server, window) pairs simulated
+``fleet.window``                          gauge: latest window index (live path)
 ``fleet.violation_rate``                  gauge: fraction of windows violating QoS
 ``fleet.mode_occupancy.{baseline,b_mode,q_mode}``  gauges: mode residency fractions
 ``fleet.throttled_fraction``              gauge: windows spent throttling
 ``fleet.mean_tail_ms``                    gauge: mean window tail latency
 ``fleet.straggler_p99_violations``        gauge: p99 of per-server violation counts
 ``fleet.server_violations``               histogram: per-server daily violations
+``fleet.cluster_load``                    series: ingested cluster load per window
 ``fleet.violations``                      series: violating servers per window
 ``fleet.throttled``                       series: throttled servers per window
 ========================================  =======================================
+
+The live path additionally surfaces ``fleet.slo.*`` (burn rates, error
+budget — :mod:`repro.obs.slo`) and ``fleet.recorder.*``
+(:mod:`repro.obs.recorder`) when those components are attached.
+
+Both publishers are total on degenerate inputs: an empty timeline or a
+zero-server window publishes zero rates (never NaN), and non-finite
+tail means are clamped to 0.0 before hitting the gauges.
 """
 
 from __future__ import annotations
@@ -30,8 +40,19 @@ _VIOLATION_BOUNDS = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
 _MODE_NAMES = ("baseline", "b_mode", "q_mode")
 
 
+def _finite(value: float) -> float:
+    """Clamp non-finite gauge inputs (foreign/replayed records) to 0.0."""
+    value = float(value)
+    return value if value == value and abs(value) != float("inf") else 0.0
+
+
 def publish_fleet_metrics(registry: MetricsRegistry, timeline) -> None:
-    """Publish one fleet (or shard) timeline into ``registry``."""
+    """Publish one fleet (or shard) timeline into ``registry``.
+
+    Safe on empty/zero-server timelines: the ``FleetTimeline`` rate
+    properties all guard ``total_windows == 0`` and this publisher adds
+    nothing that divides, so a degenerate timeline publishes zeros.
+    """
     if registry is None:
         return
     registry.counter("fleet.windows").inc(timeline.total_windows)
@@ -67,19 +88,21 @@ def publish_fleet_window(registry: MetricsRegistry, record: dict) -> None:
     if registry is None:
         return
     hour = float(record["hour"])
+    # A foreign/replayed record may carry zero servers; rates divide by
+    # a floor of 1 so the gauges read 0.0 rather than NaN.
     servers = max(int(record["servers"]), 1)
-    registry.counter("fleet.windows").inc(int(record["servers"]))
+    registry.counter("fleet.windows").inc(max(int(record["servers"]), 0))
     registry.gauge("fleet.window").set(float(record["window"]))
     registry.gauge("fleet.violation_rate").set(
-        record["violations"] / servers
+        _finite(record["violations"] / servers)
     )
     registry.gauge("fleet.throttled_fraction").set(
-        record["throttled"] / servers
+        _finite(record["throttled"] / servers)
     )
-    registry.gauge("fleet.mean_tail_ms").set(float(record["mean_tail_ms"]))
+    registry.gauge("fleet.mean_tail_ms").set(_finite(record["mean_tail_ms"]))
     for name, key in zip(_MODE_NAMES, ("mode_baseline", "mode_b", "mode_q")):
         registry.gauge(f"fleet.mode_occupancy.{name}").set(
-            record[key] / servers
+            _finite(record[key] / servers)
         )
     registry.series("fleet.cluster_load").append(
         hour, float(record["cluster_load"])

@@ -223,11 +223,15 @@ class MetricsRegistry:
         return len(self._instruments)
 
     def collect(self) -> dict[str, dict]:
-        """Snapshot every instrument as JSON-able data, sorted by name."""
-        return {
-            name: self._instruments[name].snapshot()
-            for name in sorted(self._instruments)
-        }
+        """Snapshot every instrument as JSON-able data, sorted by name.
+
+        Safe to call from a scrape thread while the owning loop registers
+        new instruments: the item list is materialized atomically before
+        snapshotting.
+        """
+        items = list(self._instruments.items())
+        items.sort(key=lambda pair: pair[0])
+        return {name: instrument.snapshot() for name, instrument in items}
 
     def write_jsonl(self, stream) -> int:
         """Write one ``{"metric": name, ...}`` JSON line per instrument."""

@@ -1,0 +1,380 @@
+"""Violation flight recorder: bounded history + postmortem bundles.
+
+A live fleet emits one aggregate record per window and then moves on;
+when an SLO alert fires at window 310 the question is always "what did
+the fleet look like *around* then?".  :class:`FlightRecorder` keeps a
+bounded ring of recent per-window **frames** — the step record plus the
+top-K violating server indices with their monitor state — and, whenever
+an alert event arrives, freezes the surrounding windows into a
+**capture** (``pre_windows`` before the alert through ``post_windows``
+after).  :meth:`dump` writes the ring, the captures, and the event log
+as a self-describing JSONL *postmortem bundle*; :func:`analyze_bundle`
+re-reads one and attributes each capture to a cause:
+
+* ``load_spike`` — cluster load around the alert well above the
+  trailing level: traffic pushed the fleet over, regardless of mode;
+* ``mode_switch_lag`` — violating servers were predominantly *in
+  B-mode at violation time*: the stretch monitor had not yet backed
+  them off, so the stretching itself caused the misses;
+* ``straggler`` — the same small set of servers violates frame after
+  frame: a localized problem, not a fleet-wide one;
+* ``inconclusive`` — none of the signals clears its threshold.
+
+The recorder only *reads* step records — attaching one never changes
+fleet results (the bit-identity test in ``tests/test_obs_recorder.py``
+holds it to that).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from statistics import median
+
+__all__ = [
+    "FlightRecorder",
+    "analyze_bundle",
+    "attribute_capture",
+    "load_bundle",
+]
+
+#: Completed captures kept in memory (oldest dropped beyond this).
+MAX_CAPTURES = 32
+
+_FRAME_KEYS = (
+    "window", "hour", "cluster_load", "servers", "violations", "throttled",
+    "mode_baseline", "mode_b", "mode_q", "mean_tail_ms", "mean_batch_uipc",
+)
+
+
+def _frame_of(record: dict, violators) -> dict:
+    frame = {key: record[key] for key in _FRAME_KEYS if key in record}
+    if record.get("gap_filled"):
+        frame["gap_filled"] = True
+    frame["violators"] = list(violators) if violators else []
+    return frame
+
+
+class FlightRecorder:
+    """Ring buffer of fleet frames with alert-triggered captures.
+
+    Feed every completed window to :meth:`observe` along with the SLO
+    events it fired (and, optionally, the stepper's captured top-K
+    violators).  ``capacity`` bounds the ring; an alert snapshots
+    ``pre_windows`` frames of history and stays open for
+    ``post_windows`` more, then the capture is sealed.  Overlapping
+    alerts each get their own capture from the shared ring.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 288,
+        *,
+        top_k: int = 16,
+        pre_windows: int = 6,
+        post_windows: int = 6,
+        registry=None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if top_k < 0 or pre_windows < 0 or post_windows < 0:
+            raise ValueError("top_k/pre_windows/post_windows must be >= 0")
+        if pre_windows >= capacity:
+            raise ValueError("pre_windows must fit inside capacity")
+        self.capacity = int(capacity)
+        self.top_k = int(top_k)
+        self.pre_windows = int(pre_windows)
+        self.post_windows = int(post_windows)
+        self.registry = registry
+        self.frames: deque[dict] = deque(maxlen=self.capacity)
+        self.captures: list[dict] = []
+        self.events: list[dict] = []
+        self._open: list[dict] = []
+        self.windows_seen = 0
+        self.dumps = 0
+
+    # -- recording -------------------------------------------------------
+
+    def observe(self, record: dict, violators=None, events=()) -> None:
+        """Append one window frame; open/extend captures on alerts."""
+        frame = _frame_of(record, violators)
+        self.frames.append(frame)
+        self.windows_seen += 1
+        for capture in self._open:
+            capture["frames"].append(frame)
+            capture["post_left"] -= 1
+        sealed = [c for c in self._open if c["post_left"] <= 0]
+        self._open = [c for c in self._open if c["post_left"] > 0]
+        for capture in sealed:
+            self._seal(capture)
+        for event in events:
+            self.events.append(dict(event))
+            if event.get("type") == "slo_alert":
+                self._begin_capture(event, frame)
+        if self.registry is not None:
+            self.registry.gauge("fleet.recorder.frames").set(
+                float(len(self.frames))
+            )
+            self.registry.gauge("fleet.recorder.captures").set(
+                float(len(self.captures) + len(self._open))
+            )
+
+    def _begin_capture(self, event: dict, current_frame: dict) -> None:
+        history = list(self.frames)[-(self.pre_windows + 1):]
+        self._open.append({
+            "alert": dict(event),
+            "frames": list(history),
+            "post_left": self.post_windows,
+        })
+        if self.post_windows == 0:
+            capture = self._open.pop()
+            self._seal(capture)
+
+    def _seal(self, capture: dict) -> None:
+        capture.pop("post_left", None)
+        frames = capture["frames"]
+        capture["lo_window"] = int(frames[0]["window"]) if frames else -1
+        capture["hi_window"] = int(frames[-1]["window"]) if frames else -1
+        self.captures.append(capture)
+        del self.captures[:-MAX_CAPTURES]
+
+    @property
+    def open_captures(self) -> int:
+        return len(self._open)
+
+    def note(self, event: dict) -> None:
+        """Log a non-alert event (stop reason, dump, reconfigure)."""
+        self.events.append(dict(event))
+
+    def status(self) -> dict:
+        """Summary block for ``status()`` replies and the dashboard."""
+        return {
+            "frames": len(self.frames),
+            "capacity": self.capacity,
+            "windows_seen": self.windows_seen,
+            "captures": len(self.captures),
+            "open_captures": len(self._open),
+            "events": len(self.events),
+            "dumps": self.dumps,
+        }
+
+    # -- the postmortem bundle -------------------------------------------
+
+    def dump(self, path, *, reason: str = "requested", meta=None) -> dict:
+        """Write the JSONL postmortem bundle; returns a summary record.
+
+        Still-open captures are sealed as-is (an alert near the end of a
+        run should not lose its capture to the missing post windows).
+        Line 1 is a ``postmortem_meta`` header; then one ``frame`` line
+        per ring entry, one ``capture`` line per capture, one ``event``
+        line per logged event.
+        """
+        for capture in self._open:
+            self._seal(dict(capture, post_left=0))
+        self._open = []
+        header = {
+            "type": "postmortem_meta",
+            "reason": reason,
+            "capacity": self.capacity,
+            "top_k": self.top_k,
+            "pre_windows": self.pre_windows,
+            "post_windows": self.post_windows,
+            "windows_seen": self.windows_seen,
+            "n_frames": len(self.frames),
+            "n_captures": len(self.captures),
+            "n_events": len(self.events),
+        }
+        if meta:
+            header["service"] = dict(meta)
+        path = str(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for frame in self.frames:
+                handle.write(json.dumps(dict(frame, type="frame")) + "\n")
+            for capture in self.captures:
+                handle.write(json.dumps(dict(capture, type="capture")) + "\n")
+            for event in self.events:
+                handle.write(json.dumps(dict(event, type=event.get(
+                    "type", "event"))) + "\n")
+        self.dumps += 1
+        if self.registry is not None:
+            self.registry.counter("fleet.recorder.dumps").inc()
+        return {
+            "path": path,
+            "reason": reason,
+            "frames": len(self.frames),
+            "captures": len(self.captures),
+            "events": len(self.events),
+        }
+
+
+# -- bundle analysis -----------------------------------------------------
+
+
+def load_bundle(path) -> dict:
+    """Read a postmortem bundle back into its parts."""
+    meta = None
+    frames: list[dict] = []
+    captures: list[dict] = []
+    events: list[dict] = []
+    with open(str(path), encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ValueError(
+                    f"{path}:{line_no}: not JSON ({err.msg})"
+                ) from None
+            kind = record.get("type")
+            if kind == "postmortem_meta":
+                meta = record
+            elif kind == "frame":
+                frames.append(record)
+            elif kind == "capture":
+                captures.append(record)
+            else:
+                events.append(record)
+    if meta is None:
+        raise ValueError(f"{path}: missing postmortem_meta header line")
+    return {
+        "meta": meta, "frames": frames, "captures": captures,
+        "events": events,
+    }
+
+
+def _violator_rows(frames) -> list[dict]:
+    return [v for frame in frames for v in frame.get("violators", ())]
+
+
+def attribute_capture(capture: dict) -> dict:
+    """Attribute one capture's violations to a primary cause.
+
+    Returns ``{"primary", "scores", "evidence"}``.  The scores are
+    rough, comparable signal strengths in [0, 1]; ``primary`` is the
+    strongest signal clearing its threshold, else ``"inconclusive"``.
+    """
+    frames = capture.get("frames", [])
+    alert = capture.get("alert", {})
+    alert_window = int(alert.get("window", -1))
+    pre = [f for f in frames if int(f["window"]) < alert_window]
+    at_or_after = [f for f in frames if int(f["window"]) >= alert_window]
+
+    # load_spike: peak load at/after the alert vs the trailing level.
+    base_loads = [float(f["cluster_load"]) for f in (pre or frames)]
+    hot_loads = [float(f["cluster_load"]) for f in (at_or_after or frames)]
+    baseline = median(base_loads) if base_loads else 0.0
+    peak = max(hot_loads) if hot_loads else 0.0
+    load_ratio = peak / baseline if baseline > 0 else (
+        float("inf") if peak > 0 else 1.0
+    )
+    load_score = min(max(load_ratio - 1.0, 0.0), 1.0)
+
+    # mode_switch_lag: violators that were still stretched (B-mode) when
+    # they missed QoS — the monitor lagged the traffic.
+    rows = _violator_rows(at_or_after or frames)
+    in_b = sum(1 for v in rows if v.get("mode") == "b-mode")
+    b_fraction = in_b / len(rows) if rows else 0.0
+
+    # straggler: the same servers violating frame after frame.
+    frames_with = [
+        f for f in frames if f.get("violators")
+    ]
+    repeat_fraction = 0.0
+    repeat_servers: list[int] = []
+    if len(frames_with) >= 2:
+        counts: dict[int, int] = {}
+        for frame in frames_with:
+            for v in frame["violators"]:
+                counts[int(v["server"])] = counts.get(int(v["server"]), 0) + 1
+        threshold = max(2, (len(frames_with) + 1) // 2)
+        repeaters = {s for s, c in counts.items() if c >= threshold}
+        per_frame = [
+            sum(1 for v in f["violators"] if int(v["server"]) in repeaters)
+            / len(f["violators"])
+            for f in frames_with
+        ]
+        repeat_fraction = sum(per_frame) / len(per_frame)
+        repeat_servers = sorted(
+            repeaters,
+            key=lambda s: counts[s],
+            reverse=True,
+        )[:8]
+
+    scores = {
+        "load_spike": round(load_score, 4),
+        "mode_switch_lag": round(b_fraction, 4),
+        "straggler": round(repeat_fraction, 4),
+    }
+    thresholds = {
+        "load_spike": 0.25,      # ≥25% above the trailing median
+        "mode_switch_lag": 0.5,  # majority of violators still stretched
+        "straggler": 0.4,        # repeaters carry ≥40% of violator slots
+    }
+    passing = {
+        name: value for name, value in scores.items()
+        if value >= thresholds[name]
+    }
+    primary = (
+        max(passing, key=passing.get) if passing else "inconclusive"
+    )
+    return {
+        "primary": primary,
+        "scores": scores,
+        "evidence": {
+            "alert_window": alert_window,
+            "slo": alert.get("slo"),
+            "policy": alert.get("policy"),
+            "load_baseline": round(baseline, 4),
+            "load_peak": round(peak, 4),
+            "load_ratio": (
+                round(load_ratio, 4) if load_ratio != float("inf") else None
+            ),
+            "violators_sampled": len(rows),
+            "violators_in_b_mode": in_b,
+            "repeat_servers": repeat_servers,
+            "frames": len(frames),
+        },
+    }
+
+
+def analyze_bundle(path) -> dict:
+    """Analyze a postmortem bundle: per-capture attribution + summary."""
+    bundle = load_bundle(path)
+    frames = bundle["frames"]
+    attributions = [
+        dict(attribute_capture(capture),
+             lo_window=capture.get("lo_window"),
+             hi_window=capture.get("hi_window"))
+        for capture in bundle["captures"]
+    ]
+    loads = [float(f["cluster_load"]) for f in frames]
+    violations = sum(int(f["violations"]) for f in frames)
+    servers = max((int(f["servers"]) for f in frames), default=0)
+    alert_events = [
+        e for e in bundle["events"] if e.get("type") == "slo_alert"
+    ]
+    return {
+        "meta": bundle["meta"],
+        "summary": {
+            "frames": len(frames),
+            "windows": (
+                [int(frames[0]["window"]), int(frames[-1]["window"])]
+                if frames else None
+            ),
+            "servers": servers,
+            "total_violations": violations,
+            "violation_rate": (
+                violations / (servers * len(frames))
+                if servers and frames else 0.0
+            ),
+            "peak_load": max(loads) if loads else 0.0,
+            "median_load": median(loads) if loads else 0.0,
+            "alerts": len(alert_events),
+            "captures": len(bundle["captures"]),
+        },
+        "captures": attributions,
+        "events": bundle["events"],
+    }

@@ -1,0 +1,373 @@
+"""Fleet SLO engine: declarative objectives, burn rates, error budgets.
+
+The paper's control loop holds a per-window QoS target; an *SLO* states
+the fleet-level contract on top of it — "at most 5% of (server, window)
+pairs may violate QoS over the day" — and this module scores a live
+fleet against that contract incrementally, one
+:meth:`~repro.fleet.engine.FleetStepper.step` record at a time:
+
+* :class:`SLOSpec` — a declarative objective: a **violation-rate**
+  target (fraction of server-windows violating QoS) or a **tail-latency**
+  objective (windows whose mean tail exceeds a bound), plus the alert
+  policies evaluated over it;
+* :class:`BurnPolicy` — one multi-window burn-rate alert à la the SRE
+  workbook: fire when the short (*fast*) **and** long (*slow*) rolling
+  windows both burn error budget faster than ``threshold``× the
+  sustainable rate; the fast window gates recency (fast reset), the slow
+  window gates persistence (no flapping on one bad window);
+* :class:`SLOEngine` — the incremental evaluator: per-spec rolling
+  windows, day-scale error-budget accounting
+  (``budget_remaining <= 0`` ⇒ contract broken), alert edge detection,
+  and ``fleet.slo.*`` gauges published into a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Everything is computed from the public per-window aggregates — attaching
+an :class:`SLOEngine` never changes fleet results.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from collections import deque
+
+__all__ = [
+    "DEFAULT_ALERT_POLICIES",
+    "DEFAULT_SLOS",
+    "BurnPolicy",
+    "SLOEngine",
+    "SLOSpec",
+    "parse_slo",
+]
+
+
+@dataclass(frozen=True)
+class BurnPolicy:
+    """One fast/slow burn-rate alert pair.
+
+    ``fast_windows``/``slow_windows`` are rolling window lengths in
+    monitoring windows; the alert is *active* while both windows' burn
+    rates (observed bad fraction ÷ SLO target) are at or above
+    ``threshold``, and it *fires* (one event) on each rising edge.
+    """
+
+    name: str
+    fast_windows: int
+    slow_windows: int
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("burn policy needs a name")
+        if self.fast_windows < 1 or self.slow_windows < self.fast_windows:
+            raise ValueError(
+                "need 1 <= fast_windows <= slow_windows, got "
+                f"{self.fast_windows}/{self.slow_windows}"
+            )
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+
+#: Day-scaled analogue of the SRE workbook's multiwindow pairs (page on a
+#: fast sustained burn, ticket on a slow leak), in 10-minute windows.
+DEFAULT_ALERT_POLICIES = (
+    BurnPolicy("page", fast_windows=3, slow_windows=9, threshold=10.0),
+    BurnPolicy("ticket", fast_windows=12, slow_windows=36, threshold=2.0),
+)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative service-level objective over the fleet day.
+
+    ``objective="violation_rate"`` counts QoS-violating (server, window)
+    pairs against ``target`` (the tolerated fraction — the error
+    budget); ``objective="tail"`` counts whole windows whose fleet-mean
+    tail latency exceeds ``tail_ms``, with ``target`` the tolerated
+    fraction of such windows.
+    """
+
+    name: str
+    objective: str = "violation_rate"
+    target: float = 0.05
+    tail_ms: float | None = None
+    alerts: tuple[BurnPolicy, ...] = field(default=DEFAULT_ALERT_POLICIES)
+
+    def __post_init__(self) -> None:
+        if not re.match(r"^[A-Za-z0-9_.-]+$", self.name or ""):
+            raise ValueError(f"bad SLO name {self.name!r}")
+        if self.objective not in ("violation_rate", "tail"):
+            raise ValueError(
+                f"objective must be violation_rate|tail, got "
+                f"{self.objective!r}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if self.objective == "tail" and (
+            self.tail_ms is None or self.tail_ms <= 0
+        ):
+            raise ValueError("tail objective needs tail_ms > 0")
+        if not self.alerts:
+            raise ValueError("spec needs at least one alert policy")
+
+    def bad_total(self, record: dict) -> tuple[float, float]:
+        """This window's (bad events, total events) under the objective."""
+        if self.objective == "violation_rate":
+            return float(record["violations"]), float(record["servers"])
+        bad = 1.0 if float(record["mean_tail_ms"]) > self.tail_ms else 0.0
+        return bad, 1.0
+
+
+#: The stock fleet SLO ``stretch-repro serve`` tracks unless told otherwise.
+DEFAULT_SLOS = (SLOSpec("qos", "violation_rate", 0.05),)
+
+
+_SLO_RE = re.compile(
+    r"^(?P<name>[A-Za-z0-9_.-]+):(?P<objective>violation_rate|tail)"
+    r"<(?P<target>[0-9.]+)(?P<ms>ms)?"
+    r"(?:@(?P<alerts>[0-9/x.,]+))?$"
+)
+_ALERT_RE = re.compile(r"^(?P<fast>\d+)/(?P<slow>\d+)x(?P<thr>[0-9.]+)$")
+
+
+def parse_slo(spec: str) -> SLOSpec:
+    """Parse the compact CLI form of an SLO spec.
+
+    ``NAME:OBJECTIVE<TARGET[@FAST/SLOWxTHRESHOLD[,...]]`` — e.g.
+    ``qos:violation_rate<0.05`` (default alert pairs),
+    ``tail:tail<250ms@3/9x10`` (tail objective, one alert pair; the
+    tolerated bad-window fraction defaults to 0.05 for ``tail<...ms``).
+
+    >>> parse_slo("qos:violation_rate<0.02@2/6x5").alerts[0].threshold
+    5.0
+    """
+    match = _SLO_RE.match(spec.strip())
+    if not match:
+        raise ValueError(
+            f"bad SLO spec {spec!r}; expected "
+            "NAME:violation_rate<FRACTION or NAME:tail<MSms, optionally "
+            "@FAST/SLOWxTHRESHOLD[,...] — e.g. qos:violation_rate<0.05 "
+            "or tail:tail<250ms@3/9x10"
+        )
+    alerts = DEFAULT_ALERT_POLICIES
+    if match.group("alerts"):
+        parsed = []
+        for i, token in enumerate(match.group("alerts").split(",")):
+            pair = _ALERT_RE.match(token)
+            if not pair:
+                raise ValueError(
+                    f"bad alert pair {token!r}; expected FAST/SLOWxTHRESHOLD"
+                )
+            parsed.append(BurnPolicy(
+                name=f"alert{i}" if i else "page",
+                fast_windows=int(pair.group("fast")),
+                slow_windows=int(pair.group("slow")),
+                threshold=float(pair.group("thr")),
+            ))
+        alerts = tuple(parsed)
+    if match.group("objective") == "tail":
+        if not match.group("ms"):
+            raise ValueError(
+                f"tail objective takes a latency bound, e.g. tail<250ms "
+                f"(got {spec!r})"
+            )
+        return SLOSpec(
+            match.group("name"), "tail", 0.05,
+            tail_ms=float(match.group("target")), alerts=alerts,
+        )
+    return SLOSpec(
+        match.group("name"), "violation_rate",
+        float(match.group("target")), alerts=alerts,
+    )
+
+
+class _SpecState:
+    """Rolling windows + lifetime accounting for one spec."""
+
+    __slots__ = ("spec", "history", "cum_bad", "cum_total", "active",
+                 "fired")
+
+    def __init__(self, spec: SLOSpec):
+        self.spec = spec
+        horizon = max(p.slow_windows for p in spec.alerts)
+        self.history: deque[tuple[float, float]] = deque(maxlen=horizon)
+        self.cum_bad = 0.0
+        self.cum_total = 0.0
+        self.active: dict[str, bool] = {p.name: False for p in spec.alerts}
+        self.fired: dict[str, int] = {p.name: 0 for p in spec.alerts}
+
+    def burn_rate(self, k: int) -> float:
+        """Observed bad fraction over the last ``k`` windows ÷ target."""
+        window = list(self.history)[-k:]
+        total = sum(t for __, t in window)
+        if total <= 0:
+            return 0.0
+        bad = sum(b for b, __ in window)
+        return (bad / total) / self.spec.target
+
+
+class SLOEngine:
+    """Incrementally score fleet windows against a set of SLO specs.
+
+    Feed every :meth:`~repro.fleet.engine.FleetStepper.step` record to
+    :meth:`observe`; it returns the alert events that *fired* on this
+    window (rising edges only).  ``day_windows`` anchors error-budget
+    accounting: the day's budget is ``target × day_windows`` worth of
+    bad events (per server for the violation-rate objective), and
+    :meth:`status` reports the fraction of it left.
+    """
+
+    def __init__(
+        self,
+        specs=DEFAULT_SLOS,
+        *,
+        day_windows: int = 144,
+        registry=None,
+    ):
+        specs = tuple(
+            parse_slo(s) if isinstance(s, str) else s for s in specs
+        )
+        if not specs:
+            raise ValueError("SLOEngine needs at least one spec")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in {names}")
+        if day_windows < 1:
+            raise ValueError("day_windows must be positive")
+        self.specs = specs
+        self.day_windows = int(day_windows)
+        self.registry = registry
+        self._states = {spec.name: _SpecState(spec) for spec in specs}
+        self.windows_observed = 0
+
+    # -- accounting -------------------------------------------------------
+
+    def budget_consumed(self, name: str) -> float:
+        """Fraction of ``name``'s daily error budget consumed so far.
+
+        The budget is ``target`` bad events per observed event, scaled
+        to the whole day: consuming at exactly the target rate for the
+        full day lands on 1.0; a perfectly clean day consumes 0.0.
+        """
+        state = self._states[name]
+        if state.cum_total <= 0 or self.windows_observed == 0:
+            return 0.0
+        per_window_total = state.cum_total / self.windows_observed
+        allowed = state.spec.target * per_window_total * self.day_windows
+        return state.cum_bad / allowed
+
+    def budget_remaining(self, name: str) -> float:
+        return 1.0 - self.budget_consumed(name)
+
+    def budget_impact(self, name: str, bad_fraction: float,
+                      n_windows: int) -> float:
+        """Day-budget fraction a projected horizon would consume.
+
+        ``bad_fraction`` is the horizon's observed/projected bad rate
+        (e.g. a what-if query's ``violation_rate``) over ``n_windows``
+        windows; the what-if diff column reports
+        ``impact(alt) - impact(live)``.
+        """
+        spec = self._states[name].spec
+        return (bad_fraction / spec.target) * (
+            int(n_windows) / self.day_windows
+        )
+
+    # -- the incremental evaluator ---------------------------------------
+
+    def observe(self, record: dict) -> list[dict]:
+        """Account one fleet window; return alert events fired by it."""
+        self.windows_observed += 1
+        events: list[dict] = []
+        for spec in self.specs:
+            state = self._states[spec.name]
+            bad, total = spec.bad_total(record)
+            state.history.append((bad, total))
+            state.cum_bad += bad
+            state.cum_total += total
+            bad_fraction = (
+                state.cum_bad / state.cum_total if state.cum_total else 0.0
+            )
+            remaining = self.budget_remaining(spec.name)
+            prefix = f"fleet.slo.{spec.name}"
+            if self.registry is not None:
+                self.registry.gauge(f"{prefix}.bad_fraction").set(
+                    bad_fraction
+                )
+                self.registry.gauge(f"{prefix}.budget_remaining").set(
+                    remaining
+                )
+            for policy in spec.alerts:
+                fast = state.burn_rate(policy.fast_windows)
+                slow = state.burn_rate(policy.slow_windows)
+                burning = (
+                    fast >= policy.threshold and slow >= policy.threshold
+                )
+                if self.registry is not None:
+                    self.registry.gauge(
+                        f"{prefix}.burn.{policy.name}.fast"
+                    ).set(fast)
+                    self.registry.gauge(
+                        f"{prefix}.burn.{policy.name}.slow"
+                    ).set(slow)
+                    self.registry.gauge(
+                        f"{prefix}.alert.{policy.name}"
+                    ).set(float(burning))
+                if burning and not state.active[policy.name]:
+                    state.active[policy.name] = True
+                    state.fired[policy.name] += 1
+                    if self.registry is not None:
+                        self.registry.counter(f"{prefix}.alerts").inc()
+                    events.append({
+                        "type": "slo_alert",
+                        "slo": spec.name,
+                        "policy": policy.name,
+                        "window": int(record["window"]),
+                        "hour": float(record["hour"]),
+                        "burn_fast": fast,
+                        "burn_slow": slow,
+                        "threshold": policy.threshold,
+                        "fast_windows": policy.fast_windows,
+                        "slow_windows": policy.slow_windows,
+                        "budget_remaining": remaining,
+                    })
+                elif state.active[policy.name] and fast < policy.threshold:
+                    # Clearing is gated on the *fast* window alone: once
+                    # the recent burn is back under threshold the alert
+                    # may re-fire later — the slow window would otherwise
+                    # latch it for hours.
+                    state.active[policy.name] = False
+        return events
+
+    def alerting(self, name: str) -> bool:
+        return any(self._states[name].active.values())
+
+    def status(self) -> dict:
+        """Per-spec snapshot for ``status()`` replies and the dashboard."""
+        out: dict[str, dict] = {}
+        for spec in self.specs:
+            state = self._states[spec.name]
+            out[spec.name] = {
+                "objective": spec.objective,
+                "target": spec.target,
+                **({"tail_ms": spec.tail_ms} if spec.tail_ms else {}),
+                "bad_fraction": (
+                    state.cum_bad / state.cum_total
+                    if state.cum_total else 0.0
+                ),
+                "budget_consumed": self.budget_consumed(spec.name),
+                "budget_remaining": self.budget_remaining(spec.name),
+                "burn": {
+                    policy.name: {
+                        "fast": state.burn_rate(policy.fast_windows),
+                        "slow": state.burn_rate(policy.slow_windows),
+                        "threshold": policy.threshold,
+                        "active": state.active[policy.name],
+                        "fired": state.fired[policy.name],
+                    }
+                    for policy in spec.alerts
+                },
+                "alerting": self.alerting(spec.name),
+                "alerts_fired": sum(state.fired.values()),
+            }
+        return out

@@ -12,8 +12,10 @@ checkpointed and resumed bit-identically mid-day.
   replay (also registered as ``"replay:<path>"`` load curves for the
   batch entry points);
 * :mod:`repro.service.service` — the :class:`FleetService` loop
-  (ingest → advance → publish) with what-if, reconfigure, and graceful
-  feed-gap degradation;
+  (ingest → advance → publish) with what-if, reconfigure, graceful
+  feed-gap degradation, SLO scoring (:mod:`repro.obs.slo`), and the
+  violation flight recorder (:mod:`repro.obs.recorder`) behind the
+  control plane's ``dump`` verb;
 * :mod:`repro.service.checkpoint` — content-addressed state snapshots
   on the :mod:`repro.engine.store`;
 * :mod:`repro.service.control` — the line-delimited JSON control plane

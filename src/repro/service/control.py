@@ -16,6 +16,9 @@ carry ``ok`` plus either ``result`` or ``error``:
     → content-addressed state snapshot (``result.key`` resumes it).
 ``{"cmd": "reconfigure", "monitor": {...}, "policy": "uniform"}``
     → swap the live configuration at the next window boundary.
+``{"cmd": "dump", "path": "postmortem.jsonl"}``
+    → write the flight recorder's postmortem bundle (``path`` optional;
+    requires a recorder-enabled service).
 ``{"cmd": "stop"}``
     → clean shutdown (equivalent to SIGINT).
 
@@ -35,7 +38,7 @@ from repro.core.monitor import MonitorConfig
 
 __all__ = ["COMMANDS", "ControlPlane", "handle_command", "respond"]
 
-COMMANDS = ("status", "whatif", "checkpoint", "reconfigure", "stop")
+COMMANDS = ("status", "whatif", "checkpoint", "reconfigure", "dump", "stop")
 
 
 def monitor_from_payload(base: MonitorConfig, payload: dict) -> MonitorConfig:
@@ -80,6 +83,10 @@ def handle_command(service, request: dict) -> dict:
         elif cmd == "reconfigure":
             response["result"] = service.reconfigure(
                 monitor=monitor, policy=request.get("policy")
+            )
+        elif cmd == "dump":
+            response["result"] = service.dump(
+                path=request.get("path"), reason="control"
             )
         elif cmd == "stop":
             service.stop("control")

@@ -17,7 +17,16 @@ Around that loop it layers the three service-grade capabilities:
   forecast, and returns a metric diff — the live arrays are never touched;
 * **checkpoint/resume** — :meth:`checkpoint` writes the flattened state
   to the content-addressed result store; :meth:`resume` rebuilds a
-  service that is bit-identical to one that never stopped.
+  service that is bit-identical to one that never stopped;
+* **SLO scoring and flight recording** — an attached
+  :class:`~repro.obs.slo.SLOEngine` scores every window against the
+  declared objectives (burn rates, error budget — surfaced in
+  :meth:`status`, as ``fleet.slo.*`` gauges, and as a what-if budget
+  column), and an attached :class:`~repro.obs.recorder.FlightRecorder`
+  keeps the recent window history plus alert captures, dumped as a
+  postmortem bundle via :meth:`dump` (control-plane ``dump`` verb) or
+  automatically on ``feed_stalled``/SIGINT stops.  Both are pure
+  observers: the fleet timeline is bit-identical with them attached.
 
 Feed gaps degrade gracefully: a missing window is filled by holding the
 last ingested load, and :attr:`max_gap_windows` bounds the lag — beyond
@@ -33,6 +42,8 @@ from dataclasses import asdict, replace
 from repro.fleet.engine import FleetEngine, FleetState
 from repro.fleet.shard import _performance_payload
 from repro.obs.fleet import publish_fleet_window
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLOEngine
 from repro.service.checkpoint import load_checkpoint, save_checkpoint
 from repro.service.feeds import LoadFeed, make_feed
 
@@ -55,6 +66,9 @@ class FleetService:
         tracer=None,
         max_gap_windows: int = 6,
         chunk_size: int | None = None,
+        slos=None,
+        recorder: FlightRecorder | bool | None = None,
+        postmortem_path: str | None = None,
     ):
         if max_gap_windows < 0:
             raise ValueError("max_gap_windows must be non-negative")
@@ -74,6 +88,22 @@ class FleetService:
         self._stepper = engine.stepper(
             None, tail=tail, state=state, chunk_size=chunk_size
         )
+        if slos is not None and not isinstance(slos, SLOEngine):
+            slos = SLOEngine(
+                slos, day_windows=engine.config.n_windows, registry=registry
+            )
+        self.slo: SLOEngine | None = slos
+        if self.slo is not None and self.slo.registry is None:
+            self.slo.registry = registry
+        if recorder is True:
+            recorder = FlightRecorder(registry=registry)
+        self.recorder: FlightRecorder | None = recorder or None
+        if self.recorder is not None:
+            if self.recorder.registry is None:
+                self.recorder.registry = registry
+            self._stepper.capture_violators = self.recorder.top_k
+        self._postmortem_path = postmortem_path
+        self._pending_alerts: list[dict] = []
         self._last_load: float | None = None
         self._gap_run = 0
         self.feed_gaps = 0
@@ -160,11 +190,29 @@ class FleetService:
             record["gap_filled"] = gap_filled
             with self._span("service.publish", window=k):
                 publish_fleet_window(self.registry, record)
+                events = (
+                    self.slo.observe(record) if self.slo is not None else []
+                )
+                if self.recorder is not None:
+                    self.recorder.observe(
+                        record,
+                        violators=self._stepper.last_violators,
+                        events=events,
+                    )
+                self._pending_alerts.extend(events)
                 if self.sink is not None:
                     self.sink.write(dict(record, type="fleet_window"))
+                    for event in events:
+                        self.sink.write(dict(event))
                     self.sink.flush()
             records.append(record)
         return records
+
+    def drain_alerts(self) -> list[dict]:
+        """SLO alert events fired since the last drain."""
+        alerts = self._pending_alerts
+        self._pending_alerts = []
+        return alerts
 
     # -- control-plane verbs ---------------------------------------------
 
@@ -184,6 +232,13 @@ class FleetService:
             "policy": self.engine.config.policy,
             "monitor": asdict(self.engine.config.monitor),
             "metrics": sofar,
+            **(
+                {"slo": self.slo.status()} if self.slo is not None else {}
+            ),
+            **(
+                {"recorder": self.recorder.status()}
+                if self.recorder is not None else {}
+            ),
         }
 
     def _forecast_loads(self, horizon: int) -> list[float]:
@@ -246,19 +301,36 @@ class FleetService:
         )
         live = project(self.engine.config)
         alt = project(alt_config)
-        return {
+        diff = {
+            key: alt[key] - live[key]
+            for key in live
+            if isinstance(live[key], float)
+        }
+        out = {
             "window": k,
             "horizon": horizon,
             "monitor": asdict(alt_config.monitor),
             "policy": alt_config.policy,
             "live": live,
             "whatif": alt,
-            "diff": {
-                key: alt[key] - live[key]
-                for key in live
-                if isinstance(live[key], float)
-            },
+            "diff": diff,
         }
+        if self.slo is not None:
+            budget = {}
+            for spec in self.slo.specs:
+                if spec.objective != "violation_rate":
+                    continue
+                impacts = {
+                    which: self.slo.budget_impact(
+                        spec.name, side["violation_rate"], horizon
+                    )
+                    for which, side in (("live", live), ("whatif", alt))
+                }
+                impacts["diff"] = impacts["whatif"] - impacts["live"]
+                budget[spec.name] = impacts
+                diff[f"slo_budget.{spec.name}"] = impacts["diff"]
+            out["slo_budget"] = budget
+        return out
 
     def checkpoint(self) -> dict:
         """Persist the full state; returns the content-addressed key."""
@@ -300,17 +372,70 @@ class FleetService:
             None, tail=self.tail, state=self.state,
             chunk_size=self._chunk_size,
         )
-        return {
+        if self.recorder is not None:
+            self._stepper.capture_violators = self.recorder.top_k
+        result = {
             "window": self.window,
             "monitor": asdict(config.monitor),
             "policy": config.policy,
         }
+        if self.recorder is not None:
+            self.recorder.note(dict(result, type="reconfigure"))
+        return result
+
+    def dump(self, path: str | None = None, *, reason: str = "requested") -> dict:
+        """Write the flight recorder's postmortem bundle to ``path``.
+
+        ``path`` defaults to the configured ``postmortem_path``, then to
+        ``postmortem-w<window>.jsonl`` in the working directory.
+        """
+        if self.recorder is None:
+            raise ValueError("no flight recorder attached (recorder=...)")
+        path = path or self._postmortem_path or (
+            f"postmortem-w{self.window}.jsonl"
+        )
+        record = self.recorder.dump(
+            path,
+            reason=reason,
+            meta={
+                "ls_profile": self.engine.ls_profile.name,
+                "feed": self.feed.name,
+                "tail": self.tail,
+                "policy": self.engine.config.policy,
+                "n_servers": self.state.n_servers,
+                "window": self.window,
+                "stop_reason": self.stop_reason,
+            },
+        )
+        if self.sink is not None:
+            self.sink.write(dict(record, type="postmortem"))
+            self.sink.flush()
+        return record
 
     def stop(self, reason: str = "requested") -> None:
-        """Stop the serve loop at the next window boundary."""
+        """Stop the serve loop at the next window boundary.
+
+        An abnormal stop (``feed_stalled``, ``sigint``) auto-dumps the
+        flight recorder when a ``postmortem_path`` is configured, so the
+        evidence survives the exit that needs explaining.
+        """
+        first = self.stop_reason is None
         self.stopped = True
-        if self.stop_reason is None:
+        if first:
             self.stop_reason = reason
+        if self.recorder is not None:
+            self.recorder.note({"type": "stop", "reason": reason,
+                                "window": self.window})
+        if (
+            first
+            and self.recorder is not None
+            and self._postmortem_path
+            and reason in ("feed_stalled", "sigint")
+        ):
+            try:
+                self.dump(reason=reason)
+            except OSError:
+                pass  # a failed dump must never block shutdown
 
     # -- the serve loop ----------------------------------------------------
 
@@ -322,6 +447,7 @@ class FleetService:
         out=None,
         checkpoint_every: int | None = None,
         pace_seconds: float = 0.0,
+        on_window=None,
     ) -> dict:
         """Serve until done/stopped; returns a summary record.
 
@@ -329,7 +455,10 @@ class FleetService:
         :mod:`repro.service.control`) with responses written to ``out``;
         ``checkpoint_every`` persists the state every N windows;
         ``pace_seconds`` throttles real time per window (live pacing for
-        demos and the CI smoke test — 0 runs flat out).
+        demos and the CI smoke test — 0 runs flat out); ``on_window``
+        (when given) is called as ``on_window(service, record)`` after
+        each served window — the ``--dashboard`` repaint hook.  SLO
+        alert events are echoed to ``out`` as ``slo_alert`` lines.
         """
         from repro.service.control import handle_command, respond
 
@@ -353,6 +482,11 @@ class FleetService:
                 served += 1
                 if out is not None:
                     respond(out, dict(record, type="fleet_window"))
+                for event in self.drain_alerts():
+                    if out is not None:
+                        respond(out, event)
+                if on_window is not None:
+                    on_window(self, record)
             if (
                 checkpoint_every
                 and self.window % checkpoint_every == 0

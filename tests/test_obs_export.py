@@ -1,0 +1,255 @@
+"""Tests for the metric export layer (`repro.obs.export`).
+
+The load-bearing guarantees:
+
+* every instrument kind (counter / gauge / histogram / windowed series)
+  renders to OpenMetrics text that the strict parser accepts, with the
+  exact structural conventions (``_total``, cumulative ``le`` buckets,
+  ``# EOF``);
+* the parser really is strict — drift between renderer and parser, or a
+  malformed scrape, fails loudly;
+* the HTTP endpoint serves ``/metrics``, ``/status`` and ``/healthz``
+  from daemon threads without perturbing the registry;
+* the dashboard renders from both a local registry and a bare remote
+  status payload.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    CONTENT_TYPE,
+    DashboardPrinter,
+    ObservabilityServer,
+    escape_label_value,
+    parse_openmetrics,
+    render_dashboard,
+    render_openmetrics,
+    sanitize_metric_name,
+    sparkline,
+    validate_openmetrics,
+)
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+
+def full_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("fleet.windows").inc(1200)
+    registry.gauge("fleet.violation_rate").set(0.0375)
+    histogram = registry.histogram(
+        "fleet.server_violations", bounds=(1.0, 5.0, 10.0)
+    )
+    for value in (0.0, 2.0, 3.0, 7.0, 40.0):
+        histogram.observe(value)
+    series = registry.series("fleet.cluster_load")
+    series.append(0.0, 0.30)
+    series.append(2.0, 0.45)
+    return registry
+
+
+class TestNameAndLabelEscaping:
+    def test_dotted_names_sanitize(self):
+        assert sanitize_metric_name("fleet.slo.qos.burn") == (
+            "fleet_slo_qos_burn"
+        )
+        assert sanitize_metric_name("0weird") == "_0weird"
+        assert sanitize_metric_name("a-b c") == "a_b_c"
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_escaped_labels_roundtrip_through_parser(self):
+        escaped = escape_label_value("a\\b\nc")
+        text = (
+            "# TYPE x gauge\n"
+            'x{path="' + escaped + '"} 1\n'
+            "# EOF\n"
+        )
+        samples = parse_openmetrics(text)
+        assert samples["x"][0][0]["path"] == "a\\\\b\\nc"
+
+
+class TestRenderOpenMetrics:
+    def test_every_instrument_kind_renders_and_parses(self):
+        text = render_openmetrics(full_registry())
+        samples = parse_openmetrics(text)
+        assert samples["fleet_windows_total"][0][1] == 1200
+        assert samples["fleet_violation_rate"][0][1] == pytest.approx(0.0375)
+        # Series export the latest point.
+        assert samples["fleet_cluster_load"][0][1] == pytest.approx(0.45)
+        # Histogram buckets are cumulative, ending in +Inf == count.
+        buckets = {
+            labels["le"]: value
+            for labels, value in samples["fleet_server_violations_bucket"]
+        }
+        assert buckets == {"1": 1, "5": 3, "10": 4, "+Inf": 5}
+        assert samples["fleet_server_violations_count"][0][1] == 5
+        assert samples["fleet_server_violations_sum"][0][1] == pytest.approx(
+            52.0
+        )
+
+    def test_counter_gets_total_suffix_and_type_line(self):
+        text = render_openmetrics(full_registry())
+        assert "# TYPE fleet_windows counter\n" in text
+        assert "\nfleet_windows_total 1200\n" in text
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(MetricsRegistry()).endswith("# EOF\n")
+
+    def test_empty_series_and_null_payloads_skipped(self):
+        registry = MetricsRegistry()
+        registry.series("quiet")
+        text = render_openmetrics(registry)
+        assert "quiet" not in text
+        # A disabled registry renders to just the terminator.
+        assert render_openmetrics(NULL_REGISTRY) == "# EOF\n"
+
+    def test_accepts_collect_snapshot(self):
+        registry = full_registry()
+        assert render_openmetrics(registry.collect()) == (
+            render_openmetrics(registry)
+        )
+
+    def test_validate_counts_samples(self):
+        assert validate_openmetrics(render_openmetrics(full_registry())) == 9
+
+
+class TestParserStrictness:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("# TYPE x gauge\nx 1\n")
+
+    def test_sample_without_type_family_rejected(self):
+        with pytest.raises(ValueError, match="no TYPE family"):
+            parse_openmetrics("x 1\n# EOF\n")
+
+    def test_blank_line_rejected(self):
+        with pytest.raises(ValueError, match="blank"):
+            parse_openmetrics("# TYPE x gauge\n\nx 1\n# EOF\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_openmetrics("# TYPE x gauge\nx = 1\n# EOF\n")
+
+    def test_bad_label_syntax_rejected(self):
+        with pytest.raises(ValueError, match="label"):
+            parse_openmetrics('# TYPE x gauge\nx{le=1} 1\n# EOF\n')
+
+
+class TestObservabilityServer:
+    def test_serves_metrics_status_and_healthz(self):
+        registry = full_registry()
+        with ObservabilityServer(
+            registry, status_fn=lambda: {"window": 7}
+        ) as server:
+            with urllib.request.urlopen(server.url + "/metrics") as rsp:
+                assert rsp.headers["Content-Type"] == CONTENT_TYPE
+                text = rsp.read().decode()
+            assert validate_openmetrics(text) > 0
+            with urllib.request.urlopen(server.url + "/status") as rsp:
+                assert json.loads(rsp.read().decode()) == {"window": 7}
+            with urllib.request.urlopen(server.url + "/healthz") as rsp:
+                assert rsp.read() == b"ok\n"
+
+    def test_unknown_route_is_404(self):
+        with ObservabilityServer(MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url + "/nope")
+            assert err.value.code == 404
+
+    def test_status_route_404_without_status_fn(self):
+        with ObservabilityServer(MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url + "/status")
+            assert err.value.code == 404
+
+    def test_scrape_sees_live_updates(self):
+        registry = MetricsRegistry()
+        registry.gauge("fleet.window").set(1.0)
+        with ObservabilityServer(registry) as server:
+            registry.gauge("fleet.window").set(5.0)
+            text = urllib.request.urlopen(server.url + "/metrics").read()
+        assert parse_openmetrics(text.decode())["fleet_window"][0][1] == 5.0
+
+
+class TestDashboard:
+    def status(self, **over) -> dict:
+        status = {
+            "window": 6, "n_windows": 12, "n_servers": 100,
+            "feed": "web_search", "policy": "jittered",
+            "stopped": False, "stop_reason": None,
+            "metrics": {
+                "violation_rate": 0.05, "bmode_fraction": 0.6,
+                "throttled_fraction": 0.01, "mean_tail_ms": 40.0,
+                "mean_batch_uipc": 0.5, "windows": 600,
+            },
+        }
+        status.update(over)
+        return status
+
+    def test_renders_remote_status_without_registry(self):
+        panel = render_dashboard(self.status())
+        assert "window     6/12" in panel
+        assert "violation_rate 0.0500" in panel
+        assert "b_mode" in panel
+
+    def test_renders_slo_and_recorder_sections(self):
+        panel = render_dashboard(self.status(
+            slo={"qos": {
+                "budget_remaining": 0.25, "alerting": True,
+                "burn": {"page": {"fast": 12.0, "slow": 3.0}},
+            }},
+            recorder={"frames": 6, "capacity": 288, "captures": 1,
+                      "dumps": 0},
+        ))
+        assert "slo     qos" in panel
+        assert "ALERT" in panel
+        assert "12.0/3.0x" in panel
+        assert "ring 6/288" in panel
+
+    def test_local_registry_supplies_sparklines_and_modes(self):
+        registry = MetricsRegistry()
+        for name, value in (
+            ("baseline", 0.2), ("b_mode", 0.7), ("q_mode", 0.1)
+        ):
+            registry.gauge(f"fleet.mode_occupancy.{name}").set(value)
+        series = registry.series("fleet.cluster_load")
+        for k in range(6):
+            series.append(float(k), 0.1 * k)
+        panel = render_dashboard(self.status(), registry)
+        assert "q_mode" in panel
+        assert "load" in panel
+
+    def test_stopped_marker(self):
+        panel = render_dashboard(self.status(
+            stopped=True, stop_reason="feed_stalled"
+        ))
+        assert "STOPPED (feed_stalled)" in panel
+
+    def test_sparkline_shape(self):
+        assert len(sparkline([1, 2, 3], width=8)) == 8
+        assert sparkline([], width=4) == "    "
+        assert sparkline([5.0, 5.0], width=2) != "  "
+
+    def test_printer_paginates_on_pipe(self):
+        import io
+
+        stream = io.StringIO()
+        printer = DashboardPrinter(stream, every=2)
+        printer.update(self.status())     # call 1: skipped (1 % 2 != 0)
+        assert stream.getvalue() == ""
+        printer.update(self.status())     # call 2: rendered
+        assert "stretch-repro fleet" in stream.getvalue()
+
+    def test_printer_always_renders_stop(self):
+        import io
+
+        stream = io.StringIO()
+        printer = DashboardPrinter(stream, every=100)
+        printer.update(self.status(stopped=True, stop_reason="sigint"))
+        assert "STOPPED" in stream.getvalue()

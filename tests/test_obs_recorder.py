@@ -1,0 +1,249 @@
+"""Tests for the violation flight recorder (`repro.obs.recorder`).
+
+The load-bearing guarantees:
+
+* the frame ring really is bounded — wraparound keeps exactly the last
+  ``capacity`` windows in order;
+* an SLO alert freezes the surrounding pre/post windows into a capture,
+  including across ring wraparound and for overlapping alerts;
+* a dumped bundle round-trips (dump → load → identical parts) and the
+  analyzer attributes synthetic captures to the right primary cause;
+* attaching a recorder to a live fleet changes nothing (bit-identity is
+  covered service-side in ``tests/test_service_obs.py``).
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import (
+    FlightRecorder,
+    analyze_bundle,
+    attribute_capture,
+    load_bundle,
+)
+
+
+def record(window: int, *, load: float = 0.5, violations: int = 0,
+           servers: int = 100, tail: float = 40.0) -> dict:
+    return {
+        "window": window, "hour": window / 6.0, "cluster_load": load,
+        "servers": servers, "violations": violations, "throttled": 0,
+        "mode_baseline": 10, "mode_b": 80, "mode_q": 10,
+        "mean_tail_ms": tail, "mean_batch_uipc": 0.5,
+    }
+
+
+def violator(server: int, mode: str = "b-mode", day: int = 1) -> dict:
+    return {
+        "server": server, "day_violations": day, "mode": mode,
+        "mode_after": "q-mode", "violation_streak": 1, "throttle_left": 0,
+    }
+
+
+def alert(window: int) -> dict:
+    return {
+        "type": "slo_alert", "slo": "qos", "policy": "page",
+        "window": window, "hour": window / 6.0, "burn_fast": 4.0,
+        "burn_slow": 2.0, "threshold": 2.0, "fast_windows": 2,
+        "slow_windows": 4, "budget_remaining": 0.5,
+    }
+
+
+class TestRingBuffer:
+    def test_ring_wraparound_keeps_last_capacity_windows(self):
+        recorder = FlightRecorder(capacity=5, pre_windows=2)
+        for k in range(12):
+            recorder.observe(record(k))
+        assert len(recorder.frames) == 5
+        assert [f["window"] for f in recorder.frames] == [7, 8, 9, 10, 11]
+        assert recorder.windows_seen == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError, match="fit inside"):
+            FlightRecorder(capacity=4, pre_windows=4)
+
+    def test_frames_carry_violators_and_gap_flag(self):
+        recorder = FlightRecorder(capacity=4, pre_windows=1)
+        recorder.observe(
+            dict(record(0), gap_filled=True), violators=[violator(3)]
+        )
+        frame = recorder.frames[0]
+        assert frame["gap_filled"] is True
+        assert frame["violators"][0]["server"] == 3
+
+    def test_registry_gauges(self):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(capacity=4, pre_windows=1,
+                                  registry=registry)
+        recorder.observe(record(0))
+        assert registry.gauge("fleet.recorder.frames").value == 1.0
+
+
+class TestCaptures:
+    def test_alert_captures_pre_and_post_windows(self):
+        recorder = FlightRecorder(capacity=20, pre_windows=2, post_windows=2)
+        for k in range(4):
+            recorder.observe(record(k))
+        recorder.observe(record(4), events=[alert(4)])
+        assert recorder.open_captures == 1
+        recorder.observe(record(5))
+        recorder.observe(record(6))
+        assert recorder.open_captures == 0
+        assert len(recorder.captures) == 1
+        capture = recorder.captures[0]
+        assert [f["window"] for f in capture["frames"]] == [2, 3, 4, 5, 6]
+        assert capture["lo_window"] == 2 and capture["hi_window"] == 6
+        assert capture["alert"]["window"] == 4
+
+    def test_capture_straddles_ring_wraparound(self):
+        recorder = FlightRecorder(capacity=4, pre_windows=2, post_windows=1)
+        for k in range(40):
+            recorder.observe(
+                record(k), events=[alert(k)] if k == 37 else ()
+            )
+        assert [f["window"] for f in recorder.captures[0]["frames"]] == (
+            [35, 36, 37, 38]
+        )
+
+    def test_overlapping_alerts_get_separate_captures(self):
+        recorder = FlightRecorder(capacity=20, pre_windows=1, post_windows=2)
+        recorder.observe(record(0))
+        recorder.observe(record(1), events=[alert(1)])
+        recorder.observe(record(2), events=[alert(2)])
+        for k in (3, 4):
+            recorder.observe(record(k))
+        assert len(recorder.captures) == 2
+        assert recorder.captures[0]["alert"]["window"] == 1
+        assert recorder.captures[1]["alert"]["window"] == 2
+
+    def test_zero_post_windows_seals_immediately(self):
+        recorder = FlightRecorder(capacity=8, pre_windows=1, post_windows=0)
+        recorder.observe(record(0))
+        recorder.observe(record(1), events=[alert(1)])
+        assert recorder.open_captures == 0
+        assert len(recorder.captures) == 1
+
+
+class TestBundleRoundtrip:
+    def make_recorder(self) -> FlightRecorder:
+        recorder = FlightRecorder(capacity=10, pre_windows=1, post_windows=1)
+        for k in range(6):
+            recorder.observe(
+                record(k, violations=5 if k == 3 else 0),
+                violators=[violator(7)] if k == 3 else None,
+                events=[alert(3)] if k == 3 else (),
+            )
+        recorder.note({"type": "stop", "reason": "test", "window": 6})
+        return recorder
+
+    def test_dump_and_load_roundtrip(self, tmp_path):
+        recorder = self.make_recorder()
+        path = tmp_path / "bundle.jsonl"
+        result = recorder.dump(path, reason="unit", meta={"feed": "flat"})
+        assert result["frames"] == 6 and result["captures"] == 1
+        bundle = load_bundle(path)
+        assert bundle["meta"]["reason"] == "unit"
+        assert bundle["meta"]["service"]["feed"] == "flat"
+        assert [f["window"] for f in bundle["frames"]] == list(range(6))
+        assert bundle["captures"][0]["alert"]["window"] == 3
+        assert bundle["events"][-1]["reason"] == "test"
+        assert recorder.dumps == 1
+
+    def test_dump_seals_open_captures(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, pre_windows=1, post_windows=5)
+        recorder.observe(record(0))
+        recorder.observe(record(1), events=[alert(1)])
+        assert recorder.open_captures == 1
+        recorder.dump(tmp_path / "b.jsonl", reason="sigint")
+        bundle = load_bundle(tmp_path / "b.jsonl")
+        assert len(bundle["captures"]) == 1
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not JSON"):
+            load_bundle(path)
+        path.write_text(json.dumps({"type": "frame", "window": 0}) + "\n")
+        with pytest.raises(ValueError, match="postmortem_meta"):
+            load_bundle(path)
+
+
+class TestAttribution:
+    def capture(self, frames, alert_window: int) -> dict:
+        return {
+            "alert": alert(alert_window), "frames": frames,
+            "lo_window": frames[0]["window"], "hi_window": frames[-1]["window"],
+        }
+
+    def test_load_spike_attribution(self):
+        frames = [record(k, load=0.3) for k in range(3)]
+        frames += [
+            dict(record(k, load=1.2, violations=20),
+                 violators=[violator(100 + k, mode="baseline")])
+            for k in (3, 4)
+        ]
+        result = attribute_capture(self.capture(frames, 3))
+        assert result["primary"] == "load_spike"
+        assert result["evidence"]["load_peak"] == pytest.approx(1.2)
+        assert result["evidence"]["load_baseline"] == pytest.approx(0.3)
+
+    def test_mode_switch_lag_attribution(self):
+        # Flat load, but every violator was stretched (B-mode) when it
+        # missed QoS — different servers each window, so not stragglers.
+        frames = [record(k, load=0.5) for k in range(3)]
+        frames += [
+            dict(record(k, load=0.5, violations=10),
+                 violators=[violator(200 + 10 * k + i) for i in range(3)])
+            for k in (3, 4)
+        ]
+        result = attribute_capture(self.capture(frames, 3))
+        assert result["primary"] == "mode_switch_lag"
+        assert result["scores"]["load_spike"] == 0.0
+
+    def test_straggler_attribution(self):
+        # The same two servers violate in every frame, in baseline mode
+        # (so mode-switch lag cannot claim it).
+        frames = [
+            dict(record(k, load=0.5, violations=2),
+                 violators=[violator(7, mode="baseline", day=k + 1),
+                            violator(13, mode="baseline", day=k + 1)])
+            for k in range(5)
+        ]
+        result = attribute_capture(self.capture(frames, 2))
+        assert result["primary"] == "straggler"
+        assert set(result["evidence"]["repeat_servers"]) == {7, 13}
+
+    def test_inconclusive_when_no_signal_clears_threshold(self):
+        frames = [record(k, load=0.5) for k in range(5)]
+        result = attribute_capture(self.capture(frames, 2))
+        assert result["primary"] == "inconclusive"
+
+    def test_analyze_bundle_end_to_end(self, tmp_path):
+        recorder = FlightRecorder(capacity=20, pre_windows=2, post_windows=1)
+        for k in range(3):
+            recorder.observe(record(k, load=0.3))
+        recorder.observe(
+            record(3, load=1.2, violations=30),
+            violators=[violator(5, mode="baseline")],
+            events=[alert(3)],
+        )
+        recorder.observe(record(4, load=1.2, violations=25),
+                         violators=[violator(6, mode="baseline")])
+        path = tmp_path / "bundle.jsonl"
+        recorder.dump(path, reason="unit")
+        report = analyze_bundle(path)
+        assert report["summary"]["frames"] == 5
+        assert report["summary"]["alerts"] == 1
+        assert report["summary"]["peak_load"] == pytest.approx(1.2)
+        assert report["captures"][0]["primary"] == "load_spike"
+
+    def test_violation_rate_summary_guards_zero_servers(self, tmp_path):
+        recorder = FlightRecorder(capacity=4, pre_windows=1)
+        recorder.observe(record(0, servers=0))
+        path = tmp_path / "b.jsonl"
+        recorder.dump(path)
+        assert analyze_bundle(path)["summary"]["violation_rate"] == 0.0

@@ -1,0 +1,200 @@
+"""Tests for the fleet SLO engine (`repro.obs.slo`).
+
+The burn-rate math is checked against hand-computed fixtures: a fleet of
+100 servers under a 10% violation-rate SLO with a single 2/4×2 alert
+pair, where every rolling-window burn value below is arithmetic you can
+redo on paper.  The alert edge discipline (fire on fast∧slow, clear on
+fast alone, re-fire after clearing) and day-scale error-budget
+accounting are what the serve loop's alerting relies on.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_ALERT_POLICIES,
+    DEFAULT_SLOS,
+    BurnPolicy,
+    SLOEngine,
+    SLOSpec,
+    parse_slo,
+)
+
+
+def record(window: int, violations: int, servers: int = 100,
+           tail: float = 50.0) -> dict:
+    return {
+        "window": window, "hour": window / 6.0, "servers": servers,
+        "violations": violations, "mean_tail_ms": tail,
+    }
+
+
+def feed(engine: SLOEngine, per_window_violations) -> list[dict]:
+    events = []
+    for k, violations in enumerate(per_window_violations):
+        events.extend(engine.observe(record(k, violations)))
+    return events
+
+
+class TestSpecsAndParsing:
+    def test_parse_minimal_spec_gets_default_alerts(self):
+        spec = parse_slo("qos:violation_rate<0.05")
+        assert spec.name == "qos"
+        assert spec.target == 0.05
+        assert spec.alerts == DEFAULT_ALERT_POLICIES
+
+    def test_parse_custom_alert_pairs(self):
+        spec = parse_slo("q:violation_rate<0.02@2/6x5,12/36x1.5")
+        assert [(p.fast_windows, p.slow_windows, p.threshold)
+                for p in spec.alerts] == [(2, 6, 5.0), (12, 36, 1.5)]
+        assert spec.alerts[0].name == "page"
+
+    def test_parse_tail_objective(self):
+        spec = parse_slo("tail:tail<250ms@3/9x10")
+        assert spec.objective == "tail"
+        assert spec.tail_ms == 250.0
+        assert spec.target == 0.05
+
+    @pytest.mark.parametrize("bad", [
+        "noseparator", "x:violation_rate<1.5", "x:tail<250",
+        "x:violation_rate<0.05@3x9", "x:wrong<0.05", ":violation_rate<0.1",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_slo(bad)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            SLOSpec("x", "violation_rate", 0.0)
+        with pytest.raises(ValueError, match="tail_ms"):
+            SLOSpec("x", "tail", 0.05)
+        with pytest.raises(ValueError, match="fast_windows"):
+            BurnPolicy("p", fast_windows=6, slow_windows=3, threshold=2.0)
+
+    def test_default_slos_shape(self):
+        assert len(DEFAULT_SLOS) == 1
+        assert DEFAULT_SLOS[0].objective == "violation_rate"
+
+    def test_engine_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine(["a:violation_rate<0.1", "a:violation_rate<0.2"])
+        with pytest.raises(ValueError, match="at least one"):
+            SLOEngine([])
+
+
+class TestBurnRateFixtures:
+    """100 servers, target 0.1, one 2/4×2 alert pair.
+
+    Violations [0, 0, 40, 40, 40, 0, 0]:
+      window 2: fast = (40+40... last 2) actually (0+40)/200 = 0.2 → 2.0;
+                slow = 40/300 ≈ 0.133 → 1.33   (no alert: slow < 2)
+      window 3: fast = 80/200 = 0.4 → 4.0; slow = 80/400 = 0.2 → 2.0 → FIRE
+      window 6: fast = 0 → clears
+    """
+
+    def engine(self, registry=None) -> SLOEngine:
+        return SLOEngine(
+            ["t:violation_rate<0.1@2/4x2"], day_windows=10,
+            registry=registry,
+        )
+
+    def test_hand_computed_burn_rates(self):
+        engine = self.engine()
+        feed(engine, [0, 0, 40, 40, 40])
+        state = engine._states["t"]
+        assert state.burn_rate(2) == pytest.approx(4.0)   # 80/200/0.1
+        assert state.burn_rate(4) == pytest.approx(3.0)   # 120/400/0.1
+        status = engine.status()["t"]
+        assert status["burn"]["page"]["fast"] == pytest.approx(4.0)
+        assert status["burn"]["page"]["slow"] == pytest.approx(3.0)
+
+    def test_alert_fires_only_when_both_windows_burn(self):
+        engine = self.engine()
+        events = feed(engine, [0, 0, 40, 40])
+        assert len(events) == 1
+        event = events[0]
+        assert event["type"] == "slo_alert"
+        assert event["window"] == 3
+        assert event["burn_fast"] == pytest.approx(4.0)
+        assert event["burn_slow"] == pytest.approx(2.0)
+
+    def test_no_alert_on_fast_spike_alone(self):
+        # One hot window: fast = 40/200/0.1 = 2.0 but slow stays < 2.
+        engine = self.engine()
+        assert feed(engine, [0, 0, 40, 0, 0]) == []
+
+    def test_alert_is_edge_triggered_and_refires_after_clear(self):
+        engine = self.engine()
+        events = feed(engine, [0, 0, 40, 40, 40, 0, 0, 40, 40])
+        assert [e["window"] for e in events] == [3, 7]
+        assert engine.status()["t"]["burn"]["page"]["fired"] == 2
+
+    def test_alerting_flag_tracks_active_state(self):
+        engine = self.engine()
+        feed(engine, [0, 0, 40, 40])
+        assert engine.alerting("t")
+        feed(engine, [0, 0])
+        assert not engine.alerting("t")
+
+    def test_budget_accounting_hand_computed(self):
+        # Day budget = 0.1 * 100 servers * 10 windows = 100 bad events.
+        engine = self.engine()
+        feed(engine, [0, 0, 40, 40])
+        assert engine.budget_consumed("t") == pytest.approx(0.8)
+        assert engine.budget_remaining("t") == pytest.approx(0.2)
+        feed(engine, [40])
+        assert engine.budget_consumed("t") == pytest.approx(1.2)
+        assert engine.budget_remaining("t") == pytest.approx(-0.2)
+
+    def test_budget_impact_projection(self):
+        engine = self.engine()
+        # Violating at 2x target for half the day consumes 100% budget.
+        assert engine.budget_impact("t", 0.2, 5) == pytest.approx(1.0)
+        assert engine.budget_impact("t", 0.1, 10) == pytest.approx(1.0)
+        assert engine.budget_impact("t", 0.05, 2) == pytest.approx(0.1)
+
+    def test_registry_gauges_published(self):
+        registry = MetricsRegistry()
+        engine = self.engine(registry)
+        feed(engine, [0, 0, 40, 40])
+        snap = registry.collect()
+        assert snap["fleet.slo.t.burn.page.fast"]["value"] == (
+            pytest.approx(4.0)
+        )
+        assert snap["fleet.slo.t.alert.page"]["value"] == 1.0
+        assert snap["fleet.slo.t.alerts"]["value"] == 1
+        assert snap["fleet.slo.t.budget_remaining"]["value"] == (
+            pytest.approx(0.2)
+        )
+
+    def test_zero_total_windows_burn_zero(self):
+        engine = SLOEngine(["t:violation_rate<0.1"], day_windows=10)
+        events = engine.observe(record(0, 0, servers=0))
+        assert events == []
+        assert engine.status()["t"]["bad_fraction"] == 0.0
+        assert engine.budget_consumed("t") == 0.0
+
+
+class TestTailObjective:
+    def test_tail_objective_counts_hot_windows(self):
+        engine = SLOEngine(
+            ["lat:tail<100ms@2/4x2"], day_windows=10,
+        )
+        # Windows over 100 ms count as bad.  At window 2 (the first hot
+        # one): fast = (1/2)/0.05 = 10 ≥ 2, slow = (1/3)/0.05 ≈ 6.7 ≥ 2.
+        events = []
+        for k, tail in enumerate([50.0, 50.0, 150.0, 150.0]):
+            events.extend(engine.observe(record(k, 0, tail=tail)))
+        assert [e["window"] for e in events] == [2]
+        assert engine.status()["lat"]["bad_fraction"] == pytest.approx(0.5)
+
+    def test_multiple_specs_score_independently(self):
+        engine = SLOEngine(
+            ["qos:violation_rate<0.1@2/4x2", "lat:tail<100ms@2/4x2"],
+            day_windows=10,
+        )
+        engine.observe(record(0, 50, tail=150.0))
+        status = engine.status()
+        assert set(status) == {"qos", "lat"}
+        assert status["qos"]["bad_fraction"] == pytest.approx(0.5)
+        assert status["lat"]["bad_fraction"] == pytest.approx(1.0)

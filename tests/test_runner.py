@@ -296,3 +296,55 @@ class TestObservabilityCLI:
     def test_inspect_unknown_prefix_fails(self, capsys):
         assert main(["inspect", "nope"]) == 1
         assert "no job telemetry" in capsys.readouterr().out
+
+
+class TestPostmortemCLI:
+    def write_bundle(self, tmp_path):
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(capacity=16, pre_windows=2, post_windows=1)
+        base = {
+            "hour": 0.0, "servers": 100, "throttled": 0, "mode_baseline": 10,
+            "mode_b": 80, "mode_q": 10, "mean_tail_ms": 40.0,
+            "mean_batch_uipc": 0.5,
+        }
+        for k in range(3):
+            recorder.observe(dict(base, window=k, cluster_load=0.3,
+                                  violations=0))
+        recorder.observe(
+            dict(base, window=3, cluster_load=1.2, violations=30),
+            violators=[{"server": 5, "day_violations": 4,
+                        "mode": "baseline", "mode_after": "q-mode",
+                        "violation_streak": 2, "throttle_left": 0}],
+            events=[{"type": "slo_alert", "slo": "qos", "policy": "page",
+                     "window": 3, "hour": 0.5, "burn_fast": 4.0,
+                     "burn_slow": 2.0, "threshold": 2.0, "fast_windows": 2,
+                     "slow_windows": 4, "budget_remaining": 0.4}],
+        )
+        recorder.observe(dict(base, window=4, cluster_load=1.2,
+                              violations=20))
+        path = tmp_path / "bundle.jsonl"
+        recorder.dump(path, reason="unit",
+                      meta={"feed": "phases", "policy": "jittered",
+                            "n_servers": 100})
+        return path
+
+    def test_postmortem_report(self, tmp_path, capsys):
+        path = self.write_bundle(tmp_path)
+        assert main(["postmortem", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "load_spike" in out
+        assert "qos/page" in out or "qos" in out
+
+    def test_postmortem_json(self, tmp_path, capsys):
+        import json
+
+        path = self.write_bundle(tmp_path)
+        assert main(["postmortem", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["alerts"] == 1
+        assert report["captures"][0]["primary"] == "load_spike"
+
+    def test_postmortem_missing_file_fails(self, tmp_path, capsys):
+        assert main(["postmortem", str(tmp_path / "nope.jsonl")]) == 1
+        assert "postmortem" in capsys.readouterr().err.lower()

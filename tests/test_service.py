@@ -596,7 +596,7 @@ class TestControlPlane:
 
     def test_command_surface_is_documented(self):
         assert COMMANDS == (
-            "status", "whatif", "checkpoint", "reconfigure", "stop"
+            "status", "whatif", "checkpoint", "reconfigure", "dump", "stop"
         )
 
 

@@ -1,0 +1,175 @@
+"""Service-level observability integration (`repro.service` + `repro.obs`).
+
+The load-bearing guarantees:
+
+* attaching the SLO engine and flight recorder to a live service changes
+  **nothing** about the simulation — the timeline is bit-identical to a
+  bare run on the same feed and seed;
+* `status()` surfaces the SLO and recorder sections, `whatif()` carries
+  the error-budget impact column, and the control-plane `dump` verb
+  writes an analyzable postmortem bundle;
+* an abnormal stop (feed stall) auto-dumps the bundle so the evidence
+  survives the exit that needs explaining.
+"""
+
+import json
+
+import pytest
+
+from repro.core.monitor import MonitorConfig
+from repro.obs import FlightRecorder, MetricsRegistry, analyze_bundle
+from repro.obs.sampler import JsonlSink
+from repro.service import LoadFeed, handle_command
+
+from tests.test_service import (  # noqa: F401  (surrogate is a fixture)
+    make_engine,
+    make_service,
+    surrogate,
+    timelines_equal,
+)
+
+SPIKE = "phases:flat@0.3x4,flat@1.2x8"
+TIGHT_SLO = "qos:violation_rate<0.01@2/4x2"
+
+
+def observed_service(surrogate, **kwargs):
+    kwargs.setdefault("slos", [TIGHT_SLO])
+    kwargs.setdefault("recorder", FlightRecorder(pre_windows=4,
+                                                 post_windows=2))
+    return make_service(surrogate, feed=SPIKE, **kwargs)
+
+
+class TestBitIdentity:
+    def test_observers_do_not_perturb_the_fleet(self, surrogate):
+        bare = make_service(surrogate, feed=SPIKE)
+        bare.run()
+        observed = observed_service(
+            surrogate, registry=MetricsRegistry()
+        )
+        observed.run()
+        assert timelines_equal(bare.timeline, observed.timeline)
+        # The run was not trivially quiet: the spike produced violations
+        # and the recorder actually captured frames.
+        assert observed.recorder.windows_seen == observed.window
+        assert observed.timeline.violations.sum() > 0
+
+    def test_violator_capture_is_off_by_default(self, surrogate):
+        service = make_service(surrogate, feed=SPIKE)
+        assert service._stepper.capture_violators == 0
+        service.advance(2)
+        assert service._stepper.last_violators == []
+
+    def test_captured_violators_are_consistent(self, surrogate):
+        service = observed_service(surrogate)
+        service.run()
+        frames = [f for f in service.recorder.frames if f["violators"]]
+        assert frames, "spike feed should produce violating windows"
+        for frame in frames:
+            assert len(frame["violators"]) <= service.recorder.top_k
+            for v in frame["violators"]:
+                assert 0 <= v["server"] < service.state.n_servers
+                assert v["day_violations"] >= 1
+                assert v["mode"] in (
+                    "baseline", "b-mode", "q-mode", "throttled"
+                )
+
+
+class TestStatusAndWhatif:
+    def test_status_has_slo_and_recorder_sections(self, surrogate):
+        service = observed_service(surrogate)
+        service.advance(6)
+        status = service.status()
+        assert status["slo"]["qos"]["target"] == pytest.approx(0.01)
+        assert "budget_remaining" in status["slo"]["qos"]
+        assert status["recorder"]["frames"] == 6
+        bare = make_service(surrogate, feed=SPIKE)
+        assert "slo" not in bare.status()
+        assert "recorder" not in bare.status()
+
+    def test_whatif_carries_budget_impact_diff(self, surrogate):
+        service = observed_service(surrogate)
+        service.advance(5)
+        result = service.whatif(policy="uniform", horizon=4)
+        budget = result["slo_budget"]["qos"]
+        assert set(budget) == {"live", "whatif", "diff"}
+        assert budget["diff"] == pytest.approx(
+            budget["whatif"] - budget["live"]
+        )
+        assert result["diff"]["slo_budget.qos"] == budget["diff"]
+
+    def test_alerts_fire_and_reach_the_sink(self, surrogate, tmp_path):
+        path = tmp_path / "events.jsonl"
+        service = observed_service(surrogate, sink=JsonlSink(path))
+        service.run()
+        assert service.slo.status()["qos"]["alerts_fired"] >= 1
+        kinds = [json.loads(line)["type"] for line in path.read_text().
+                 splitlines()]
+        assert "slo_alert" in kinds
+        # run() drains alerts as it serves; none may be left pending.
+        assert service.drain_alerts() == []
+
+
+class TestDumpVerb:
+    def test_control_plane_dump_writes_bundle(self, surrogate, tmp_path):
+        service = observed_service(surrogate)
+        service.run()
+        path = tmp_path / "bundle.jsonl"
+        response = handle_command(
+            service, {"cmd": "dump", "path": str(path), "id": 3}
+        )
+        assert response["ok"] and response["id"] == 3
+        assert response["result"]["captures"] >= 1
+        report = analyze_bundle(path)
+        assert report["meta"]["service"]["feed"] == service.feed.name
+        assert report["captures"][0]["primary"] == "load_spike"
+
+    def test_dump_without_recorder_is_an_error(self, surrogate):
+        service = make_service(surrogate, feed=SPIKE)
+        response = handle_command(service, {"cmd": "dump"})
+        assert not response["ok"]
+        assert "recorder" in response["error"]
+
+    def test_feed_stall_auto_dumps(self, surrogate, tmp_path):
+        class StallingFeed(LoadFeed):
+            name = "stalling"
+
+            def load(self, window, hour):
+                return 0.5 if window < 2 else None
+
+        path = tmp_path / "postmortem.jsonl"
+        service = make_service(
+            surrogate, feed=StallingFeed(), max_gap_windows=1,
+            slos=[TIGHT_SLO], recorder=True, postmortem_path=str(path),
+        )
+        summary = service.run()
+        assert summary["stop_reason"] == "feed_stalled"
+        bundle = analyze_bundle(path)
+        assert bundle["meta"]["reason"] == "feed_stalled"
+        assert any(e.get("type") == "stop" for e in bundle["events"])
+
+    def test_requested_stop_does_not_auto_dump(self, surrogate, tmp_path):
+        path = tmp_path / "postmortem.jsonl"
+        service = observed_service(surrogate, postmortem_path=str(path))
+        service.advance(3)
+        service.stop("requested")
+        assert not path.exists()
+
+
+class TestReconfigure:
+    def test_reconfigure_keeps_violator_capture_on(self, surrogate):
+        service = observed_service(surrogate)
+        service.advance(3)
+        service.reconfigure(monitor=MonitorConfig(throttle_windows=4))
+        assert service._stepper.capture_violators == service.recorder.top_k
+        events = [e for e in service.recorder.events
+                  if e.get("type") == "reconfigure"]
+        assert len(events) == 1 and events[0]["window"] == 3
+
+    def test_recorder_true_builds_default_recorder(self, surrogate):
+        registry = MetricsRegistry()
+        service = make_service(
+            surrogate, feed=SPIKE, recorder=True, registry=registry
+        )
+        assert isinstance(service.recorder, FlightRecorder)
+        assert service.recorder.registry is registry
+        assert service._stepper.capture_violators == service.recorder.top_k
