@@ -83,6 +83,25 @@ def check_fleet(baseline: dict, fresh: dict, max_regression: float,
             falloff = float(payload["10000"]) / float(payload["100000"])
             print(f"  10k-vs-100k falloff ({name}): {falloff:.2f}x")
 
+    # Heterogeneous-placement stepping overhead vs the homogeneous path.
+    # The benchmark itself asserts the budget; the trajectory guard only
+    # fails when a fresh payload breaches it (older baselines may predate
+    # the field entirely).
+    budget = fresh.get("placement_overhead_budget")
+    for name, payload in (("baseline", baseline), ("fresh", fresh)):
+        overhead = payload.get("placement_overhead")
+        if overhead is None:
+            continue
+        servers = payload.get("placement_overhead_servers", "?")
+        print(f"  placement overhead ({name}, {servers} servers): "
+              f"{float(overhead):+.1%}")
+        if name == "fresh" and budget is not None \
+                and float(overhead) > float(budget):
+            failures.append(
+                f"fleet: placement overhead {float(overhead):+.1%} exceeds "
+                f"budget {float(budget):.0%}"
+            )
+
 
 def check_core(baseline: dict, fresh: dict, max_regression: float,
                failures: list[str]) -> None:

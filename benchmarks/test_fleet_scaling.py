@@ -44,6 +44,17 @@ SEED = 29
 #: Acceptance bound from the issue: a 1M-server day in under a minute.
 MAX_LARGEST_SECONDS = 60.0
 
+#: Heterogeneous co-runner population for the placement-overhead probe.
+POPULATION = ("zeusmp", "lbm", "milc", "namd")
+
+#: Preferred fleet size for the overhead probe (falls back to the largest
+#: configured size below it when the 100k point is dropped via env).
+OVERHEAD_SERVERS = 100_000
+
+#: Acceptance bound: heterogeneous stepping (placement assign + table
+#: gather) costs at most 10% over the homogeneous path at 100k servers.
+MAX_PLACEMENT_OVERHEAD = 0.10
+
 
 def test_fleet_scaling(benchmark, fidelity, save_result):
     ls = get_profile("web_search")
@@ -51,6 +62,61 @@ def test_fleet_scaling(benchmark, fidelity, save_result):
     base = FleetConfig(seed=SEED)
     # Calibrate once, untimed: every size reuses the same fitted surrogate.
     surrogate = FleetEngine(ls, performance, base).ensure_surrogate()
+
+    # Placement-path overhead first, on a fresh heap: the 1M run below
+    # frees gigabyte-scale arrays, after which the heterogeneous path's
+    # extra per-chunk temporaries refault through glibc's trimmed heap
+    # and the probe reads allocator churn instead of stepping cost.
+    overhead_n = max(
+        (n for n in FLEET_SIZES if n <= OVERHEAD_SERVERS), default=FLEET_SIZES[0]
+    )
+    corunners = tuple(
+        measure("web_search", name, sampling=fidelity.sampling)
+        for name in POPULATION
+    )
+    het_config = replace(
+        base, n_servers=overhead_n, population=POPULATION
+    )
+    het_engine = FleetEngine(
+        ls, performance, het_config, corunners=corunners
+    )
+    het_surrogate = het_engine.ensure_surrogate()  # untimed, like above
+    het_engine = FleetEngine(
+        ls, performance, het_config, corunners=corunners,
+        surrogate=het_surrogate,
+    )
+    homo_engine = FleetEngine(
+        ls, performance, replace(base, n_servers=overhead_n),
+        surrogate=surrogate,
+    )
+    # Median of *paired* CPU-time ratios: absolute times on this box
+    # drift ~20% with CPU frequency and scheduler state, but adjacent
+    # runs see the same clock, so the per-pair het/homo ratio is tight
+    # (±3%).  Alternating the order inside each pair cancels linear
+    # drift; process time (not wall) excludes involuntary preemption.
+    def _timed(engine_):
+        start = time.process_time()
+        timeline = engine_.run_day("web_search")
+        return time.process_time() - start, timeline
+
+    het_timeline = het_engine.run_day("web_search")  # warm both paths
+    homo_timeline = homo_engine.run_day("web_search")
+    ratios = []
+    for i in range(3):
+        if i % 2 == 0:
+            homo_s, _ = _timed(homo_engine)
+            het_s, het_timeline = _timed(het_engine)
+        else:
+            het_s, het_timeline = _timed(het_engine)
+            homo_s, _ = _timed(homo_engine)
+        ratios.append(het_s / homo_s)
+    assert het_timeline.total_windows == homo_timeline.total_windows
+    placement_overhead = sorted(ratios)[len(ratios) // 2] - 1.0
+    assert placement_overhead <= MAX_PLACEMENT_OVERHEAD, (
+        f"heterogeneous stepping at {overhead_n} servers costs "
+        f"{placement_overhead:+.1%} over homogeneous "
+        f"(budget {MAX_PLACEMENT_OVERHEAD:.0%})"
+    )
 
     wall: dict[int, float] = {}
     timelines = {}
@@ -75,6 +141,7 @@ def test_fleet_scaling(benchmark, fidelity, save_result):
         f"{largest} servers took {wall[largest]:.1f}s "
         f"(budget {MAX_LARGEST_SECONDS:.0f}s)"
     )
+
     for n_servers, timeline in timelines.items():
         n_windows = timeline.mode_counts.shape[0]
         assert timeline.total_windows == n_servers * n_windows
@@ -95,6 +162,9 @@ def test_fleet_scaling(benchmark, fidelity, save_result):
         "budget_1m_s": MAX_LARGEST_SECONDS,
         "violation_rate_1m": round(timelines[largest].violation_rate, 5),
         "bmode_fraction_1m": round(timelines[largest].bmode_fraction, 5),
+        "placement_overhead_servers": overhead_n,
+        "placement_overhead": round(placement_overhead, 4),
+        "placement_overhead_budget": MAX_PLACEMENT_OVERHEAD,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_fleet.json").write_text(json.dumps(payload, indent=2))

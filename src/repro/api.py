@@ -287,6 +287,37 @@ def measure(
 # ----------------------------------------------------------------------
 
 
+def _resolve_corunners(
+    ls_profile,
+    config: FleetConfig,
+    corunners,
+    sampling,
+    fidelity,
+    n_samples,
+) -> tuple[ColocationPerformance, ...] | None:
+    """Measured co-runner models for a heterogeneous population.
+
+    With a population configured and no pre-measured models supplied, each
+    profile is measured against the LS service via :func:`measure` (the
+    memoized store path, so repeated fleet runs reuse the grid).
+    """
+    if not config.population:
+        if corunners:
+            raise ValueError(
+                "corunners were supplied but the fleet config has no population"
+            )
+        return None
+    if corunners is not None:
+        return tuple(corunners)
+    return tuple(
+        measure(
+            ls_profile, name,
+            sampling=sampling, fidelity=fidelity, n_samples=n_samples,
+        )
+        for name in config.population
+    )
+
+
 def run_day(
     ls,
     batch=None,
@@ -367,6 +398,11 @@ def run_fleet(
     monitor: MonitorConfig | None = None,
     q_mode_available: bool = True,
     seed: int = 0,
+    population: tuple[str, ...] | None = None,
+    population_mix: tuple[float, ...] | None = None,
+    placement: str = "random",
+    placement_epoch: int = 6,
+    corunners: tuple[ColocationPerformance, ...] | None = None,
     workers: int | None = None,
     surrogate=None,
     store=None,
@@ -391,6 +427,12 @@ def run_fleet(
 
     ``seed`` drives the fleet's per-server streams; sampling kwargs only
     affect an on-the-fly ``measure`` when no ``performance`` is given.
+
+    A heterogeneous co-runner ``population`` (tuple of batch workload
+    names, apportioned by ``population_mix`` and assigned to servers by
+    the ``placement`` policy — see :mod:`repro.fleet.placement`) is
+    measured per profile via :func:`measure` unless pre-measured
+    ``corunners`` models are supplied.
     """
     ls_profile = _resolve_profile(ls)
     if performance is None:
@@ -412,12 +454,25 @@ def run_fleet(
             q_mode_available=q_mode_available,
             seed=seed,
             monitor=monitor if monitor is not None else MonitorConfig(),
+            population=population or (),
+            population_mix=population_mix or (),
+            placement=placement,
+            placement_epoch=placement_epoch,
+        )
+    corunners = _resolve_corunners(
+        ls_profile, config, corunners, sampling, fidelity, n_samples
+    )
+    if engine == "legacy" and config.population:
+        raise ValueError(
+            "the legacy cluster loop has no placement layer; use the "
+            "vectorized/exact/sharded engines for heterogeneous populations"
         )
 
     if engine in ("vectorized", "exact"):
         fleet = FleetEngine(
             ls_profile, performance, config,
             surrogate=surrogate, store=store, metrics=metrics,
+            corunners=corunners,
         )
         tail = "surrogate" if engine == "vectorized" else "exact"
         return fleet.run_day(load, tail=tail)
@@ -425,6 +480,7 @@ def run_fleet(
         timeline = run_fleet_sharded(
             ls_profile, performance, config, load,
             store=store, n_shards=workers, surrogate=surrogate,
+            corunners=corunners,
         )
         if metrics is not None:
             from repro.obs.fleet import publish_fleet_metrics
@@ -479,6 +535,11 @@ def serve(
     monitor: MonitorConfig | None = None,
     q_mode_available: bool = True,
     seed: int = 0,
+    population: tuple[str, ...] | None = None,
+    population_mix: tuple[float, ...] | None = None,
+    placement: str = "random",
+    placement_epoch: int = 6,
+    corunners: tuple[ColocationPerformance, ...] | None = None,
     resume: str | None = None,
     max_gap_windows: int = 6,
     chunk_size: int | None = None,
@@ -530,9 +591,17 @@ def serve(
             q_mode_available=q_mode_available,
             seed=seed,
             monitor=monitor if monitor is not None else MonitorConfig(),
+            population=population or (),
+            population_mix=population_mix or (),
+            placement=placement,
+            placement_epoch=placement_epoch,
         )
+    corunners = _resolve_corunners(
+        ls_profile, config, corunners, sampling, fidelity, n_samples
+    )
     engine = FleetEngine(
-        ls_profile, performance, config, surrogate=surrogate, store=store
+        ls_profile, performance, config,
+        surrogate=surrogate, store=store, corunners=corunners,
     )
     kwargs = dict(
         tail=tail,

@@ -1,0 +1,151 @@
+"""Extension: Fig. 14 under heterogeneous co-runner placement policies.
+
+The paper's cluster extrapolation (§VI-D, Fig. 14) assumes every SMT
+core hosts the *same* (latency-sensitive, batch) pair.  Real clusters
+run a mixed batch population, and a scheduler decides which batch job
+lands next to which LS service — SYNPA-style symbiosis-aware matching
+and Affinity-Tailor-style locality placement being the two policy
+families from the literature.  This harness puts that decision into the
+fleet engine: a Web Search fleet colocated with a four-profile batch
+population (zeusmp, lbm, milc, namd — spanning the ROB-sensitivity
+spectrum from aggressive to friendly), placed by each policy in
+:data:`repro.fleet.placement.PLACEMENT_NAMES`, plus the homogeneous
+all-zeusmp fleet as the paper's reference point.
+
+Each row reports the two sides of the placement trade-off — tail-QoS
+violation rate vs aggregate batch throughput (mean fleet batch UIPC) —
+alongside B-mode residency and straggler pressure, at 1k servers (quick)
+and 1k + 10k servers (full).  Fleet sizes honor ``REPRO_FLEET_SIZES``
+like :mod:`repro.experiments.ext_fleet`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.api import measure, run_fleet
+from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.fleet import FleetConfig, FleetEngine
+from repro.fleet.placement import PLACEMENT_NAMES
+from repro.util.tables import format_table
+from repro.workloads.registry import get_profile
+
+__all__ = [
+    "ExtPlacementResult",
+    "PlacementRow",
+    "run",
+    "fleet_sizes",
+    "POPULATION",
+]
+
+FLEET_SIZES_ENV = "REPRO_FLEET_SIZES"
+
+LS = "web_search"
+LOAD = "web_search"
+
+#: The heterogeneous batch population: the paper's high-pressure exemplar
+#: plus three SPEC co-runners across the contention spectrum.
+POPULATION = ("zeusmp", "lbm", "milc", "namd")
+
+#: Homogeneous reference co-runner (the paper's Fig. 14 setting).
+REFERENCE = "zeusmp"
+
+SEED = 31
+
+
+def fleet_sizes(fidelity: Fidelity) -> tuple[int, ...]:
+    """Fleet sizes to compare; ``REPRO_FLEET_SIZES`` overrides."""
+    spec = os.environ.get(FLEET_SIZES_ENV, "").strip()
+    if spec:
+        return tuple(int(token) for token in spec.replace(",", " ").split())
+    if fidelity.name == "full":
+        return (1_000, 10_000)
+    return (1_000,)
+
+
+@dataclass(frozen=True)
+class PlacementRow:
+    placement: str  # policy name, or "homogeneous" for the reference
+    n_servers: int
+    violation_rate: float
+    mean_batch_uipc: float
+    bmode_fraction: float
+    throttled_fraction: float
+    straggler_p99_violations: float
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class ExtPlacementResult:
+    """Placement-policy trade-off rows plus the population studied."""
+
+    rows: list[PlacementRow]
+    population: tuple[str, ...]
+
+    def rows_for(self, placement: str) -> list[PlacementRow]:
+        return [row for row in self.rows if row.placement == placement]
+
+    def format(self) -> str:
+        table = format_table(
+            ["placement", "servers", "violations", "batch UIPC",
+             "B-mode", "throttled", "stragglers p99", "wall (s)"],
+            [[row.placement, row.n_servers, f"{row.violation_rate:.2%}",
+              f"{row.mean_batch_uipc:.3f}", f"{row.bmode_fraction:.0%}",
+              f"{row.throttled_fraction:.1%}",
+              f"{row.straggler_p99_violations:.0f}",
+              f"{row.wall_seconds:.1f}"]
+             for row in self.rows],
+            title="Extension: tail QoS vs batch throughput per placement "
+                  "policy (heterogeneous co-runner population)",
+        )
+        return f"{table}\npopulation — {', '.join(self.population)}"
+
+
+def run(fidelity: Fidelity | None = None) -> ExtPlacementResult:
+    fid = fidelity or fidelity_from_env()
+    sizes = fleet_sizes(fid)
+    ls = get_profile(LS)
+    performance = measure(ls, REFERENCE, sampling=fid.sampling)
+    corunners = tuple(
+        measure(ls, name, sampling=fid.sampling) for name in POPULATION
+    )
+    # One surrogate fitted over the *union* of perf factors (homogeneous
+    # model + every population profile), shared by all rows so placement
+    # is the only variable.
+    surrogate = FleetEngine(
+        ls,
+        performance,
+        FleetConfig(seed=SEED, population=POPULATION),
+        corunners=corunners,
+    ).ensure_surrogate()
+    rows: list[PlacementRow] = []
+    for n_servers in sizes:
+        for placement in ("homogeneous",) + PLACEMENT_NAMES:
+            start = time.time()
+            kwargs = dict(
+                performance=performance, load=LOAD,
+                n_servers=n_servers, seed=SEED, surrogate=surrogate,
+            )
+            if placement != "homogeneous":
+                kwargs.update(
+                    population=POPULATION,
+                    placement=placement,
+                    corunners=corunners,
+                )
+            day = run_fleet(ls, **kwargs)
+            n_windows = max(day.n_windows, 1)
+            rows.append(PlacementRow(
+                placement=placement,
+                n_servers=n_servers,
+                violation_rate=day.violation_rate,
+                mean_batch_uipc=float(
+                    day.batch_uipc_sum.sum() / (n_servers * n_windows)
+                ),
+                bmode_fraction=day.bmode_fraction,
+                throttled_fraction=day.throttled_fraction,
+                straggler_p99_violations=day.straggler_p99_violations,
+                wall_seconds=time.time() - start,
+            ))
+    return ExtPlacementResult(rows=rows, population=POPULATION)

@@ -93,6 +93,7 @@ EXPERIMENTS: dict[str, str] = {
     "ext_adaptive": "repro.experiments.ext_adaptive",
     "ext_energy": "repro.experiments.ext_energy",
     "ext_fleet": "repro.experiments.ext_fleet",
+    "ext_placement": "repro.experiments.ext_placement",
     "characterize": "repro.experiments.characterization",
 }
 

@@ -15,6 +15,10 @@ monitoring window as numpy array operations:
 * :mod:`repro.fleet.policies` — pluggable load-balancing policies
   (``uniform``, ``jittered``, ``power-of-two-choices``,
   ``locality-sharded``) and the named diurnal load-curve registry;
+* :mod:`repro.fleet.placement` — heterogeneous co-runner populations:
+  the per-profile UIPC/pressure table (:class:`CorunnerTable`) and the
+  pluggable placement policies (``random``, ``symbiosis``, ``locality``)
+  assigning batch profiles to servers, one extra gather per window;
 * :mod:`repro.fleet.shard` — content-addressed shard jobs on the
   ``repro.engine`` process pool; sharding never changes results.
 
@@ -29,6 +33,13 @@ from repro.fleet.engine import (
     FleetStepper,
     FleetTimeline,
     monitor_transition_vec,
+)
+from repro.fleet.placement import (
+    PLACEMENT_NAMES,
+    CorunnerTable,
+    PlacementPolicy,
+    make_placement,
+    mix_counts,
 )
 from repro.fleet.policies import (
     POLICY_NAMES,
@@ -46,6 +57,7 @@ from repro.fleet.surrogate import (
 )
 
 __all__ = [
+    "CorunnerTable",
     "DEFAULT_CHUNK_SERVERS",
     "FleetConfig",
     "FleetEngine",
@@ -54,12 +66,16 @@ __all__ = [
     "FleetStepper",
     "FleetTimeline",
     "LoadBalancingPolicy",
+    "PLACEMENT_NAMES",
     "POLICY_NAMES",
+    "PlacementPolicy",
     "SurrogateFitJob",
     "SurrogateGrid",
     "TailSurrogate",
     "fit_tail_surrogate",
+    "make_placement",
     "make_policy",
+    "mix_counts",
     "monitor_transition_vec",
     "register_load_curve",
     "resolve_load_curve",

@@ -37,6 +37,12 @@ from repro.core.monitor import (
     validate_monitor_config,
 )
 from repro.core.stretch import StretchMode
+from repro.fleet.placement import (
+    CorunnerTable,
+    PlacementContext,
+    make_placement,
+    mix_counts,
+)
 from repro.fleet.policies import PolicyContext, make_policy, resolve_load_curve
 from repro.fleet.surrogate import SurrogateFitJob, SurrogateGrid, TailSurrogate
 from repro.obs.metrics import MetricsRegistry
@@ -143,6 +149,15 @@ class FleetConfig:
     policy selection.  ``policy`` is a name from
     :data:`repro.fleet.policies.POLICY_NAMES` so configurations stay
     content-addressable for the shard-job cache.
+
+    ``population`` names the heterogeneous batch co-runner profiles of
+    the fleet (empty — the default — runs every server against the
+    engine's single ``performance`` model, bit-identically to the
+    pre-placement engine).  ``population_mix`` gives their fractional
+    shares (empty = uniform), ``placement`` names the policy from
+    :data:`repro.fleet.placement.PLACEMENT_NAMES` assigning profiles to
+    servers, and ``placement_epoch`` is the reassignment period in
+    monitoring windows.
     """
 
     n_servers: int = 1000
@@ -155,6 +170,10 @@ class FleetConfig:
     q_mode_available: bool = True
     seed: int = 0
     monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    population: tuple[str, ...] = ()
+    population_mix: tuple[float, ...] = ()
+    placement: str = "random"
+    placement_epoch: int = 6
 
     def __post_init__(self) -> None:
         if self.n_servers <= 0:
@@ -171,6 +190,34 @@ class FleetConfig:
             raise ValueError("n_workers must be positive")
         make_policy(self.policy)
         validate_monitor_config(self.monitor)
+        # Coerce sequences so configs stay hashable/content-addressable.
+        object.__setattr__(self, "population", tuple(self.population))
+        object.__setattr__(
+            self, "population_mix", tuple(float(v) for v in self.population_mix)
+        )
+        make_placement(self.placement)
+        if self.placement_epoch < 1:
+            raise ValueError("placement_epoch must be >= 1")
+        if self.population_mix:
+            if len(self.population_mix) != len(self.population):
+                raise ValueError(
+                    "population_mix length must match the population"
+                )
+            if min(self.population_mix) <= 0.0:
+                raise ValueError("population_mix fractions must be positive")
+        if self.population and len(set(self.population)) != len(self.population):
+            raise ValueError("population profiles must be unique")
+
+    @property
+    def mix_fractions(self) -> tuple[float, ...]:
+        """Normalized population shares (uniform when no mix was given)."""
+        n = len(self.population)
+        if n == 0:
+            return ()
+        if not self.population_mix:
+            return (1.0 / n,) * n
+        total = sum(self.population_mix)
+        return tuple(v / total for v in self.population_mix)
 
     @property
     def n_windows(self) -> int:
@@ -543,6 +590,7 @@ class FleetEngine:
         performance: ColocationPerformance,
         config: FleetConfig | None = None,
         *,
+        corunners=None,
         surrogate: TailSurrogate | None = None,
         store=None,
         metrics: MetricsRegistry | None = None,
@@ -569,15 +617,68 @@ class FleetEngine:
         self._batch_rows = np.array(
             [performance.per_mode[m].batch_uipc for m in MODE_ORDER] + [0.0]
         )
+        # Heterogeneous co-runner population: one measured model per
+        # profile, condensed into the (P, 4) placement profile table.
+        population = self.config.population
+        if population:
+            if corunners is None:
+                raise ValueError(
+                    "config declares a co-runner population; pass corunners= "
+                    "(one ColocationPerformance per population profile)"
+                )
+            corunners = tuple(corunners)
+            if len(corunners) != len(population):
+                raise ValueError(
+                    f"got {len(corunners)} co-runner models for a population "
+                    f"of {len(population)}"
+                )
+            for name, model in zip(population, corunners):
+                if model.ls_workload != ls_profile.name:
+                    raise ValueError(
+                        f"co-runner model for {name!r} measures "
+                        f"{model.ls_workload!r}, not {ls_profile.name!r}"
+                    )
+                if model.batch_workload != name:
+                    raise ValueError(
+                        f"population lists {name!r} but its model measures "
+                        f"{model.batch_workload!r}"
+                    )
+            self.corunners: tuple[ColocationPerformance, ...] | None = corunners
+            self.corunner_table: CorunnerTable | None = (
+                CorunnerTable.from_performances(corunners)
+            )
+        else:
+            if corunners:
+                raise ValueError(
+                    "corunners= requires a config with a population"
+                )
+            self.corunners = None
+            self.corunner_table = None
 
     @property
     def baseline_batch_uipc(self) -> float:
-        return self.performance.per_mode[StretchMode.BASELINE].batch_uipc
+        """Fleet-mean batch UIPC of an always-Baseline pool.
+
+        Homogeneous fleets read the single model; heterogeneous fleets
+        weight the population's Baseline rows by the *exact* server counts
+        the placement layer apportions.
+        """
+        if self.corunner_table is None:
+            return self.performance.per_mode[StretchMode.BASELINE].batch_uipc
+        counts = mix_counts(
+            self.config.n_servers, np.asarray(self.config.mix_fractions)
+        )
+        return float(
+            counts @ self.corunner_table.batch_rows[:, 0]
+        ) / self.config.n_servers
 
     @property
     def perf_factors(self) -> tuple[float, ...]:
         """The perf-factor set a surrogate must cover for this fleet."""
-        return tuple(sorted(set(float(p) for p in self._perf_rows)))
+        rows = set(float(p) for p in self._perf_rows)
+        if self.corunner_table is not None:
+            rows.update(self.corunner_table.perf_factors)
+        return tuple(sorted(rows))
 
     def surrogate_grid(self) -> SurrogateGrid:
         """Calibration grid matched to this fleet's window parameters."""
@@ -721,6 +822,33 @@ class FleetStepper:
             balance_jitter=cfg.balance_jitter,
             seed=cfg.seed,
         )
+        if engine.corunner_table is not None:
+            self._placement = make_placement(
+                cfg.placement, cfg.placement_epoch
+            )
+            self._pctx = PlacementContext(
+                n_servers=cfg.n_servers,
+                n_windows=cfg.n_windows,
+                seed=cfg.seed,
+                mix=np.asarray(cfg.mix_fractions),
+                table=engine.corunner_table,
+                # Relative (cluster_load=1.0) balancing weights: a pure
+                # function of (seed, window), so symbiosis matching resumes
+                # bit-identically without knowing the live fed loads.
+                relative_loads=lambda w: self._policy.server_loads(
+                    1.0, w, self._ctx
+                ),
+            )
+        else:
+            self._placement = None
+            self._pctx = None
+        #: Last window's per-profile server counts for this slice
+        #: (profile name -> servers), empty for homogeneous fleets.
+        self.last_placement: dict[str, int] = {}
+        # (assignment identity, pre-scaled slice) — recomputed only when
+        # the placement policy hands out a new epoch's assignment, so the
+        # steady-state window does no per-window slicing/scaling.
+        self._pidx4: tuple | None = None
         qos = engine.ls_profile.qos
         self._target_ms = qos.target_ms
         self._engage_ms = qos.target_ms * cfg.monitor.engage_fraction
@@ -734,9 +862,19 @@ class FleetStepper:
             self._surrogate = engine.ensure_surrogate()
             self._chunk = min(_resolve_chunk_size(chunk_size), n)
             self._sims = None
+            # Surrogate grid rows for every (profile, mode) perf factor
+            # the fleet can visit — the chunk loop gathers these instead
+            # of re-searching the grid per server per window.  Also fails
+            # fast here if the surrogate misses any fitted factor.
+            table = engine.corunner_table
+            self._srows = self._surrogate._row_indices(
+                table.perf_rows.ravel() if table is not None
+                else engine._perf_rows
+            )
         else:
             # One DES per server: python-loop bound, chunking buys nothing.
             self._surrogate = None
+            self._srows = None
             self._chunk = n
             self._sims = [
                 ServiceSimulator(
@@ -782,9 +920,11 @@ class FleetStepper:
             self.state.lo:self.state.hi
         ]
 
-    def _tails(self, window, loads, perf, u, offset: int) -> np.ndarray:
+    def _tails(
+        self, window, loads, perf, u, offset: int, rows=None
+    ) -> np.ndarray:
         if self._surrogate is not None:
-            return self._surrogate.sample(loads, perf, u)
+            return self._surrogate.sample(loads, perf, u, rows=rows)
         cfg = self.engine.config
         qos = self.engine.ls_profile.qos
         tails = np.empty(len(loads))
@@ -833,6 +973,31 @@ class FleetStepper:
         )[state.lo:state.hi]
         loads = np.maximum(np.clip(loads, 0.0, 1.2), 0.02)
         u = self._window_noise(k)
+        if self._placement is not None:
+            # Full-fleet assignment, sliced — shard-count invariant by the
+            # same discipline as the balancing policies.  Pre-scaled by the
+            # table width so the chunk loop's combined index is one add and
+            # each lookup a single flat 1-D gather; cached per epoch (the
+            # policy returns one array per epoch) so steady-state windows
+            # allocate nothing here.
+            table = self.engine.corunner_table
+            assign = self._placement.assign(window_index, self._pctx)
+            if self._pidx4 is None or self._pidx4[0] is not assign:
+                sliced = assign[state.lo:state.hi]
+                counts = np.bincount(sliced, minlength=table.n_profiles)
+                self._pidx4 = (
+                    assign,
+                    sliced * table.perf_rows.shape[1],
+                    {
+                        name: int(counts[i])
+                        for i, name in enumerate(table.profiles)
+                    },
+                )
+            pidx4 = self._pidx4[1]
+            perf_flat = table.perf_rows.ravel()
+            batch_flat = table.batch_rows.ravel()
+        else:
+            pidx4 = None
 
         out = state.timeline
         out.hours[k] = hour
@@ -848,9 +1013,20 @@ class FleetStepper:
             throttle = state.throttle[s0:s1]
             throttled_now = throttle > 0
             rows = np.where(throttled_now, _THROTTLED_ROW, mode)
-            perf = engine._perf_rows[rows]
+            if pidx4 is None:
+                perf = engine._perf_rows[rows]
+                srows = None if self._srows is None else self._srows[rows]
+                batch_chunk_sum = float(engine._batch_rows[rows].sum())
+            else:
+                # The heterogeneous gather: profile row + mode column as
+                # one flat index into the raveled table.
+                flat = pidx4[s0:s1] + rows
+                perf = perf_flat[flat]
+                srows = None if self._srows is None else self._srows[flat]
+                batch_chunk_sum = float(batch_flat[flat].sum())
             tails = self._tails(
-                k, loads[s0:s1], perf, None if u is None else u[s0:s1], s0
+                k, loads[s0:s1], perf, None if u is None else u[s0:s1], s0,
+                srows,
             )
             violated = tails > self._target_ms
             slack = tails <= self._engage_ms
@@ -859,7 +1035,7 @@ class FleetStepper:
             violations += int(violated.sum())
             throttled += int(throttled_now.sum())
             tail_ms_sum += float(tails.sum())
-            batch_uipc_sum += float(engine._batch_rows[rows].sum())
+            batch_uipc_sum += batch_chunk_sum
             out.server_violations[s0:s1] += violated
             out.server_bmode_windows[s0:s1] += mode == _B_MODE
 
@@ -888,7 +1064,10 @@ class FleetStepper:
         # pages per window (measured: ~770 minor faults/window, +50% wall
         # time at 10k servers).  Holding the last chunk's arrays pins the
         # heap top so the arena is reused across windows.
-        self._heap_pin = (loads, u, rows, perf, tails, violated, slack)
+        self._heap_pin = (
+            loads, u, rows, perf, srows, tails, violated, slack,
+            flat if pidx4 is not None else None,
+        )
         if top_k > 0:
             self.last_violators = self._rank_violators(captured, top_k)
         out.mode_counts[k] = mode_counts
@@ -897,7 +1076,7 @@ class FleetStepper:
         out.tail_ms_sum[k] = tail_ms_sum
         out.batch_uipc_sum[k] = batch_uipc_sum
         state.window = k + 1
-        return {
+        record = {
             "window": k,
             "hour": hour,
             "cluster_load": float(cluster_load),
@@ -910,6 +1089,10 @@ class FleetStepper:
             "mean_tail_ms": tail_ms_sum / n,
             "mean_batch_uipc": batch_uipc_sum / n,
         }
+        if pidx4 is not None:
+            self.last_placement = self._pidx4[2]
+            record["placement"] = dict(self.last_placement)
+        return record
 
     @staticmethod
     def _rank_violators(captured: list[np.ndarray], top_k: int) -> list[dict]:

@@ -1,0 +1,281 @@
+"""Heterogeneous co-runner populations and pluggable placement policies.
+
+The paper's deployment setting (§II, Fig. 14) colocates the *same*
+(latency-sensitive, batch) pair on every SMT core.  The real-world
+analogue is a cluster scheduler deciding **which batch job lands next to
+which latency-sensitive service**; this module supplies that layer for
+the vectorized fleet engine.
+
+The key approximation that keeps the stepper pure numpy is the
+**profile table** (:class:`CorunnerTable`): each batch workload in the
+population is measured *once* against the LS service via
+:func:`repro.api.measure`, and its per-mode LS performance factors and
+batch UIPC become one row of two small ``(n_profiles, 4)`` arrays
+(Baseline / B-mode / Q-mode / throttled columns, the same row layout the
+homogeneous engine uses).  A placement then reduces to a vector of
+profile indices, and heterogeneous stepping costs exactly one extra
+gather per window — ``table[profile_idx, mode_row]`` instead of
+``rows[mode_row]``.
+
+Placement policies mirror the load-balancing discipline: every policy is
+a deterministic function of ``(seed, window)`` producing the *full-fleet*
+assignment vector, so a shard simulating servers ``[lo, hi)`` slices the
+same vector the unsharded run would use — shard count never changes
+results.  Assignments are recomputed every ``epoch_windows`` monitoring
+windows (batch jobs outlive a single 10-minute window):
+
+* ``random`` — the population mix is apportioned exactly, then shuffled
+  uniformly over servers each epoch (the scheduler-agnostic baseline).
+* ``symbiosis`` — SYNPA-style greedy matching: servers are ranked by the
+  balancing policy's *relative* per-server load for the epoch's anchor
+  window, and the friendliest co-runners (highest Baseline LS performance
+  factor, i.e. least predicted LS slowdown) are matched to the most
+  loaded servers.
+* ``locality`` — shard-affine assignment: contiguous server blocks each
+  host a single profile (Affinity-Tailor-style data locality keeps a job
+  family on the same racks), static across the day.
+
+A population of **one** profile whose measured model equals the
+homogeneous ``performance`` model is bit-identical to running with the
+placement layer off — the test-gated compatibility anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.colocation import ColocationPerformance
+from repro.core.monitor import MODE_ORDER
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "PLACEMENT_NAMES",
+    "CorunnerTable",
+    "PlacementContext",
+    "PlacementPolicy",
+    "RandomPlacement",
+    "SymbiosisPlacement",
+    "LocalityPlacement",
+    "make_placement",
+    "mix_counts",
+]
+
+#: Default placement recomputation period, in monitoring windows (an hour
+#: at the fleet default of 10-minute windows): batch jobs are rescheduled
+#: at epoch boundaries, not every window.
+DEFAULT_EPOCH_WINDOWS = 6
+
+#: Extra table column used while the co-runner is throttled.
+_THROTTLED_COL = 3
+
+
+def mix_counts(n_servers: int, mix: np.ndarray) -> np.ndarray:
+    """Apportion ``n_servers`` into per-profile counts proportional to ``mix``.
+
+    Largest-remainder apportionment: exact (sums to ``n_servers``),
+    deterministic, and stable under ties (earlier profiles win), so every
+    shard derives the identical slot multiset.
+    """
+    mix = np.asarray(mix, dtype=float)
+    raw = mix / mix.sum() * n_servers
+    counts = np.floor(raw).astype(np.int64)
+    short = n_servers - int(counts.sum())
+    if short > 0:
+        order = np.argsort(-(raw - counts), kind="stable")
+        counts[order[:short]] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class CorunnerTable:
+    """Per-profile UIPC/pressure table of a co-runner population.
+
+    Row ``p`` summarizes batch profile ``profiles[p]``: ``perf_rows[p]``
+    holds the LS performance factor per mode column (Baseline, B-mode,
+    Q-mode, throttled — identical layout and clamps as the homogeneous
+    engine's ``_perf_rows``) and ``batch_rows[p]`` the batch UIPC per
+    column (0.0 while throttled).
+    """
+
+    profiles: tuple[str, ...]
+    perf_rows: np.ndarray  # (P, 4)
+    batch_rows: np.ndarray  # (P, 4)
+
+    @classmethod
+    def from_performances(
+        cls, performances: Sequence[ColocationPerformance]
+    ) -> "CorunnerTable":
+        if not performances:
+            raise ValueError("co-runner table needs at least one profile")
+        ls_names = {p.ls_workload for p in performances}
+        if len(ls_names) != 1:
+            raise ValueError(
+                f"co-runner models disagree on the LS workload: {sorted(ls_names)}"
+            )
+        perf = np.array([
+            [max(p.ls_perf_factor(m), 0.05) for m in MODE_ORDER] + [1.0]
+            for p in performances
+        ])
+        batch = np.array([
+            [p.per_mode[m].batch_uipc for m in MODE_ORDER] + [0.0]
+            for p in performances
+        ])
+        return cls(
+            profiles=tuple(p.batch_workload for p in performances),
+            perf_rows=perf,
+            batch_rows=batch,
+        )
+
+    @property
+    def n_profiles(self) -> int:
+        return len(self.profiles)
+
+    @property
+    def perf_factors(self) -> tuple[float, ...]:
+        """Every distinct LS performance factor a surrogate must cover."""
+        return tuple(sorted({float(v) for v in self.perf_rows.ravel()}))
+
+    def friendliness(self) -> np.ndarray:
+        """Baseline LS performance factor per profile (higher = friendlier).
+
+        The symbiosis policy's matching key: a co-runner with a high
+        Baseline factor inflicts the least predicted LS slowdown.
+        """
+        return self.perf_rows[:, 0].copy()
+
+
+@dataclass
+class PlacementContext:
+    """Everything a placement policy may draw on, plus a per-run cache.
+
+    ``relative_loads`` (when provided by the stepper) maps a window index
+    to the balancing policy's full-fleet *relative* load vector — the
+    per-server weights at ``cluster_load=1.0``, a deterministic function
+    of ``(seed, window)`` — so symbiosis matching never depends on the
+    live fed load and resumes bit-identically mid-epoch.
+    """
+
+    n_servers: int
+    n_windows: int
+    seed: int
+    mix: np.ndarray  # (P,) fractions, > 0
+    table: CorunnerTable
+    relative_loads: Callable[[int], np.ndarray] | None = None
+    cache: dict = field(default_factory=dict)
+
+    def counts(self) -> np.ndarray:
+        counts = self.cache.get("placement_counts")
+        if counts is None:
+            counts = mix_counts(self.n_servers, self.mix)
+            self.cache["placement_counts"] = counts
+        return counts
+
+
+class PlacementPolicy:
+    """Base class: map one window to a full-fleet profile assignment."""
+
+    name = "abstract"
+
+    def __init__(self, epoch_windows: int = DEFAULT_EPOCH_WINDOWS):
+        if epoch_windows < 1:
+            raise ValueError("epoch_windows must be >= 1")
+        self.epoch_windows = int(epoch_windows)
+
+    def assign(self, window: int, ctx: PlacementContext) -> np.ndarray:
+        """Full-fleet profile indices (int64) for ``window``.
+
+        Assignments change only at epoch boundaries; the per-epoch result
+        is cached (latest epoch only, so memory stays one vector).
+        """
+        epoch = int(window) // self.epoch_windows
+        cached = ctx.cache.get("placement_assign")
+        if cached is not None and cached[0] == (self.name, epoch):
+            return cached[1]
+        assign = self._assign_epoch(epoch, ctx)
+        assign.setflags(write=False)
+        ctx.cache["placement_assign"] = ((self.name, epoch), assign)
+        return assign
+
+    def _assign_epoch(self, epoch: int, ctx: PlacementContext) -> np.ndarray:
+        raise NotImplementedError
+
+
+class RandomPlacement(PlacementPolicy):
+    """Scheduler-agnostic baseline: the exact mix, shuffled per epoch."""
+
+    name = "random"
+
+    def _assign_epoch(self, epoch, ctx):
+        counts = ctx.counts()
+        slots = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+        rng = np.random.default_rng(
+            derive_seed(ctx.seed, "placement-random", epoch)
+        )
+        return rng.permutation(slots)
+
+
+class SymbiosisPlacement(PlacementPolicy):
+    """SYNPA-style greedy matching of co-runners to servers.
+
+    Servers are ranked by the balancing policy's relative load at the
+    epoch's anchor window (its first window); profile slots are ranked by
+    predicted LS slowdown (Baseline performance factor, descending), and
+    the two rankings are zipped — the most loaded servers receive the
+    co-runners that hurt the LS service least.
+    """
+
+    name = "symbiosis"
+
+    def _assign_epoch(self, epoch, ctx):
+        counts = ctx.counts()
+        anchor = epoch * self.epoch_windows
+        if ctx.relative_loads is not None:
+            rel = np.asarray(ctx.relative_loads(anchor), dtype=float)
+        else:
+            rel = np.ones(ctx.n_servers)
+        # Friendliest profile first; ties broken by profile order.
+        porder = np.argsort(-ctx.table.friendliness(), kind="stable")
+        slots = np.repeat(porder.astype(np.int64), counts[porder])
+        sorder = np.argsort(-rel, kind="stable")
+        assign = np.empty(ctx.n_servers, dtype=np.int64)
+        assign[sorder] = slots
+        return assign
+
+
+class LocalityPlacement(PlacementPolicy):
+    """Shard-affine placement: contiguous server blocks per profile.
+
+    Affinity-Tailor-style data locality — a batch job family stays on the
+    same contiguous racks all day.  The block order is a seeded static
+    permutation of the profiles; assignments never change across epochs.
+    """
+
+    name = "locality"
+
+    def _assign_epoch(self, epoch, ctx):
+        counts = ctx.counts()
+        rng = np.random.default_rng(derive_seed(ctx.seed, "placement-locality"))
+        porder = rng.permutation(len(counts)).astype(np.int64)
+        return np.repeat(porder, counts[porder])
+
+
+PLACEMENT_NAMES = ("random", "symbiosis", "locality")
+
+
+def make_placement(spec, epoch_windows: int = DEFAULT_EPOCH_WINDOWS) -> PlacementPolicy:
+    """Build a placement policy from a name (or pass an instance through)."""
+    if isinstance(spec, PlacementPolicy):
+        return spec
+    name = str(spec)
+    if name == "random":
+        return RandomPlacement(epoch_windows)
+    if name == "symbiosis":
+        return SymbiosisPlacement(epoch_windows)
+    if name == "locality":
+        return LocalityPlacement(epoch_windows)
+    raise KeyError(
+        f"unknown placement policy {name!r}; known: {', '.join(PLACEMENT_NAMES)}"
+    )

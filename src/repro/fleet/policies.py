@@ -63,6 +63,12 @@ _LOAD_CURVES: dict[str, Callable[[float], float]] = {
     "youtube": youtube_cluster_load,
 }
 
+#: Curve names resolvable in any fresh process without registration.
+#: Anything else registered via :func:`register_load_curve` lives only in
+#: the registering process — sharded runs must ship it in the job payload
+#: (see :class:`repro.fleet.shard.FleetShardJob.curve_samples`).
+_BUILTIN_CURVES = frozenset(_LOAD_CURVES)
+
 
 def register_load_curve(name: str, fn: Callable[[float], float]) -> None:
     """Register a named diurnal load curve for sharded fleet runs."""
@@ -150,10 +156,22 @@ class JitteredPolicy(LoadBalancingPolicy):
 
     name = "jittered"
 
-    def _jitter_matrix(self, ctx: PolicyContext) -> np.ndarray:
+    def _jitter_matrix(self, ctx: PolicyContext, min_rows: int) -> np.ndarray:
+        """Cached per-server jitter draws, grown on demand past the day.
+
+        A run that outlives the configured day (a long ``serve`` loop)
+        must keep drawing *fresh* jitter, not replay window 0 with period
+        ``n_windows + 1`` — so when ``min_rows`` exceeds the cached
+        horizon the matrix is regenerated with more draws from the same
+        per-server streams (uniform draws consume the bit stream
+        sequentially, so the regenerated prefix is bit-identical to the
+        cached rows and to the legacy ``ClusterSimulator`` streams).
+        """
         matrix = ctx.cache.get("jitter_matrix")
-        if matrix is None:
-            rows = ctx.n_windows + 1
+        if matrix is None or matrix.shape[1] < min_rows:
+            rows = max(min_rows, ctx.n_windows + 1)
+            if matrix is not None:
+                rows = max(rows, 2 * matrix.shape[1])  # amortize regrowth
             matrix = np.empty((ctx.n_servers, rows))
             for k in range(ctx.n_servers):
                 rng = np.random.default_rng(derive_seed(ctx.seed, "jitter", k))
@@ -166,7 +184,7 @@ class JitteredPolicy(LoadBalancingPolicy):
     def server_loads(self, cluster_load, window, ctx):
         share = cluster_load / ctx.overprovision
         if ctx.n_servers <= EXACT_JITTER_MAX:
-            jitter = self._jitter_matrix(ctx)[:, window % (ctx.n_windows + 1)]
+            jitter = self._jitter_matrix(ctx, window + 1)[:, window]
         else:
             rng = np.random.default_rng(
                 derive_seed(ctx.seed, "fleet-jitter", window)
@@ -238,12 +256,16 @@ class LocalityShardedPolicy(LoadBalancingPolicy):
         if weights is None:
             rng = np.random.default_rng(derive_seed(ctx.seed, "fleet-locality"))
             shard_w = rng.lognormal(0.0, self.skew, size=self.n_shards)
-            shard_w /= shard_w.mean()
             shard_of = (
                 np.arange(ctx.n_servers, dtype=np.int64) * self.n_shards
                 // max(ctx.n_servers, 1)
             )
             weights = shard_w[shard_of]
+            # Normalize the *expanded* per-server vector, not the shard
+            # vector: when n_servers % n_shards != 0 the shards are
+            # unequal-sized and a shard-mean normalization would bias the
+            # fleet's mean load away from the cluster share.
+            weights /= weights.mean()
             ctx.cache["locality_weights"] = weights
         return weights
 

@@ -20,12 +20,16 @@ import numpy as np
 from repro.core.colocation import ColocationPerformance
 from repro.core.monitor import MODE_ORDER
 from repro.fleet.engine import FleetConfig, FleetEngine, FleetTimeline
-from repro.fleet.policies import resolve_load_curve
+from repro.fleet.policies import (
+    _BUILTIN_CURVES,
+    register_load_curve,
+    resolve_load_curve,
+)
 
 __all__ = ["FleetShardJob", "run_fleet_sharded", "shard_bounds"]
 
 #: Bump to invalidate cached fleet shard results after engine changes.
-FLEET_VERSION = 1
+FLEET_VERSION = 2
 
 
 def _performance_payload(performance: ColocationPerformance) -> tuple:
@@ -50,11 +54,16 @@ class FleetShardJob:
     """One fleet slice ``[lo, hi)``, schedulable on the execution engine.
 
     ``load`` must be a *named* curve (or ``"flat:<x>"`` spec) so the job
-    stays picklable and content-addressable; register custom curves with
-    :func:`repro.fleet.policies.register_load_curve` in the worker
-    initializer if needed.  ``surrogate_values`` carries a pre-fitted
-    :class:`~repro.fleet.surrogate.TailSurrogate` (flattened) so worker
-    processes never re-run the DES calibration.
+    stays picklable and content-addressable.  Curves registered on the
+    driver via :func:`repro.fleet.policies.register_load_curve` do not
+    exist in pool workers, so their window-start samples ride along in
+    ``curve_samples`` and the worker re-registers a step function under
+    the same name — the engine only ever evaluates the curve at window
+    starts, so the sampled curve is exact.  ``surrogate_values`` carries a
+    pre-fitted :class:`~repro.fleet.surrogate.TailSurrogate` (flattened)
+    so worker processes never re-run the DES calibration.  ``corunners``
+    carries the heterogeneous co-runner population's measured models
+    (ordered like ``config.population``).
     """
 
     profile_name: str
@@ -65,6 +74,8 @@ class FleetShardJob:
     hi: int
     tail: str = "surrogate"
     surrogate_values: tuple[float, ...] | None = None
+    corunners: tuple[ColocationPerformance, ...] | None = None
+    curve_samples: tuple[float, ...] | None = None
 
     @property
     def key(self) -> str:
@@ -82,6 +93,10 @@ class FleetShardJob:
             self.hi,
             self.tail,
             self.surrogate_values,
+            None
+            if self.corunners is None
+            else tuple(_performance_payload(c) for c in self.corunners),
+            self.curve_samples,
         ))
         return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -89,6 +104,17 @@ class FleetShardJob:
         from repro.fleet.surrogate import TailSurrogate
         from repro.workloads import get_profile
 
+        if self.curve_samples is not None:
+            samples = np.asarray(self.curve_samples, dtype=float)
+            wm = self.config.window_minutes
+
+            def sampled_curve(hour: float) -> float:
+                # round(), not int(): k*wm/60 can reconstruct to k - 1e-13
+                # and truncation would shift those windows by one sample.
+                idx = min(round(hour * 60.0 / wm), len(samples) - 1)
+                return float(samples[idx])
+
+            register_load_curve(self.load, sampled_curve)
         surrogate = (
             TailSurrogate.from_values(self.surrogate_values)
             if self.surrogate_values is not None
@@ -99,6 +125,7 @@ class FleetShardJob:
             self.performance,
             self.config,
             surrogate=surrogate,
+            corunners=self.corunners,
         )
         timeline = engine.run_day(
             self.load, tail=self.tail, server_range=(self.lo, self.hi)
@@ -128,19 +155,30 @@ def run_fleet_sharded(
     store=None,
     n_shards: int | None = None,
     surrogate=None,
+    corunners: tuple[ColocationPerformance, ...] | None = None,
 ) -> FleetTimeline:
     """Run a fleet day as shard jobs on the execution engine; merge results.
 
     The tail surrogate is fitted (or fetched) once in the parent and
     shipped to every shard, so the DES calibration never repeats across
-    worker processes.
+    worker processes.  Driver-registered custom curves are sampled at
+    window starts and shipped in the job payload (workers don't share the
+    driver's curve registry); heterogeneous populations ship their
+    ``corunners`` models the same way.
     """
     if not isinstance(load, str):
         raise TypeError(
             "sharded fleet runs need a named load curve (str); register "
             "custom curves with repro.fleet.register_load_curve"
         )
-    resolve_load_curve(load)  # fail fast on unknown names
+    _, load_fn = resolve_load_curve(load)  # fail fast on unknown names
+    curve_samples = None
+    if load not in _BUILTIN_CURVES and not load.startswith(("flat:", "replay:")):
+        # Driver-local registration: ship exact window-start samples.
+        curve_samples = tuple(
+            float(load_fn(k * config.window_minutes / 60.0))
+            for k in range(config.n_windows)
+        )
 
     if store is None:
         from repro.engine.store import default_store
@@ -154,7 +192,9 @@ def run_fleet_sharded(
     surrogate_values = None
     if tail == "surrogate":
         if surrogate is None:
-            fleet = FleetEngine(ls_profile, performance, config, store=store)
+            fleet = FleetEngine(
+                ls_profile, performance, config, store=store, corunners=corunners
+            )
             surrogate = fleet.ensure_surrogate()
         surrogate_values = surrogate.to_values()
 
@@ -170,6 +210,8 @@ def run_fleet_sharded(
             hi=hi,
             tail=tail,
             surrogate_values=surrogate_values,
+            corunners=corunners,
+            curve_samples=curve_samples,
         )
         for lo, hi in shard_bounds(config.n_servers, n_shards)
     ]

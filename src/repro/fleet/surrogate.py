@@ -193,7 +193,7 @@ class TailSurrogate:
         """Across-window std of the tail percentile (ms)."""
         return self._interpolate(self.std_ms, load, perf)
 
-    def sample(self, load, perf, u) -> np.ndarray:
+    def sample(self, load, perf, u, rows=None) -> np.ndarray:
         """Draw window tails by inverse-CDF over uniforms ``u`` in [0, 1).
 
         The quantile stacks at the two neighboring load grid points are
@@ -203,10 +203,17 @@ class TailSurrogate:
         mean.  ``u`` carries the caller's deterministic per-(server,
         window) uniforms; a window's draw is exogenous arrival burstiness,
         so the same ``u`` applies whichever mode the server is in.
+
+        ``rows`` optionally carries precomputed grid-row indices for
+        ``perf`` (from :meth:`_row_indices` on the distinct factor set) —
+        the fleet stepper's perf vectors take only a handful of distinct
+        values, so gathering cached indices beats re-searching the grid
+        for every server every window.
         """
         load = np.asarray(load, dtype=float)
-        perf = np.broadcast_to(np.asarray(perf, dtype=float), load.shape)
-        rows = self._row_indices(perf)
+        if rows is None:
+            perf = np.broadcast_to(np.asarray(perf, dtype=float), load.shape)
+            rows = self._row_indices(perf)
         li, weight = self._load_weights(load)
         lower = self.quantiles_ms[rows, :, li]  # (n, n_reps)
         upper = self.quantiles_ms[rows, :, li + 1]

@@ -17,6 +17,7 @@ namespace (duck-typed on the timeline, so this module never imports
 ``fleet.cluster_load``                    series: ingested cluster load per window
 ``fleet.violations``                      series: violating servers per window
 ``fleet.throttled``                       series: throttled servers per window
+``fleet.placement.occupancy.<profile>``   gauges: servers per co-runner profile
 ========================================  =======================================
 
 The live path additionally surfaces ``fleet.slo.*`` (burn rates, error
@@ -113,3 +114,9 @@ def publish_fleet_window(registry: MetricsRegistry, record: dict) -> None:
     registry.series("fleet.throttled").append(
         hour, float(record["throttled"])
     )
+    # Heterogeneous fleets report the live co-runner occupancy (absolute
+    # server counts; profiles are a small fixed population).
+    for profile, count in record.get("placement", {}).items():
+        registry.gauge(f"fleet.placement.occupancy.{profile}").set(
+            float(count)
+        )

@@ -11,7 +11,8 @@ carry ``ok`` plus either ``result`` or ``error``:
 ``{"cmd": "whatif", "monitor": {"engage_fraction": 0.8}, "horizon": 6}``
     → shadow-fleet metric diff; ``monitor`` keys are
     :class:`~repro.core.monitor.MonitorConfig` field overrides, ``policy``
-    a balancing-policy name.
+    a balancing-policy name, ``placement`` a placement-policy name
+    (heterogeneous populations only).
 ``{"cmd": "checkpoint"}``
     → content-addressed state snapshot (``result.key`` resumes it).
 ``{"cmd": "reconfigure", "monitor": {...}, "policy": "uniform"}``
@@ -76,13 +77,16 @@ def handle_command(service, request: dict) -> dict:
             response["result"] = service.whatif(
                 monitor=monitor,
                 policy=request.get("policy"),
+                placement=request.get("placement"),
                 horizon=int(request.get("horizon", 12)),
             )
         elif cmd == "checkpoint":
             response["result"] = service.checkpoint()
         elif cmd == "reconfigure":
             response["result"] = service.reconfigure(
-                monitor=monitor, policy=request.get("policy")
+                monitor=monitor,
+                policy=request.get("policy"),
+                placement=request.get("placement"),
             )
         elif cmd == "dump":
             response["result"] = service.dump(

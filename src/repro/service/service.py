@@ -231,6 +231,18 @@ class FleetService:
             "tail": self.tail,
             "policy": self.engine.config.policy,
             "monitor": asdict(self.engine.config.monitor),
+            **(
+                {
+                    "placement": self.engine.config.placement,
+                    "population": dict(
+                        zip(
+                            self.engine.config.population,
+                            (float(f) for f in self.engine.config.mix_fractions),
+                        )
+                    ),
+                }
+                if self.engine.config.population else {}
+            ),
             "metrics": sofar,
             **(
                 {"slo": self.slo.status()} if self.slo is not None else {}
@@ -258,6 +270,7 @@ class FleetService:
             config,
             surrogate=self.engine._surrogate,
             store=self.engine._store,
+            corunners=self.engine.corunners,
         )
 
     def whatif(
@@ -265,6 +278,7 @@ class FleetService:
         *,
         monitor=None,
         policy: str | None = None,
+        placement: str | None = None,
         horizon: int = 12,
     ) -> dict:
         """Fork a shadow fleet under an alternate config; return the diff.
@@ -273,9 +287,16 @@ class FleetService:
         windows from a deep copy of the current state, on the feed's
         forecast loads, so the diff isolates the *configuration* effect
         under identical traffic.  The live fleet is never perturbed.
+        ``placement`` requires a heterogeneous population.
         """
-        if monitor is None and policy is None:
-            raise ValueError("whatif needs a monitor and/or policy change")
+        if monitor is None and policy is None and placement is None:
+            raise ValueError(
+                "whatif needs a monitor, policy, and/or placement change"
+            )
+        if placement is not None and not self.engine.config.population:
+            raise ValueError(
+                "placement what-ifs need a heterogeneous population"
+            )
         horizon = min(int(horizon), self.remaining)
         if horizon <= 0:
             raise ValueError("no windows remaining to project over")
@@ -298,6 +319,8 @@ class FleetService:
             monitor=monitor if monitor is not None else
             self.engine.config.monitor,
             policy=policy if policy is not None else self.engine.config.policy,
+            placement=placement if placement is not None else
+            self.engine.config.placement,
         )
         live = project(self.engine.config)
         alt = project(alt_config)
@@ -315,6 +338,8 @@ class FleetService:
             "whatif": alt,
             "diff": diff,
         }
+        if self.engine.config.population:
+            out["placement"] = alt_config.placement
         if self.slo is not None:
             budget = {}
             for spec in self.slo.specs:
@@ -353,19 +378,34 @@ class FleetService:
         state = load_checkpoint(store, key)
         return cls(engine, feed, state=state, store=store, **kwargs)
 
-    def reconfigure(self, *, monitor=None, policy: str | None = None) -> dict:
-        """Swap the live monitor/policy configuration at a window boundary.
+    def reconfigure(
+        self,
+        *,
+        monitor=None,
+        policy: str | None = None,
+        placement: str | None = None,
+    ) -> dict:
+        """Swap the live monitor/policy/placement config at a window boundary.
 
         The carried :class:`FleetState` (modes, streaks, timeline rows so
         far) is kept; only the forward-looking configuration changes.
+        ``placement`` requires a heterogeneous population.
         """
-        if monitor is None and policy is None:
-            raise ValueError("reconfigure needs a monitor and/or policy change")
+        if monitor is None and policy is None and placement is None:
+            raise ValueError(
+                "reconfigure needs a monitor, policy, and/or placement change"
+            )
+        if placement is not None and not self.engine.config.population:
+            raise ValueError(
+                "placement reconfiguration needs a heterogeneous population"
+            )
         config = replace(
             self.engine.config,
             monitor=monitor if monitor is not None else
             self.engine.config.monitor,
             policy=policy if policy is not None else self.engine.config.policy,
+            placement=placement if placement is not None else
+            self.engine.config.placement,
         )
         self.engine = self._shadow_engine(config)
         self._stepper = self.engine.stepper(
@@ -379,6 +419,8 @@ class FleetService:
             "monitor": asdict(config.monitor),
             "policy": config.policy,
         }
+        if config.population:
+            result["placement"] = config.placement
         if self.recorder is not None:
             self.recorder.note(dict(result, type="reconfigure"))
         return result

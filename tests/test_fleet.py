@@ -197,6 +197,57 @@ class TestPolicies:
         assert first.mean() == pytest.approx(0.6 / 1.2)
         assert len(np.unique(np.round(first, 12))) <= 16
 
+    def test_locality_sharded_conserves_load_on_awkward_sizes(self):
+        # Regression: normalizing the 16-entry *shard* weight vector
+        # instead of the expanded per-server vector biased the fleet's
+        # mean load whenever n_servers % n_shards != 0 (unequal shard
+        # sizes weight the shard means unequally).
+        share = 0.6 / 1.2
+        for n_servers in (10, 17, 33, 63, 65, 100):
+            ctx = self.ctx(n_servers=n_servers)
+            loads = make_policy("locality-sharded").server_loads(0.6, 0, ctx)
+            assert loads.mean() == pytest.approx(share), n_servers
+        # 3 shards over 10 servers: maximally unequal split.
+        from repro.fleet.policies import LocalityShardedPolicy
+
+        ctx = self.ctx(n_servers=10)
+        loads = LocalityShardedPolicy(n_shards=3).server_loads(0.6, 0, ctx)
+        assert loads.mean() == pytest.approx(share)
+
+    def test_jittered_never_wraps_past_configured_day(self):
+        # Regression: the exact path indexed its cached matrix with
+        # window % (n_windows + 1), so a serve run outliving the day
+        # replayed window-0 jitter with period n_windows + 1.  Draws must
+        # keep advancing each server's stream instead.
+        ctx = self.ctx(n_windows=4)
+        policy = make_policy("jittered")
+        wrap_period = ctx.n_windows + 1
+        early = policy.server_loads(0.6, 0, ctx)
+        late = policy.server_loads(0.6, wrap_period, ctx)
+        assert not np.array_equal(early, late)
+        # The extended draws continue the legacy per-server streams: the
+        # regenerated matrix prefix is bit-identical, and window w reads
+        # draw w for any horizon.
+        for window in (wrap_period, 3 * wrap_period + 2):
+            loads = policy.server_loads(0.6, window, ctx)
+            share = 0.6 / 1.2
+            for k in range(ctx.n_servers):
+                rng = np.random.default_rng(derive_seed(ctx.seed, "jitter", k))
+                draws = 1.0 + rng.uniform(-0.05, 0.05, size=window + 1)
+                assert loads[k] == share * draws[window], (window, k)
+
+    def test_jittered_extension_keeps_cached_prefix(self):
+        # Growing the cached matrix past the day must not perturb draws
+        # already handed out (uniform draws consume the bit stream
+        # sequentially, so the regenerated prefix is bit-identical).
+        ctx = self.ctx(n_windows=4)
+        policy = make_policy("jittered")
+        before = [policy.server_loads(0.6, w, ctx) for w in range(5)]
+        policy.server_loads(0.6, 40, ctx)  # grow well past the horizon
+        after = [policy.server_loads(0.6, w, ctx) for w in range(5)]
+        for w, (a, b) in enumerate(zip(before, after)):
+            assert np.array_equal(a, b), w
+
     def test_make_policy_and_curves(self):
         with pytest.raises(KeyError, match="unknown load-balancing policy"):
             make_policy("round-robin")
@@ -355,6 +406,41 @@ class TestSharding:
             store=store, n_shards=3, surrogate=surrogate,
         )
         assert sharded.n_servers == 12
+        assert np.array_equal(sharded.violations, full.violations)
+        assert np.array_equal(sharded.mode_counts, full.mode_counts)
+        assert np.allclose(sharded.tail_ms_sum, full.tail_ms_sum, rtol=1e-12)
+
+    def test_sharded_run_ships_custom_curve_to_workers(
+        self, tmp_path, surrogate
+    ):
+        # Regression: register_load_curve writes a module-global dict that
+        # never reaches shard pool workers — a custom named curve resolved
+        # on the driver but raised KeyError inside run_fleet_sharded
+        # workers.  A spawn-context pool reproduces the clean-process
+        # worker state (fork would inherit the driver's registry and mask
+        # the bug); the fix ships window-start samples in the job payload.
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        register_load_curve(
+            "test-ramp", lambda hour: 0.2 + 0.02 * hour
+        )
+        profile = get_profile("web_search")
+        config = fleet_config(n_servers=6)
+        full = FleetEngine(
+            profile, performance_model(), config, surrogate=surrogate
+        ).run_day("test-ramp")
+        spawn = multiprocessing.get_context("spawn")
+        sharded = run_fleet_sharded(
+            profile, performance_model(), config, "test-ramp",
+            engine=ExecutionEngine(
+                EngineConfig(workers=2),
+                pool_factory=lambda workers: ProcessPoolExecutor(
+                    max_workers=workers, mp_context=spawn
+                ),
+            ),
+            store=ResultStore(tmp_path), n_shards=2, surrogate=surrogate,
+        )
         assert np.array_equal(sharded.violations, full.violations)
         assert np.array_equal(sharded.mode_counts, full.mode_counts)
         assert np.allclose(sharded.tail_ms_sum, full.tail_ms_sum, rtol=1e-12)

@@ -17,7 +17,8 @@ class TestRegistry:
         expected = {"tables", "fig01", "fig02", "fig03", "fig04", "fig05",
                     "fig06", "fig07", "fig09", "fig10", "fig11", "fig12",
                     "fig13", "fig14", "ext_two_services", "ext_sensitivity",
-                    "ext_adaptive", "ext_energy", "ext_fleet", "characterize"}
+                    "ext_adaptive", "ext_energy", "ext_fleet",
+                    "ext_placement", "characterize"}
         assert set(EXPERIMENTS) == expected
 
     def test_modules_importable_with_run(self):
