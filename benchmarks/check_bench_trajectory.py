@@ -87,20 +87,21 @@ def check_fleet(baseline: dict, fresh: dict, max_regression: float,
     # The benchmark itself asserts the budget; the trajectory guard only
     # fails when a fresh payload breaches it (older baselines may predate
     # the field entirely).
-    budget = fresh.get("placement_overhead_budget")
-    for name, payload in (("baseline", baseline), ("fresh", fresh)):
-        overhead = payload.get("placement_overhead")
-        if overhead is None:
-            continue
-        servers = payload.get("placement_overhead_servers", "?")
-        print(f"  placement overhead ({name}, {servers} servers): "
-              f"{float(overhead):+.1%}")
-        if name == "fresh" and budget is not None \
-                and float(overhead) > float(budget):
-            failures.append(
-                f"fleet: placement overhead {float(overhead):+.1%} exceeds "
-                f"budget {float(budget):.0%}"
-            )
+    for kind in ("placement", "scenario"):
+        budget = fresh.get(f"{kind}_overhead_budget")
+        for name, payload in (("baseline", baseline), ("fresh", fresh)):
+            overhead = payload.get(f"{kind}_overhead")
+            if overhead is None:
+                continue
+            servers = payload.get(f"{kind}_overhead_servers", "?")
+            print(f"  {kind} overhead ({name}, {servers} servers): "
+                  f"{float(overhead):+.1%}")
+            if name == "fresh" and budget is not None \
+                    and float(overhead) > float(budget):
+                failures.append(
+                    f"fleet: {kind} overhead {float(overhead):+.1%} exceeds "
+                    f"budget {float(budget):.0%}"
+                )
 
 
 def check_core(baseline: dict, fresh: dict, max_regression: float,

@@ -26,6 +26,7 @@ from pathlib import Path
 
 from repro.api import measure
 from repro.fleet import FleetConfig, FleetEngine
+from repro.scenarios import get_scenario
 from repro.workloads.registry import get_profile
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -54,6 +55,16 @@ OVERHEAD_SERVERS = 100_000
 #: Acceptance bound: heterogeneous stepping (placement assign + table
 #: gather) costs at most 10% over the homogeneous path at 100k servers.
 MAX_PLACEMENT_OVERHEAD = 0.10
+
+#: Acceptance bound: an attached adversarial scenario (per-server load
+#: and tail multipliers, repro.scenarios) costs at most 10% over the
+#: unperturbed stepping path at 100k servers.
+MAX_SCENARIO_OVERHEAD = 0.10
+
+#: Scenario for the overhead probe: every component family active
+#: (stragglers + generations tails, migration + incident + flash-crowd
+#: loads), so the probe times the full multiplier path.
+SCENARIO_NAME = "black_friday"
 
 
 def test_fleet_scaling(benchmark, fidelity, save_result):
@@ -118,6 +129,35 @@ def test_fleet_scaling(benchmark, fidelity, save_result):
         f"(budget {MAX_PLACEMENT_OVERHEAD:.0%})"
     )
 
+    # Scenario-attached stepping overhead, same paired-ratio protocol on
+    # the same homogeneous engine: the sampler compiles once per day and
+    # the per-window cost is two vectorized multiplies.
+    scenario = get_scenario(SCENARIO_NAME)
+
+    def _timed_scenario(engine_, spec):
+        start = time.process_time()
+        timeline = engine_.run_day("web_search", scenario=spec)
+        return time.process_time() - start, timeline
+
+    scen_timeline = homo_engine.run_day("web_search", scenario=scenario)
+    homo_engine.run_day("web_search")  # warm the plain path again
+    ratios = []
+    for i in range(3):
+        if i % 2 == 0:
+            plain_s, _ = _timed_scenario(homo_engine, None)
+            scen_s, scen_timeline = _timed_scenario(homo_engine, scenario)
+        else:
+            scen_s, scen_timeline = _timed_scenario(homo_engine, scenario)
+            plain_s, _ = _timed_scenario(homo_engine, None)
+        ratios.append(scen_s / plain_s)
+    assert scen_timeline.total_windows == homo_timeline.total_windows
+    scenario_overhead = sorted(ratios)[len(ratios) // 2] - 1.0
+    assert scenario_overhead <= MAX_SCENARIO_OVERHEAD, (
+        f"scenario-attached stepping ({SCENARIO_NAME}) at {overhead_n} "
+        f"servers costs {scenario_overhead:+.1%} over unperturbed "
+        f"(budget {MAX_SCENARIO_OVERHEAD:.0%})"
+    )
+
     wall: dict[int, float] = {}
     timelines = {}
     for n_servers in FLEET_SIZES:
@@ -165,6 +205,9 @@ def test_fleet_scaling(benchmark, fidelity, save_result):
         "placement_overhead_servers": overhead_n,
         "placement_overhead": round(placement_overhead, 4),
         "placement_overhead_budget": MAX_PLACEMENT_OVERHEAD,
+        "scenario_overhead_servers": overhead_n,
+        "scenario_overhead": round(scenario_overhead, 4),
+        "scenario_overhead_budget": MAX_SCENARIO_OVERHEAD,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_fleet.json").write_text(json.dumps(payload, indent=2))

@@ -17,9 +17,14 @@ Package map
 * :mod:`repro.fleet` — the vectorized fleet-scale cluster engine.
 * :mod:`repro.service` — the live simulation-as-a-service loop (feeds,
   what-if queries, checkpoint/resume, LDJSON control plane).
+* :mod:`repro.scenarios` — declarative adversarial fleet scenarios
+  (stragglers, generations, migrations, incidents, flash crowds).
+* :mod:`repro.tune` — CRN-paired monitor autotuning against scenario
+  portfolios.
 * :mod:`repro.api` — the stable facade: :func:`~repro.api.simulate`,
   :func:`~repro.api.measure`, :func:`~repro.api.run_day`,
-  :func:`~repro.api.run_fleet`, :func:`~repro.api.serve`.
+  :func:`~repro.api.run_fleet`, :func:`~repro.api.serve`,
+  :func:`~repro.api.tune_policy`.
 
 Quickstart
 ----------
@@ -28,7 +33,15 @@ Quickstart
 >>> day = run_fleet("web_search", performance=perf)           # doctest: +SKIP
 """
 
-from repro.api import FleetService, measure, run_day, run_fleet, serve, simulate
+from repro.api import (
+    FleetService,
+    measure,
+    run_day,
+    run_fleet,
+    serve,
+    simulate,
+    tune_policy,
+)
 from repro.core import (
     B_MODES,
     BASELINE,
@@ -80,6 +93,7 @@ __all__ = [
     "run_day",
     "run_fleet",
     "serve",
+    "tune_policy",
     "FleetService",
     "quick_colocation_demo",
 ]

@@ -16,7 +16,16 @@ mean the same thing everywhere):
 * :func:`serve` — the same fleet as a *live service*
   (:class:`~repro.service.FleetService`): a load feed advances it window
   by window, with streaming metrics, what-if queries, and bit-identical
-  checkpoint/resume.
+  checkpoint/resume;
+* :func:`tune_policy` — CRN-paired search over
+  :class:`~repro.core.monitor.MonitorConfig` against a weighted
+  adversarial-scenario portfolio (:mod:`repro.scenarios` /
+  :mod:`repro.tune`).
+
+``run_fleet`` and ``serve`` accept ``scenario=`` — a
+:class:`~repro.scenarios.ScenarioSpec`, a preset name from
+:data:`repro.scenarios.SCENARIO_NAMES`, or a spec dict — attaching an
+adversarial perturbation to the fleet day.
 
 Sampling effort resolves the same way in every verb: pass ``sampling=``
 (a full :class:`~repro.cpu.sampling.SamplingConfig`) *or* ``fidelity=``
@@ -60,11 +69,21 @@ from repro.experiments.common import Fidelity
 from repro.fleet.engine import FleetConfig, FleetEngine, FleetTimeline
 from repro.fleet.policies import resolve_load_curve
 from repro.fleet.shard import run_fleet_sharded
+from repro.scenarios import as_scenario
 from repro.service import FleetService
+from repro.tune import PortfolioEntry, TuneResult, TuneSpace, tune_monitor
 from repro.workloads import get_profile
 from repro.workloads.profiles import WorkloadProfile
 
-__all__ = ["simulate", "measure", "run_day", "run_fleet", "serve", "FleetService"]
+__all__ = [
+    "simulate",
+    "measure",
+    "run_day",
+    "run_fleet",
+    "serve",
+    "tune_policy",
+    "FleetService",
+]
 
 
 # ----------------------------------------------------------------------
@@ -403,6 +422,7 @@ def run_fleet(
     placement: str = "random",
     placement_epoch: int = 6,
     corunners: tuple[ColocationPerformance, ...] | None = None,
+    scenario=None,
     workers: int | None = None,
     surrogate=None,
     store=None,
@@ -433,6 +453,11 @@ def run_fleet(
     the ``placement`` policy — see :mod:`repro.fleet.placement`) is
     measured per profile via :func:`measure` unless pre-measured
     ``corunners`` models are supplied.
+
+    ``scenario`` attaches an adversarial perturbation from
+    :mod:`repro.scenarios` (spec, preset name, or dict); results stay
+    bit-identical across shard counts, and a null scenario is
+    bit-identical to no scenario at all.
     """
     ls_profile = _resolve_profile(ls)
     if performance is None:
@@ -462,17 +487,23 @@ def run_fleet(
     corunners = _resolve_corunners(
         ls_profile, config, corunners, sampling, fidelity, n_samples
     )
+    scenario = as_scenario(scenario)
     if engine == "legacy" and config.population:
         raise ValueError(
             "the legacy cluster loop has no placement layer; use the "
             "vectorized/exact/sharded engines for heterogeneous populations"
+        )
+    if engine == "legacy" and scenario is not None:
+        raise ValueError(
+            "the legacy cluster loop has no scenario layer; use the "
+            "vectorized/exact/sharded engines for adversarial scenarios"
         )
 
     if engine in ("vectorized", "exact"):
         fleet = FleetEngine(
             ls_profile, performance, config,
             surrogate=surrogate, store=store, metrics=metrics,
-            corunners=corunners,
+            corunners=corunners, scenario=scenario,
         )
         tail = "surrogate" if engine == "vectorized" else "exact"
         return fleet.run_day(load, tail=tail)
@@ -480,7 +511,7 @@ def run_fleet(
         timeline = run_fleet_sharded(
             ls_profile, performance, config, load,
             store=store, n_shards=workers, surrogate=surrogate,
-            corunners=corunners,
+            corunners=corunners, scenario=scenario,
         )
         if metrics is not None:
             from repro.obs.fleet import publish_fleet_metrics
@@ -540,6 +571,7 @@ def serve(
     placement: str = "random",
     placement_epoch: int = 6,
     corunners: tuple[ColocationPerformance, ...] | None = None,
+    scenario=None,
     resume: str | None = None,
     max_gap_windows: int = 6,
     chunk_size: int | None = None,
@@ -570,6 +602,11 @@ def serve(
     stops.  Drive the returned service with
     :meth:`~repro.service.FleetService.run` (the ``stretch-repro serve``
     loop) or :meth:`~repro.service.FleetService.advance`.
+
+    ``scenario`` (spec, preset name, or dict) attaches an adversarial
+    perturbation to the live fleet; it is part of the checkpoint
+    identity and can be swapped mid-day via
+    :meth:`~repro.service.FleetService.reconfigure`.
     """
     ls_profile = _resolve_profile(ls)
     if performance is None:
@@ -602,6 +639,7 @@ def serve(
     engine = FleetEngine(
         ls_profile, performance, config,
         surrogate=surrogate, store=store, corunners=corunners,
+        scenario=as_scenario(scenario),
     )
     kwargs = dict(
         tail=tail,
@@ -618,3 +656,69 @@ def serve(
     if resume is not None:
         return FleetService.resume(resume, engine, feed, **kwargs)
     return FleetService(engine, feed, **kwargs)
+
+
+def tune_policy(
+    ls,
+    batch=None,
+    *,
+    performance: ColocationPerformance | None = None,
+    load="web_search",
+    config: FleetConfig | None = None,
+    n_servers: int = 1000,
+    policy: str = "jittered",
+    window_minutes: float = 10.0,
+    requests_per_window: int = 2000,
+    monitor: MonitorConfig | None = None,
+    q_mode_available: bool = True,
+    seed: int = 0,
+    portfolio: tuple[PortfolioEntry, ...] | None = None,
+    space: TuneSpace | None = None,
+    n_trials: int = 12,
+    descent_rounds: int = 2,
+    tune_seed: int = 17,
+    slo="qos:violation_rate<0.05",
+    surrogate=None,
+    store=None,
+    sampling: SamplingConfig | None = None,
+    fidelity=None,
+    n_samples: int | None = None,
+) -> TuneResult:
+    """Tune :class:`MonitorConfig` against an adversarial-scenario portfolio.
+
+    Searches the :class:`~repro.tune.TuneSpace` grid (random trials +
+    coordinate descent) with **common random numbers**: every candidate
+    runs the same fleet ``seed`` on every portfolio scenario, and every
+    fleet day is memoized through the content-addressed result store —
+    warm re-runs simulate nothing.  ``config.monitor`` (or ``monitor=``)
+    is the incumbent the result's ``default`` row reports; ``slo``
+    supplies the violation-rate budget the score penalizes against.
+    ``tune_seed`` drives the search's own randomness, decoupled from the
+    fleet's CRN ``seed``.
+    """
+    ls_profile = _resolve_profile(ls)
+    if performance is None:
+        if batch is None:
+            raise ValueError("pass a performance model or a batch workload")
+        performance = measure(
+            ls_profile, batch,
+            sampling=sampling, fidelity=fidelity, n_samples=n_samples,
+        )
+    if config is None:
+        config = FleetConfig(
+            n_servers=n_servers,
+            policy=policy,
+            window_minutes=window_minutes,
+            requests_per_window=requests_per_window,
+            q_mode_available=q_mode_available,
+            seed=seed,
+            monitor=monitor if monitor is not None else MonitorConfig(),
+        )
+    elif monitor is not None:
+        config = replace(config, monitor=monitor)
+    return tune_monitor(
+        ls_profile, performance, config,
+        portfolio=portfolio, space=space, load=load,
+        n_trials=n_trials, descent_rounds=descent_rounds, seed=tune_seed,
+        slo=slo, surrogate=surrogate, store=store,
+    )

@@ -67,18 +67,26 @@ def _queue_depth(observation) -> float:
 class MonitorConfig:
     """Thresholds and hysteresis of the software monitor.
 
+    The defaults are the paper's operating point; :func:`repro.tune.
+    tune_monitor` searches these same four axes against adversarial
+    scenario portfolios when the fleet's SLO budget calls for a
+    different trade-off.
+
     Attributes
     ----------
     engage_fraction:
         B-mode engages when tail latency stays below this fraction of the
-        QoS target (slack exists).
+        QoS target (slack exists).  Must lie strictly inside ``(0, 1)``;
+        default ``0.6``.
     engage_windows:
-        Consecutive compliant windows required before engaging B-mode.
+        Consecutive compliant windows required before engaging B-mode
+        (``>= 1``; default ``3``).
     violation_windows_to_throttle:
         Consecutive violating windows (after leaving B-mode) before the
-        monitor orders co-runner throttling.
+        monitor orders co-runner throttling (``>= 1``; default ``3``).
     throttle_windows:
-        Duration of a throttling interval, in windows.
+        Duration of a throttling interval, in windows (``>= 1``;
+        default ``10``).
     """
 
     engage_fraction: float = 0.6

@@ -1,0 +1,204 @@
+"""Extension: Fig. 14 with a scenario-autotuned software monitor.
+
+The paper's cluster extrapolation (§VI-D, Fig. 14) runs the software
+monitor at one hand-picked operating point (engage at 60% slack for 3
+windows, throttle after 3 violations for 10 windows).  This harness
+asks whether that point survives adversity: it tunes
+:class:`~repro.core.monitor.MonitorConfig` with the CRN-paired searcher
+(:func:`repro.tune.tune_monitor`) against the stock adversarial
+portfolio — a calm day plus stragglers, a partial-fleet incident and a
+flash crowd (:mod:`repro.scenarios`) — then reports the tuned
+configuration against the paper default on every portfolio scenario.
+
+Because every (candidate, scenario) fleet day is a content-addressed
+:class:`~repro.fleet.shard.FleetShardJob`, re-running this experiment
+warm is pure cache replay (``simulated == 0`` in the summary line).
+
+Environment knobs: ``REPRO_FLEET_SIZES`` overrides the fleet sizes
+(like :mod:`repro.experiments.ext_fleet`), ``REPRO_TUNE_TRIALS`` the
+random-search budget per size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.api import measure
+from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.fleet import FleetConfig
+from repro.tune import CandidateScore, TuneResult, tune_monitor
+from repro.util.tables import format_table
+from repro.workloads.registry import get_profile
+
+__all__ = [
+    "AutotuneRow",
+    "ExtAutotuneResult",
+    "fleet_sizes",
+    "n_trials",
+    "run",
+    "select_tuned",
+]
+
+FLEET_SIZES_ENV = "REPRO_FLEET_SIZES"
+TUNE_TRIALS_ENV = "REPRO_TUNE_TRIALS"
+
+LS = "web_search"
+LOAD = "web_search"
+BATCH = "zeusmp"
+
+#: Fleet seed shared by every candidate (the CRN pairing seed).
+SEED = 47
+#: Search seed driving the random trials (not the fleet days).
+TUNE_SEED = 17
+
+
+def fleet_sizes(fidelity: Fidelity) -> tuple[int, ...]:
+    """Fleet sizes to tune at; ``REPRO_FLEET_SIZES`` overrides."""
+    spec = os.environ.get(FLEET_SIZES_ENV, "").strip()
+    if spec:
+        return tuple(int(token) for token in spec.replace(",", " ").split())
+    if fidelity.name == "full":
+        return (1_000, 10_000)
+    return (1_000,)
+
+
+def n_trials(fidelity: Fidelity) -> int:
+    """Random-search budget per size; ``REPRO_TUNE_TRIALS`` overrides."""
+    spec = os.environ.get(TUNE_TRIALS_ENV, "").strip()
+    if spec:
+        return int(spec)
+    return 16 if fidelity.name == "full" else 8
+
+
+def select_tuned(result: TuneResult) -> CandidateScore:
+    """Pick the reported "tuned" config from a finished search.
+
+    Best score first, but the pick must dominate-or-match the default
+    on at least one scenario (no worse on both axes) — the experiment's
+    acceptance relation.  The default itself qualifies (it matches
+    everywhere), so this is total; it only ever skips high-score
+    candidates that trade QoS for throughput on *every* scenario.
+    """
+    base = {o.scenario: o for o in result.default.outcomes}
+    for cand in result.candidates:  # already sorted best-first
+        if any(
+            o.violation_rate <= base[o.scenario].violation_rate
+            and o.mean_batch_uipc >= base[o.scenario].mean_batch_uipc
+            for o in cand.outcomes
+            if o.scenario in base
+        ):
+            return cand
+    return result.default
+
+
+@dataclass(frozen=True)
+class AutotuneRow:
+    """Tuned-vs-default comparison on one (fleet size, scenario) cell."""
+
+    n_servers: int
+    scenario: str
+    default_violation_rate: float
+    tuned_violation_rate: float
+    default_batch_uipc: float
+    tuned_batch_uipc: float
+
+    @property
+    def dominated(self) -> bool:
+        """Strictly lower violation rate at equal-or-better batch UIPC."""
+        return (
+            self.tuned_violation_rate < self.default_violation_rate
+            and self.tuned_batch_uipc >= self.default_batch_uipc
+        )
+
+    @property
+    def matched(self) -> bool:
+        """No worse than the default on both axes."""
+        return (
+            self.tuned_violation_rate <= self.default_violation_rate
+            and self.tuned_batch_uipc >= self.default_batch_uipc
+        )
+
+
+@dataclass(frozen=True)
+class ExtAutotuneResult:
+    """Per-scenario rows plus the underlying tune searches per size."""
+
+    rows: list[AutotuneRow]
+    tunes: dict[int, TuneResult]
+    tuned: dict[int, CandidateScore]
+    wall_seconds: dict[int, float]
+
+    def rows_for(self, n_servers: int) -> list[AutotuneRow]:
+        return [row for row in self.rows if row.n_servers == n_servers]
+
+    def format(self) -> str:
+        table = format_table(
+            ["servers", "scenario", "vr (default)", "vr (tuned)",
+             "uipc (default)", "uipc (tuned)", "verdict"],
+            [[row.n_servers, row.scenario,
+              f"{row.default_violation_rate:.4f}",
+              f"{row.tuned_violation_rate:.4f}",
+              f"{row.default_batch_uipc:.4f}",
+              f"{row.tuned_batch_uipc:.4f}",
+              "dominates" if row.dominated
+              else ("matches" if row.matched else "trades")]
+             for row in self.rows],
+            title="Extension: scenario-autotuned monitor vs the paper "
+                  "default (CRN-paired fleet days)",
+        )
+        lines = [table]
+        for n_servers, tune in self.tunes.items():
+            cand = self.tuned[n_servers]
+            m = cand.monitor
+            lines.append(
+                f"{n_servers} servers: tuned engage={m.engage_fraction:g}/"
+                f"{m.engage_windows}w throttle="
+                f"{m.violation_windows_to_throttle}v/{m.throttle_windows}w "
+                f"({len(tune.candidates)} candidates, {tune.fleet_runs} "
+                f"simulated + {tune.cached_runs} cached fleet days, "
+                f"{self.wall_seconds[n_servers]:.1f}s)"
+            )
+        return "\n".join(lines)
+
+
+def run(fidelity: Fidelity | None = None) -> ExtAutotuneResult:
+    fid = fidelity or fidelity_from_env()
+    sizes = fleet_sizes(fid)
+    trials = n_trials(fid)
+    ls = get_profile(LS)
+    performance = measure(ls, BATCH, sampling=fid.sampling)
+    rows: list[AutotuneRow] = []
+    tunes: dict[int, TuneResult] = {}
+    tuned: dict[int, CandidateScore] = {}
+    walls: dict[int, float] = {}
+    for n_servers in sizes:
+        start = time.time()
+        tune = tune_monitor(
+            ls,
+            performance,
+            FleetConfig(seed=SEED, n_servers=n_servers),
+            load=LOAD,
+            n_trials=trials,
+            descent_rounds=2 if fid.name == "full" else 1,
+            seed=TUNE_SEED,
+        )
+        pick = select_tuned(tune)
+        tunes[n_servers] = tune
+        tuned[n_servers] = pick
+        walls[n_servers] = time.time() - start
+        base = {o.scenario: o for o in tune.default.outcomes}
+        for ours in pick.outcomes:
+            ref = base[ours.scenario]
+            rows.append(AutotuneRow(
+                n_servers=n_servers,
+                scenario=ours.scenario,
+                default_violation_rate=ref.violation_rate,
+                tuned_violation_rate=ours.violation_rate,
+                default_batch_uipc=ref.mean_batch_uipc,
+                tuned_batch_uipc=ours.mean_batch_uipc,
+            ))
+    return ExtAutotuneResult(
+        rows=rows, tunes=tunes, tuned=tuned, wall_seconds=walls
+    )

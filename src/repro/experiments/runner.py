@@ -94,6 +94,7 @@ EXPERIMENTS: dict[str, str] = {
     "ext_energy": "repro.experiments.ext_energy",
     "ext_fleet": "repro.experiments.ext_fleet",
     "ext_placement": "repro.experiments.ext_placement",
+    "ext_autotune": "repro.experiments.ext_autotune",
     "characterize": "repro.experiments.characterization",
 }
 
@@ -388,6 +389,12 @@ def _serve_main(argv: list[str]) -> int:
         help="load-balancing policy (default: jittered)",
     )
     parser.add_argument(
+        "--scenario", metavar="SPEC", default=None,
+        help="attach an adversarial scenario: a preset name from "
+             "repro.scenarios.SCENARIO_NAMES, or an inline JSON spec "
+             "dict (default: none)",
+    )
+    parser.add_argument(
         "--tail", choices=("surrogate", "exact"), default="surrogate",
         help="tail evaluator (default: surrogate)",
     )
@@ -480,6 +487,11 @@ def _serve_main(argv: list[str]) -> int:
     if any(spec.strip().lower() == "none" for spec in slo_specs):
         slo_specs = None
     use_recorder = not args.no_recorder
+    scenario = args.scenario
+    if scenario is not None:
+        scenario = scenario.strip()
+        if scenario.startswith("{"):
+            scenario = json.loads(scenario)
     sink = JsonlSink(args.metrics) if args.metrics else None
     tracer = SpanTracer(process_name="stretch-repro serve") if args.trace else None
     service = serve(
@@ -493,6 +505,7 @@ def _serve_main(argv: list[str]) -> int:
         requests_per_window=args.requests_per_window,
         seed=args.seed,
         fidelity=args.fidelity,
+        scenario=scenario,
         resume=args.resume,
         max_gap_windows=args.max_gap,
         chunk_size=args.chunk,

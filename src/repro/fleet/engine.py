@@ -47,6 +47,7 @@ from repro.fleet.policies import PolicyContext, make_policy, resolve_load_curve
 from repro.fleet.surrogate import SurrogateFitJob, SurrogateGrid, TailSurrogate
 from repro.obs.metrics import MetricsRegistry
 from repro.qos.queueing import ServiceSimulator
+from repro.scenarios import ScenarioSampler, ScenarioSpec
 from repro.util.rng import derive_seed
 from repro.workloads.profiles import WorkloadProfile
 
@@ -74,6 +75,9 @@ _THROTTLED_ROW = 3
 #: noise.  Override with ``REPRO_FLEET_CHUNK`` for profiling.
 DEFAULT_CHUNK_SERVERS = 65536
 _CHUNK_ENV = "REPRO_FLEET_CHUNK"
+
+#: "Inherit the engine's scenario" sentinel for stepper()/run_day().
+_UNSET = object()
 
 
 def _resolve_chunk_size(chunk_size: int | None) -> int:
@@ -594,6 +598,7 @@ class FleetEngine:
         surrogate: TailSurrogate | None = None,
         store=None,
         metrics: MetricsRegistry | None = None,
+        scenario: ScenarioSpec | None = None,
     ):
         if ls_profile.qos is None:
             raise ValueError(f"{ls_profile.name!r} has no QoS contract")
@@ -602,9 +607,16 @@ class FleetEngine:
                 f"performance model is for {performance.ls_workload!r}, "
                 f"not {ls_profile.name!r}"
             )
+        if scenario is not None and not isinstance(scenario, ScenarioSpec):
+            raise TypeError(
+                "scenario must be a ScenarioSpec or None (use "
+                "repro.scenarios.as_scenario to resolve names/dicts); "
+                f"got {scenario!r}"
+            )
         self.ls_profile = ls_profile
         self.performance = performance
         self.config = config if config is not None else FleetConfig()
+        self.scenario = scenario
         self.metrics = metrics
         self._store = store
         self._surrogate = surrogate
@@ -714,6 +726,7 @@ class FleetEngine:
         server_range: tuple[int, int] | None = None,
         state: FleetState | None = None,
         chunk_size: int | None = None,
+        scenario: ScenarioSpec | None = _UNSET,
     ) -> "FleetStepper":
         """Incremental window-by-window driver over this fleet.
 
@@ -722,10 +735,12 @@ class FleetEngine:
         window's cluster load directly, the simulation-as-a-service path),
         snapshot/restore the full :class:`FleetState`, and keep going.
         Pass ``state=`` to resume from a checkpointed (or forked) state.
+        ``scenario=`` overrides the engine's adversarial scenario for
+        this stepper (``None`` detaches it).
         """
         return FleetStepper(
             self, load, tail=tail, server_range=server_range, state=state,
-            chunk_size=chunk_size,
+            chunk_size=chunk_size, scenario=scenario,
         )
 
     def run_day(
@@ -734,6 +749,7 @@ class FleetEngine:
         *,
         tail: str = "surrogate",
         server_range: tuple[int, int] | None = None,
+        scenario: ScenarioSpec | None = _UNSET,
     ) -> FleetTimeline:
         """Simulate 24 hours for fleet servers ``[lo, hi)``.
 
@@ -743,7 +759,9 @@ class FleetEngine:
         per-server randomness keys off the *global* server index, so a
         sliced run reproduces exactly the slice of a full run.
         """
-        stepper = self.stepper(load, tail=tail, server_range=server_range)
+        stepper = self.stepper(
+            load, tail=tail, server_range=server_range, scenario=scenario
+        )
         out = stepper.run()
         if self.metrics is not None:
             from repro.obs.fleet import publish_fleet_metrics
@@ -788,6 +806,7 @@ class FleetStepper:
         server_range: tuple[int, int] | None = None,
         state: FleetState | None = None,
         chunk_size: int | None = None,
+        scenario: ScenarioSpec | None = _UNSET,
     ):
         cfg = engine.config
         lo, hi = server_range if server_range is not None else (0, cfg.n_servers)
@@ -849,6 +868,32 @@ class FleetStepper:
         # the placement policy hands out a new epoch's assignment, so the
         # steady-state window does no per-window slicing/scaling.
         self._pidx4: tuple | None = None
+        # Adversarial scenario: compiled once against the full fleet.  A
+        # null scenario never builds a sampler, so its step() path is the
+        # unperturbed engine's, bit for bit (test-gated).
+        if scenario is _UNSET:
+            scenario = engine.scenario
+        if scenario is not None and not isinstance(scenario, ScenarioSpec):
+            raise TypeError(
+                f"scenario must be a ScenarioSpec or None, got {scenario!r}"
+            )
+        self.scenario = scenario
+        if scenario is not None and not scenario.is_null:
+            self._sampler = ScenarioSampler(
+                scenario, n_servers=cfg.n_servers, seed=cfg.seed
+            )
+            tail_factors = self._sampler.tail_factors()
+            self._scenario_tail = (
+                None if tail_factors is None else tail_factors[lo:hi]
+            )
+        else:
+            self._sampler = None
+            self._scenario_tail = None
+        # Window-record scenario sections, memoized per activation
+        # signature: the sampler's vectors and this stepper's slice are
+        # both fixed for the day, so the summary's array passes (mean,
+        # affected count) run once per signature, not once per window.
+        self._scenario_summaries: dict[tuple[str, ...], dict] = {}
         qos = engine.ls_profile.qos
         self._target_ms = qos.target_ms
         self._engage_ms = qos.target_ms * cfg.monitor.engage_fraction
@@ -971,6 +1016,15 @@ class FleetStepper:
         loads = self._policy.server_loads(
             float(cluster_load), window_index, self._ctx
         )[state.lo:state.hi]
+        # Scenario load perturbations multiply the raw balanced loads
+        # (full-fleet vectors, sliced) before the legacy clip, so the
+        # clipped range the tail evaluators were calibrated for holds.
+        scenario_lf = None
+        if self._sampler is not None:
+            full_lf = self._sampler.load_factors(k, hour)
+            if full_lf is not None:
+                scenario_lf = full_lf[state.lo:state.hi]
+                loads = loads * scenario_lf
         loads = np.maximum(np.clip(loads, 0.0, 1.2), 0.02)
         u = self._window_noise(k)
         if self._placement is not None:
@@ -1028,6 +1082,11 @@ class FleetStepper:
                 k, loads[s0:s1], perf, None if u is None else u[s0:s1], s0,
                 srows,
             )
+            if self._scenario_tail is not None:
+                # Static per-server slowdowns (stragglers, generations);
+                # unaffected servers carry exactly 1.0, preserving bits.
+                # _tails always returns a fresh array, so in place is safe.
+                np.multiply(tails, self._scenario_tail[s0:s1], out=tails)
             violated = tails > self._target_ms
             slack = tails <= self._engage_ms
 
@@ -1092,6 +1151,16 @@ class FleetStepper:
         if pidx4 is not None:
             self.last_placement = self._pidx4[2]
             record["placement"] = dict(self.last_placement)
+        if self._sampler is not None:
+            active = self._sampler.active_components(hour)
+            summary = self._scenario_summaries.get(active)
+            if summary is None:
+                summary = self._sampler.window_summary(
+                    hour, scenario_lf, self._scenario_tail
+                )
+                self._scenario_summaries[active] = summary
+            # Fresh copies per window: records are caller-owned.
+            record["scenario"] = {**summary, "active": list(active)}
         return record
 
     @staticmethod

@@ -25,11 +25,12 @@ from repro.fleet.policies import (
     register_load_curve,
     resolve_load_curve,
 )
+from repro.scenarios import ScenarioSpec
 
 __all__ = ["FleetShardJob", "run_fleet_sharded", "shard_bounds"]
 
 #: Bump to invalidate cached fleet shard results after engine changes.
-FLEET_VERSION = 2
+FLEET_VERSION = 3
 
 
 def _performance_payload(performance: ColocationPerformance) -> tuple:
@@ -63,7 +64,10 @@ class FleetShardJob:
     pre-fitted :class:`~repro.fleet.surrogate.TailSurrogate` (flattened)
     so worker processes never re-run the DES calibration.  ``corunners``
     carries the heterogeneous co-runner population's measured models
-    (ordered like ``config.population``).
+    (ordered like ``config.population``).  ``scenario`` attaches an
+    adversarial :class:`~repro.scenarios.ScenarioSpec`; it is part of the
+    cache key (frozen, ``repr``-stable), which is what makes CRN-paired
+    tuner evaluations content-addressable per (config, scenario) pair.
     """
 
     profile_name: str
@@ -76,6 +80,7 @@ class FleetShardJob:
     surrogate_values: tuple[float, ...] | None = None
     corunners: tuple[ColocationPerformance, ...] | None = None
     curve_samples: tuple[float, ...] | None = None
+    scenario: ScenarioSpec | None = None
 
     @property
     def key(self) -> str:
@@ -97,6 +102,7 @@ class FleetShardJob:
             if self.corunners is None
             else tuple(_performance_payload(c) for c in self.corunners),
             self.curve_samples,
+            self.scenario,
         ))
         return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -126,6 +132,7 @@ class FleetShardJob:
             self.config,
             surrogate=surrogate,
             corunners=self.corunners,
+            scenario=self.scenario,
         )
         timeline = engine.run_day(
             self.load, tail=self.tail, server_range=(self.lo, self.hi)
@@ -156,6 +163,7 @@ def run_fleet_sharded(
     n_shards: int | None = None,
     surrogate=None,
     corunners: tuple[ColocationPerformance, ...] | None = None,
+    scenario: ScenarioSpec | None = None,
 ) -> FleetTimeline:
     """Run a fleet day as shard jobs on the execution engine; merge results.
 
@@ -212,6 +220,7 @@ def run_fleet_sharded(
             surrogate_values=surrogate_values,
             corunners=corunners,
             curve_samples=curve_samples,
+            scenario=scenario,
         )
         for lo, hi in shard_bounds(config.n_servers, n_shards)
     ]

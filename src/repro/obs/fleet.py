@@ -18,6 +18,9 @@ namespace (duck-typed on the timeline, so this module never imports
 ``fleet.violations``                      series: violating servers per window
 ``fleet.throttled``                       series: throttled servers per window
 ``fleet.placement.occupancy.<profile>``   gauges: servers per co-runner profile
+``fleet.scenario.active``                 gauge: active scenario components this window
+``fleet.scenario.load_factor``            gauge: mean scenario load multiplier
+``fleet.scenario.affected``               gauge: servers under a non-1.0 multiplier
 ========================================  =======================================
 
 The live path additionally surfaces ``fleet.slo.*`` (burn rates, error
@@ -119,4 +122,16 @@ def publish_fleet_window(registry: MetricsRegistry, record: dict) -> None:
     for profile, count in record.get("placement", {}).items():
         registry.gauge(f"fleet.placement.occupancy.{profile}").set(
             float(count)
+        )
+    # Scenario-attached fleets surface the perturbation's live footprint.
+    scenario = record.get("scenario")
+    if scenario:
+        registry.gauge("fleet.scenario.active").set(
+            float(len(scenario.get("active", ())))
+        )
+        registry.gauge("fleet.scenario.load_factor").set(
+            _finite(scenario.get("load_factor", 1.0))
+        )
+        registry.gauge("fleet.scenario.affected").set(
+            _finite(scenario.get("affected", 0))
         )

@@ -12,11 +12,15 @@ carry ``ok`` plus either ``result`` or ``error``:
     → shadow-fleet metric diff; ``monitor`` keys are
     :class:`~repro.core.monitor.MonitorConfig` field overrides, ``policy``
     a balancing-policy name, ``placement`` a placement-policy name
-    (heterogeneous populations only).
+    (heterogeneous populations only), ``scenario`` an adversarial
+    scenario — a preset name from
+    :data:`repro.scenarios.SCENARIO_NAMES`, a spec dict, or ``null`` to
+    project without the live scenario.
 ``{"cmd": "checkpoint"}``
     → content-addressed state snapshot (``result.key`` resumes it).
 ``{"cmd": "reconfigure", "monitor": {...}, "policy": "uniform"}``
-    → swap the live configuration at the next window boundary.
+    → swap the live configuration at the next window boundary;
+    ``scenario`` injects (``null`` lifts) an adversarial scenario.
 ``{"cmd": "dump", "path": "postmortem.jsonl"}``
     → write the flight recorder's postmortem bundle (``path`` optional;
     requires a recorder-enabled service).
@@ -71,6 +75,12 @@ def handle_command(service, request: dict) -> dict:
             monitor = monitor_from_payload(
                 service.engine.config.monitor, monitor
             )
+        # The scenario argument is only forwarded when the request names
+        # it: {"scenario": null} means "detach", absence means "keep".
+        scenario_kwargs = (
+            {"scenario": request.get("scenario")}
+            if isinstance(request, dict) and "scenario" in request else {}
+        )
         if cmd == "status":
             response["result"] = service.status()
         elif cmd == "whatif":
@@ -79,6 +89,7 @@ def handle_command(service, request: dict) -> dict:
                 policy=request.get("policy"),
                 placement=request.get("placement"),
                 horizon=int(request.get("horizon", 12)),
+                **scenario_kwargs,
             )
         elif cmd == "checkpoint":
             response["result"] = service.checkpoint()
@@ -87,6 +98,7 @@ def handle_command(service, request: dict) -> dict:
                 monitor=monitor,
                 policy=request.get("policy"),
                 placement=request.get("placement"),
+                **scenario_kwargs,
             )
         elif cmd == "dump":
             response["result"] = service.dump(

@@ -44,10 +44,14 @@ from repro.fleet.shard import _performance_payload
 from repro.obs.fleet import publish_fleet_window
 from repro.obs.recorder import FlightRecorder
 from repro.obs.slo import SLOEngine
+from repro.scenarios import as_scenario
 from repro.service.checkpoint import load_checkpoint, save_checkpoint
 from repro.service.feeds import LoadFeed, make_feed
 
 __all__ = ["FleetService"]
+
+#: "Keep the current scenario" sentinel for whatif()/reconfigure().
+_UNSET = object()
 
 
 class FleetService:
@@ -133,6 +137,11 @@ class FleetService:
     def remaining(self) -> int:
         return self._stepper.remaining
 
+    @property
+    def scenario(self):
+        """The adversarial scenario attached to the live fleet (or None)."""
+        return self.engine.scenario
+
     def _identity(self) -> str:
         """Content identity of this service for checkpoint addressing."""
         return repr((
@@ -141,6 +150,7 @@ class FleetService:
             self.engine.config,
             self.feed.name,
             self.tail,
+            self.engine.scenario,
         ))
 
     def _hour(self, window: int) -> float:
@@ -231,6 +241,10 @@ class FleetService:
             "tail": self.tail,
             "policy": self.engine.config.policy,
             "monitor": asdict(self.engine.config.monitor),
+            "scenario": (
+                None if self.engine.scenario is None
+                else self.engine.scenario.to_dict()
+            ),
             **(
                 {
                     "placement": self.engine.config.placement,
@@ -262,7 +276,7 @@ class FleetService:
             loads.append(float(load) if load is not None else held)
         return loads
 
-    def _shadow_engine(self, config) -> FleetEngine:
+    def _shadow_engine(self, config, scenario=_UNSET) -> FleetEngine:
         """An engine clone under ``config`` sharing the fitted surrogate."""
         return FleetEngine(
             self.engine.ls_profile,
@@ -271,6 +285,9 @@ class FleetService:
             surrogate=self.engine._surrogate,
             store=self.engine._store,
             corunners=self.engine.corunners,
+            scenario=(
+                self.engine.scenario if scenario is _UNSET else scenario
+            ),
         )
 
     def whatif(
@@ -279,6 +296,7 @@ class FleetService:
         monitor=None,
         policy: str | None = None,
         placement: str | None = None,
+        scenario=_UNSET,
         horizon: int = 12,
     ) -> dict:
         """Fork a shadow fleet under an alternate config; return the diff.
@@ -287,11 +305,16 @@ class FleetService:
         windows from a deep copy of the current state, on the feed's
         forecast loads, so the diff isolates the *configuration* effect
         under identical traffic.  The live fleet is never perturbed.
-        ``placement`` requires a heterogeneous population.
+        ``placement`` requires a heterogeneous population.  ``scenario``
+        (a spec, preset name, dict, or ``None`` to detach) projects the
+        alternate under a different adversarial scenario — e.g. what-if
+        a tuned monitor against the incident the live fleet is in.
         """
-        if monitor is None and policy is None and placement is None:
+        if (monitor is None and policy is None and placement is None
+                and scenario is _UNSET):
             raise ValueError(
-                "whatif needs a monitor, policy, and/or placement change"
+                "whatif needs a monitor, policy, placement, and/or "
+                "scenario change"
             )
         if placement is not None and not self.engine.config.population:
             raise ValueError(
@@ -303,8 +326,8 @@ class FleetService:
         loads = self._forecast_loads(horizon)
         k = self.window
 
-        def project(config) -> dict:
-            shadow = self._shadow_engine(config).stepper(
+        def project(config, scenario_) -> dict:
+            shadow = self._shadow_engine(config, scenario_).stepper(
                 None,
                 tail=self.tail,
                 state=self.state.copy(),
@@ -314,6 +337,10 @@ class FleetService:
                 shadow.step(load)
             return shadow.timeline.slice_metrics(k, k + horizon)
 
+        alt_scenario = (
+            self.engine.scenario if scenario is _UNSET
+            else as_scenario(scenario)
+        )
         alt_config = replace(
             self.engine.config,
             monitor=monitor if monitor is not None else
@@ -322,8 +349,8 @@ class FleetService:
             placement=placement if placement is not None else
             self.engine.config.placement,
         )
-        live = project(self.engine.config)
-        alt = project(alt_config)
+        live = project(self.engine.config, self.engine.scenario)
+        alt = project(alt_config, alt_scenario)
         diff = {
             key: alt[key] - live[key]
             for key in live
@@ -334,6 +361,9 @@ class FleetService:
             "horizon": horizon,
             "monitor": asdict(alt_config.monitor),
             "policy": alt_config.policy,
+            "scenario": (
+                None if alt_scenario is None else alt_scenario.to_dict()
+            ),
             "live": live,
             "whatif": alt,
             "diff": diff,
@@ -384,21 +414,30 @@ class FleetService:
         monitor=None,
         policy: str | None = None,
         placement: str | None = None,
+        scenario=_UNSET,
     ) -> dict:
-        """Swap the live monitor/policy/placement config at a window boundary.
+        """Swap the live monitor/policy/placement/scenario at a window boundary.
 
         The carried :class:`FleetState` (modes, streaks, timeline rows so
         far) is kept; only the forward-looking configuration changes.
-        ``placement`` requires a heterogeneous population.
+        ``placement`` requires a heterogeneous population.  ``scenario``
+        injects (or, with ``None``, lifts) an adversarial scenario into
+        the live fleet — the incident-drill path.
         """
-        if monitor is None and policy is None and placement is None:
+        if (monitor is None and policy is None and placement is None
+                and scenario is _UNSET):
             raise ValueError(
-                "reconfigure needs a monitor, policy, and/or placement change"
+                "reconfigure needs a monitor, policy, placement, and/or "
+                "scenario change"
             )
         if placement is not None and not self.engine.config.population:
             raise ValueError(
                 "placement reconfiguration needs a heterogeneous population"
             )
+        new_scenario = (
+            self.engine.scenario if scenario is _UNSET
+            else as_scenario(scenario)
+        )
         config = replace(
             self.engine.config,
             monitor=monitor if monitor is not None else
@@ -407,7 +446,7 @@ class FleetService:
             placement=placement if placement is not None else
             self.engine.config.placement,
         )
-        self.engine = self._shadow_engine(config)
+        self.engine = self._shadow_engine(config, new_scenario)
         self._stepper = self.engine.stepper(
             None, tail=self.tail, state=self.state,
             chunk_size=self._chunk_size,
@@ -418,6 +457,9 @@ class FleetService:
             "window": self.window,
             "monitor": asdict(config.monitor),
             "policy": config.policy,
+            "scenario": (
+                None if new_scenario is None else new_scenario.to_dict()
+            ),
         }
         if config.population:
             result["placement"] = config.placement

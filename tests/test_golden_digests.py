@@ -157,3 +157,66 @@ class TestGoldenDigests:
             },
         }
         _check_golden("fig09_quick", payload)
+
+    def test_ext_autotune_quick_digest(self):
+        import dataclasses
+
+        from repro.tune import PortfolioEntry, TuneSpace, tune_monitor
+        from repro.workloads.registry import get_profile
+        from tests.test_fleet import fleet_config, performance_model
+
+        # A small but fully adversarial slice: three scenario families,
+        # a 24-point grid, hand-built performance model (no core sim).
+        result = tune_monitor(
+            get_profile("web_search"),
+            performance_model(),
+            fleet_config(n_servers=16),
+            portfolio=(
+                PortfolioEntry(scenario="calm"),
+                PortfolioEntry(scenario="stragglers", weight=2.0),
+                PortfolioEntry(scenario="incident"),
+            ),
+            space=TuneSpace(
+                engage_fraction=(0.5, 0.6, 0.7),
+                engage_windows=(2, 3),
+                violation_windows_to_throttle=(2, 3),
+                throttle_windows=(6, 10),
+            ),
+            n_trials=3,
+            descent_rounds=1,
+            seed=11,
+        )
+        payload = {
+            "experiment": "ext_autotune",
+            "fidelity": "quick",
+            "seed": 11,
+            "n_servers": 16,
+            "fleet_days": result.fleet_runs + result.cached_runs,
+            "candidates": len(result.candidates),
+            "monitors": {
+                label: dataclasses.asdict(cand.monitor)
+                for label, cand in (
+                    ("default", result.default), ("best", result.best),
+                )
+            },
+            "scores": {
+                "default": _round(result.default.score),
+                "best": _round(result.best.score),
+            },
+            "outcomes": {
+                label: {
+                    o.scenario: {
+                        "violation_rate": _round(o.violation_rate),
+                        "mean_batch_uipc": _round(o.mean_batch_uipc),
+                        "bmode_fraction": _round(o.bmode_fraction),
+                        "throttled_fraction": _round(o.throttled_fraction),
+                    }
+                    for o in cand.outcomes
+                }
+                for label, cand in (
+                    ("default", result.default), ("best", result.best),
+                )
+            },
+            "dominating_scenarios": list(result.dominating_scenarios),
+        }
+        _check_golden("ext_autotune_quick", payload)

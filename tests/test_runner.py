@@ -18,7 +18,7 @@ class TestRegistry:
                     "fig06", "fig07", "fig09", "fig10", "fig11", "fig12",
                     "fig13", "fig14", "ext_two_services", "ext_sensitivity",
                     "ext_adaptive", "ext_energy", "ext_fleet",
-                    "ext_placement", "characterize"}
+                    "ext_placement", "ext_autotune", "characterize"}
         assert set(EXPERIMENTS) == expected
 
     def test_modules_importable_with_run(self):

@@ -480,7 +480,7 @@ class TestWhatIf:
 
     def test_requires_a_change(self, surrogate):
         service = make_service(surrogate)
-        with pytest.raises(ValueError, match="monitor, policy, and/or placement"):
+        with pytest.raises(ValueError, match="monitor, policy, placement, and/or scenario"):
             service.whatif()
 
     def test_whatif_after_done_raises(self, surrogate):
