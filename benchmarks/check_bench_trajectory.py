@@ -12,7 +12,10 @@ baselines under ``benchmarks/results/``:
   payloads and printed; it is informational, since the per-size gates
   already bound each end of the ratio.
 * ``BENCH_core.json`` — per-scenario ``fast_cps`` from the core engine
-  benchmark, same rule.
+  benchmark, same rule; plus the surrogate-tier sweep entry, gated on an
+  absolute floor (``min_warm_speedup``, committed inside the payload):
+  the warm fit-cached evaluation must stay at least that many times
+  faster than the quick-exact DES sweep.
 
 Usage (the CI flow: stash the committed results, rerun the benchmark —
 which rewrites the payloads in place — then compare)::
@@ -118,6 +121,25 @@ def check_core(baseline: dict, fresh: dict, max_regression: float,
                     float(base_scenarios[name]["fast_cps"]),
                     float(fresh_scenarios[name]["fast_cps"]),
                     max_regression, failures)
+
+    # Surrogate-tier sweep: the warm (fit-cached) evaluation must keep its
+    # wall-clock advantage over the quick-exact DES sweep.  The floor is
+    # absolute (not baseline-relative) and travels inside the payload, so
+    # older baselines without the section are simply skipped.
+    for name, payload in (("baseline", baseline), ("fresh", fresh)):
+        entry = payload.get("surrogate")
+        if entry is None:
+            continue
+        speedup = float(entry["warm_speedup"])
+        floor = float(entry.get("min_warm_speedup", 0.0))
+        print(f"  surrogate warm speedup ({name}): {speedup:.1f}x "
+              f"(exact {entry['exact_s']}s, warm {entry['warm_s']}s, "
+              f"floor {floor:.0f}x)")
+        if name == "fresh" and speedup < floor:
+            failures.append(
+                f"core: surrogate warm speedup {speedup:.1f}x below the "
+                f"{floor:.0f}x floor"
+            )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -5,7 +5,8 @@ harness, asserts the paper's qualitative shape (who wins, roughly by how
 much, where crossovers fall), and persists the rendered rows under
 ``benchmarks/results/`` for inspection.
 
-Fidelity comes from ``REPRO_FIDELITY`` (quick|full); simulation results are
+Fidelity comes from ``REPRO_FIDELITY`` (any registered tier — quick, full,
+surrogate); simulation results are
 memoized in the engine's content-addressed store (``.repro_cache/``), so
 re-runs and cross-benchmark reuse are fast.  Benchmarks run their experiment
 exactly once
@@ -19,14 +20,14 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.common import fidelity_from_env
+from repro.experiments.common import Fidelity
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 @pytest.fixture(scope="session")
 def fidelity():
-    return fidelity_from_env()
+    return Fidelity.from_env()
 
 
 @pytest.fixture(scope="session")

@@ -6,10 +6,13 @@ times to ``benchmarks/results/BENCH_fleet.json`` so the fleet engine's
 perf trajectory is tracked across PRs.
 
 Windows advance in chunks of :data:`repro.fleet.DEFAULT_CHUNK_SERVERS`
-(the streaming path behind ``repro.service``), which keeps the
-per-server temporaries cache-resident — ``server_windows_per_s`` should
-hold roughly flat from 10k to 1M instead of falling off with the
-working set.
+(the streaming path behind ``repro.service``).  ``server_windows_per_s``
+*falls off* past 10k servers: the tail-evaluation phase's per-chunk
+temporaries leave cache at the default 64k chunk (DESIGN.md §9).  The
+``chunk_probe`` payload section measures that phase with the
+``repro.obs`` profiler at the default and cache-sized chunks so the
+trajectory check tracks both the stability default and the tuned
+ceiling.
 
 The tail-surrogate calibration (a one-off DES sweep, memoized in the
 result store) runs *outside* the timed region — the acceptance target is
@@ -25,7 +28,8 @@ from dataclasses import replace
 from pathlib import Path
 
 from repro.api import measure
-from repro.fleet import FleetConfig, FleetEngine
+from repro.fleet import DEFAULT_CHUNK_SERVERS, FleetConfig, FleetEngine
+from repro.obs.profiler import active_profiler, disable_profiling, enable_profiling
 from repro.scenarios import get_scenario
 from repro.workloads.registry import get_profile
 
@@ -65,6 +69,12 @@ MAX_SCENARIO_OVERHEAD = 0.10
 #: (stragglers + generations tails, migration + incident + flash-crowd
 #: loads), so the probe times the full multiplier path.
 SCENARIO_NAME = "black_friday"
+
+#: Chunk sizes for the tail-phase probe: the digest-stable default vs
+#: the cache-sized chunk that keeps the tail evaluator's temporaries
+#: resident (DESIGN.md §9; opt in via ``REPRO_FLEET_CHUNK``).
+DEFAULT_CHUNK = DEFAULT_CHUNK_SERVERS
+TUNED_CHUNK = 16384
 
 
 def test_fleet_scaling(benchmark, fidelity, save_result):
@@ -158,6 +168,36 @@ def test_fleet_scaling(benchmark, fidelity, save_result):
         f"(budget {MAX_SCENARIO_OVERHEAD:.0%})"
     )
 
+    # Tail-phase chunk probe (DESIGN.md §9): profiled, paired days at the
+    # default chunk vs a cache-sized one.  Runs before the 1M day so the
+    # probe times stepping, not allocator churn through a trimmed heap.
+    was_profiling = active_profiler() is not None
+    profiler = enable_profiling()
+    tails_s = {DEFAULT_CHUNK: 0.0, TUNED_CHUNK: 0.0}
+    probe_cpu = {DEFAULT_CHUNK: 0.0, TUNED_CHUNK: 0.0}
+    for rep in range(2):
+        chunks = (DEFAULT_CHUNK, TUNED_CHUNK)
+        for chunk in chunks if rep % 2 == 0 else chunks[::-1]:
+            stepper = homo_engine.stepper("web_search", chunk_size=chunk)
+            profiler.reset()
+            start = time.process_time()
+            for _ in range(homo_engine.config.n_windows):
+                stepper.step()
+            probe_cpu[chunk] += time.process_time() - start
+            tails_s[chunk] += profiler.seconds("fleet.step.tails")
+    if not was_profiling:
+        disable_profiling()
+    probe_windows = 2 * overhead_n * homo_engine.config.n_windows
+    chunk_probe = {
+        str(chunk): {
+            "tails_ns_per_server_window": round(
+                tails_s[chunk] / probe_windows * 1e9, 1
+            ),
+            "server_windows_per_s": int(probe_windows / probe_cpu[chunk]),
+        }
+        for chunk in (DEFAULT_CHUNK, TUNED_CHUNK)
+    }
+
     wall: dict[int, float] = {}
     timelines = {}
     for n_servers in FLEET_SIZES:
@@ -208,6 +248,8 @@ def test_fleet_scaling(benchmark, fidelity, save_result):
         "scenario_overhead_servers": overhead_n,
         "scenario_overhead": round(scenario_overhead, 4),
         "scenario_overhead_budget": MAX_SCENARIO_OVERHEAD,
+        "chunk_probe_servers": overhead_n,
+        "chunk_probe": chunk_probe,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_fleet.json").write_text(json.dumps(payload, indent=2))

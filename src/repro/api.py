@@ -29,12 +29,18 @@ adversarial perturbation to the fleet day.
 
 Sampling effort resolves the same way in every verb: pass ``sampling=``
 (a full :class:`~repro.cpu.sampling.SamplingConfig`) *or* ``fidelity=``
-(``"quick"``/``"full"`` or a :class:`~repro.experiments.common.Fidelity`),
-optionally overridden by ``seed=`` / ``n_samples=``; with neither, the
-library defaults apply.  ``simulate``/``measure`` accept
-``engine="store"`` (memoized through the content-addressed result store)
-or ``engine="direct"`` (always re-run in process); both produce identical
-values.
+(a registered tier name — see
+:func:`repro.experiments.common.fidelity_names` — or a
+:class:`~repro.experiments.common.Fidelity`), optionally overridden by
+``seed=`` / ``n_samples=``; with neither, the library defaults apply.
+``simulate``/``measure`` accept ``engine="store"`` (memoized through the
+content-addressed result store) or ``engine="direct"`` (always re-run in
+process); both produce identical values.  At ``fidelity="surrogate"``
+the partitioned-ROB queries answer from a store-memoized
+:class:`~repro.cpu.surrogate.UipcSurrogate` fit (error bound reported
+per fit; anything the fit does not cover falls back to the exact
+sampler), and ``tune_policy`` screens candidates with the surrogate
+model before confirming the winner at the exact tier.
 
 Superseded entry points (``measure_colocation_performance``,
 ``ClusterSimulator.run_day``) remain importable as thin deprecation shims
@@ -65,13 +71,19 @@ from repro.cpu.config import CoreConfig
 from repro.cpu.sampling import SamplingConfig
 from repro.engine.job import SimJob
 from repro.engine.store import default_store
-from repro.experiments.common import Fidelity
+from repro.experiments.common import Fidelity, pair_uipc_many, solo_uipc
 from repro.fleet.engine import FleetConfig, FleetEngine, FleetTimeline
 from repro.fleet.policies import resolve_load_curve
 from repro.fleet.shard import run_fleet_sharded
 from repro.scenarios import as_scenario
 from repro.service import FleetService
-from repro.tune import PortfolioEntry, TuneResult, TuneSpace, tune_monitor
+from repro.tune import (
+    PortfolioEntry,
+    TuneResult,
+    TuneSpace,
+    confirm_candidates,
+    tune_monitor,
+)
 from repro.workloads import get_profile
 from repro.workloads.profiles import WorkloadProfile
 
@@ -110,34 +122,67 @@ def _registered(profile: WorkloadProfile) -> bool:
         return False
 
 
+def _resolve_effort(
+    sampling: SamplingConfig | None,
+    fidelity,
+    seed: int | None,
+    n_samples: int | None,
+) -> tuple[SamplingConfig, Fidelity | None]:
+    """Resolve the sampling kwargs into ``(sampling, fidelity-or-None)``.
+
+    ``fidelity`` goes through the tier registry
+    (:meth:`~repro.experiments.common.Fidelity.resolve`), so any
+    registered name — not a hardcoded list — is accepted and unknown
+    names report the live registry contents.  The second element is the
+    resolved tier when one was requested (``None`` for plain
+    ``sampling=`` calls), letting callers dispatch tier-specific
+    behavior such as the surrogate paths.
+    """
+    if sampling is not None and fidelity is not None:
+        raise ValueError("pass either sampling= or fidelity=, not both")
+    if fidelity is not None:
+        resolved = Fidelity.resolve(
+            fidelity,
+            42 if seed is None else int(seed),
+            seed=None if seed is None else int(seed),
+            n_samples=None if n_samples is None else int(n_samples),
+        )
+        return resolved.sampling, resolved
+    base = sampling if sampling is not None else SamplingConfig()
+    overrides = {}
+    if seed is not None:
+        overrides["seed"] = int(seed)
+    if n_samples is not None:
+        overrides["n_samples"] = int(n_samples)
+    return (replace(base, **overrides) if overrides else base), None
+
+
 def _resolve_sampling(
     sampling: SamplingConfig | None,
     fidelity,
     seed: int | None,
     n_samples: int | None,
 ) -> SamplingConfig:
-    if sampling is not None and fidelity is not None:
-        raise ValueError("pass either sampling= or fidelity=, not both")
-    if fidelity is not None:
-        if isinstance(fidelity, str):
-            root = 42 if seed is None else int(seed)
-            if fidelity == "quick":
-                fidelity = Fidelity.quick(root)
-            elif fidelity == "full":
-                fidelity = Fidelity.full(root)
-            else:
-                raise ValueError(
-                    f"fidelity must be 'quick' or 'full', got {fidelity!r}"
-                )
-        sampling = fidelity.sampling
-    elif sampling is None:
-        sampling = SamplingConfig()
-    overrides = {}
-    if seed is not None:
-        overrides["seed"] = int(seed)
-    if n_samples is not None:
-        overrides["n_samples"] = int(n_samples)
-    return replace(sampling, **overrides) if overrides else sampling
+    """Compatibility wrapper: :func:`_resolve_effort` without the tier."""
+    return _resolve_effort(sampling, fidelity, seed, n_samples)[0]
+
+
+def _check_surrogate_engine(engine: str) -> None:
+    if engine == "direct":
+        raise ValueError(
+            "fidelity='surrogate' requires engine='store': surrogate fits "
+            "memoize through the content-addressed result store"
+        )
+
+
+def _check_surrogate_profiles(*profiles: WorkloadProfile) -> None:
+    for profile in profiles:
+        if not _registered(profile):
+            raise ValueError(
+                f"fidelity='surrogate' addresses workloads by registry "
+                f"name, but profile {profile.name!r} does not match the "
+                f"registered one; use an exact tier for custom profiles"
+            )
 
 
 _MODE_SCHEMES = {
@@ -204,26 +249,36 @@ def simulate(
     single float for stand-alone runs and ``(ls_uipc, batch_uipc)`` for
     pairs.
     """
-    sampling = _resolve_sampling(sampling, fidelity, seed, n_samples)
+    sampling, fid = _resolve_effort(sampling, fidelity, seed, n_samples)
+    use_surrogate = fid is not None and fid.is_surrogate
+    if use_surrogate:
+        _check_surrogate_engine(engine)
     base = config if config is not None else CoreConfig()
     if isinstance(workloads, (str, WorkloadProfile)):
         if mode is not None:
             raise ValueError("mode= applies to colocated pairs only")
         profile = _resolve_profile(workloads)
+        solo_config = base.single_thread(base.rob_entries)
+        if use_surrogate:
+            _check_surrogate_profiles(profile)
+            return solo_uipc(profile.name, solo_config, fid)
         if engine == "store" and not _registered(profile):
             engine = "direct"
-        job = SimJob.solo(
-            profile.name, base.single_thread(base.rob_entries), sampling
-        )
+        job = SimJob.solo(profile.name, solo_config, sampling)
         return _run_job(job, engine)[0]
 
     ls, batch = workloads
     ls_profile, batch_profile = _resolve_profile(ls), _resolve_profile(batch)
+    scheme = _resolve_scheme(mode)
+    if use_surrogate:
+        _check_surrogate_profiles(ls_profile, batch_profile)
+        return pair_uipc_many(
+            ls_profile.name, batch_profile.name, (scheme.apply(base),), fid
+        )[0]
     if engine == "store" and not (
         _registered(ls_profile) and _registered(batch_profile)
     ):
         engine = "direct"
-    scheme = _resolve_scheme(mode)
     job = SimJob.pair(
         ls_profile.name, batch_profile.name, scheme.apply(base), sampling
     )
@@ -249,10 +304,21 @@ def measure(
     The stable replacement for ``measure_colocation_performance`` — same
     semantics and bit-identical values, with the facade's sampling kwargs
     and (by default) memoization through the result store.
+
+    At ``fidelity="surrogate"`` the solo reference and per-mode pair
+    grids are answered by the family's fitted
+    :class:`~repro.cpu.surrogate.UipcSurrogate` (one fit serves every
+    mode), falling back to exact jobs for configurations the fit does
+    not cover.
     """
-    sampling = _resolve_sampling(sampling, fidelity, seed, n_samples)
+    sampling, fid = _resolve_effort(sampling, fidelity, seed, n_samples)
+    use_surrogate = fid is not None and fid.is_surrogate
+    if use_surrogate:
+        _check_surrogate_engine(engine)
     ls_profile, batch_profile = _resolve_profile(ls), _resolve_profile(batch)
-    if engine == "store" and not (
+    if use_surrogate:
+        _check_surrogate_profiles(ls_profile, batch_profile)
+    elif engine == "store" and not (
         _registered(ls_profile) and _registered(batch_profile)
     ):
         engine = "direct"
@@ -264,30 +330,27 @@ def measure(
         raise ValueError(f"engine must be 'store' or 'direct', got {engine!r}")
 
     # Memoized path: the exact job grid of the direct implementation,
-    # routed through the content-addressed store.
+    # routed through the content-addressed store (or, at the surrogate
+    # tier, through the family's fitted surrogate where it applies).
     from repro.core.colocation import ModePerformance
 
     base = config if config is not None else CoreConfig()
-    store = default_store()
-    solo = store.compute(
-        SimJob.solo(
-            ls_profile.name, base.single_thread(base.rob_entries), sampling
-        )
-    )[0]
+    effort = fid if use_surrogate else sampling
+    solo = solo_uipc(
+        ls_profile.name, base.single_thread(base.rob_entries), effort
+    )
     schemes: dict[StretchMode, PartitionScheme] = {
         StretchMode.BASELINE: BASELINE,
         StretchMode.B_MODE: b_mode,
     }
     if q_mode is not None:
         schemes[StretchMode.Q_MODE] = q_mode
+    pairs = pair_uipc_many(
+        ls_profile.name, batch_profile.name,
+        [scheme.apply(base) for scheme in schemes.values()], effort,
+    )
     per_mode = {}
-    for stretch_mode, scheme in schemes.items():
-        values = store.compute(
-            SimJob.pair(
-                ls_profile.name, batch_profile.name,
-                scheme.apply(base), sampling,
-            )
-        )
+    for (stretch_mode, __), values in zip(schemes.items(), pairs):
         per_mode[stretch_mode] = ModePerformance(
             ls_uipc=values[0], batch_uipc=values[1]
         )
@@ -695,8 +758,20 @@ def tune_policy(
     supplies the violation-rate budget the score penalizes against.
     ``tune_seed`` drives the search's own randomness, decoupled from the
     fleet's CRN ``seed``.
+
+    At ``fidelity="surrogate"`` (with a ``batch`` workload rather than a
+    pre-measured ``performance``) the search *screens* candidates with
+    the surrogate-measured performance model, then re-scores the winner
+    and the incumbent with an exact-tier model at the same sampling
+    effort — the returned ``best``/``default`` rows carry exact scores,
+    while ``candidates`` keeps the screening ranking.
     """
     ls_profile = _resolve_profile(ls)
+    __, fid = _resolve_effort(sampling, fidelity, None, n_samples)
+    screening = (
+        fid is not None and fid.is_surrogate
+        and performance is None and batch is not None
+    )
     if performance is None:
         if batch is None:
             raise ValueError("pass a performance model or a batch workload")
@@ -716,9 +791,32 @@ def tune_policy(
         )
     elif monitor is not None:
         config = replace(config, monitor=monitor)
-    return tune_monitor(
+    result = tune_monitor(
         ls_profile, performance, config,
         portfolio=portfolio, space=space, load=load,
         n_trials=n_trials, descent_rounds=descent_rounds, seed=tune_seed,
         slo=slo, surrogate=surrogate, store=store,
+    )
+    if not screening:
+        return result
+
+    # Exact-tier confirmation: re-measure the pair exactly (same sampling
+    # effort as the surrogate's calibration) and re-score the short list.
+    exact_performance = measure(ls_profile, batch, sampling=fid.sampling)
+    monitors = [result.best.monitor]
+    if result.default.monitor != result.best.monitor:
+        monitors.append(result.default.monitor)
+    scores, fleet_runs, cached_runs = confirm_candidates(
+        ls_profile, exact_performance, config, monitors,
+        portfolio=result.portfolio, load=load, slo=result.slo,
+        surrogate=surrogate, store=store,
+    )
+    confirmed = {score.monitor: score for score in scores}
+    best = confirmed[result.best.monitor]
+    return replace(
+        result,
+        best=best,
+        default=confirmed.get(result.default.monitor, best),
+        fleet_runs=result.fleet_runs + fleet_runs,
+        cached_runs=result.cached_runs + cached_runs,
     )

@@ -20,6 +20,10 @@ reproduction stands on, so this package gives it three independent oracles:
 * :mod:`repro.check.metamorphic` — paper-derived relations between runs
   (ROB-partition monotonicity, co-runner interference direction, Stretch
   mode ordering) that hold regardless of absolute UIPC values.
+* :mod:`repro.check.surrogate` — the accuracy gate for the surrogate
+  fidelity tier (``stretch-repro check --surrogate``): fresh held-out
+  configurations with fresh seeds must land within each fit's reported
+  ``error_bound``.
 
 Set ``REPRO_CHECK=1`` (or pass ``--check`` to ``stretch-repro``) and every
 core built by the sampling entry points — including engine pool workers —
@@ -44,16 +48,27 @@ from repro.check.metamorphic import (
     run_metamorphic_suite,
 )
 from repro.check.reference import ReferenceCore
+from repro.check.surrogate import (
+    GateResult,
+    SurrogateGateCase,
+    SurrogateGateReport,
+    build_gate_cases,
+    surrogate_accuracy_sweep,
+)
 
 __all__ = [
     "CHECK_ENV",
     "DifferentialCase",
+    "GateResult",
     "InvariantChecker",
     "InvariantViolation",
     "ReferenceCore",
     "RelationReport",
+    "SurrogateGateCase",
+    "SurrogateGateReport",
     "SweepReport",
     "build_cases",
+    "build_gate_cases",
     "build_stress_cases",
     "check_corunner_never_helps",
     "check_mode_ordering",
@@ -62,4 +77,5 @@ __all__ = [
     "differential_sweep",
     "run_case",
     "run_metamorphic_suite",
+    "surrogate_accuracy_sweep",
 ]

@@ -24,7 +24,12 @@ from repro.workloads.registry import get_profile
 
 __all__ = ["SimJob", "job_key"]
 
-_KINDS = {"solo": 1, "pair": 2}
+#: Job kind -> workload arity.  The ``*_samples`` kinds return the
+#: per-sample UIPC vector instead of its mean — the calibration unit of
+#: the core-level surrogate (:mod:`repro.cpu.surrogate`), which needs the
+#: window-to-window distribution, not just the aggregate.  Keys embed the
+#: kind, so sample jobs never collide with the mean-valued entries.
+_KINDS = {"solo": 1, "pair": 2, "solo_samples": 1, "pair_samples": 2}
 
 
 def job_key(
@@ -60,7 +65,8 @@ class SimJob:
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
-            raise ValueError(f"kind must be 'solo' or 'pair', got {self.kind!r}")
+            known = "/".join(sorted(_KINDS))
+            raise ValueError(f"kind must be one of {known}, got {self.kind!r}")
         if len(self.workloads) != _KINDS[self.kind]:
             raise ValueError(
                 f"{self.kind!r} jobs take {_KINDS[self.kind]} workload(s), "
@@ -81,17 +87,35 @@ class SimJob:
         """Colocated run: thread 0 = ``ls``, thread 1 = ``batch`` (two values)."""
         return cls("pair", (ls, batch), config, sampling)
 
+    @classmethod
+    def solo_samples(
+        cls, workload: str, config: CoreConfig, sampling: SamplingConfig
+    ) -> "SimJob":
+        """Stand-alone run returning per-sample UIPCs (``n_samples`` values)."""
+        return cls("solo_samples", (workload,), config, sampling)
+
+    @classmethod
+    def pair_samples(
+        cls, ls: str, batch: str, config: CoreConfig, sampling: SamplingConfig
+    ) -> "SimJob":
+        """Colocated run returning per-sample UIPCs (thread 0's ``n_samples``
+        values followed by thread 1's)."""
+        return cls("pair_samples", (ls, batch), config, sampling)
+
     @property
     def key(self) -> str:
         """Content-addressed key (stable across processes and sessions)."""
         return job_key(self.kind, self.workloads, self.config, self.sampling)
 
     def run(self) -> tuple[float, ...]:
-        """Execute the simulation and return mean UIPC per thread."""
-        if self.kind == "solo":
+        """Execute the simulation; mean UIPC per thread, or the per-sample
+        UIPC vectors for the ``*_samples`` kinds."""
+        if self.kind in ("solo", "solo_samples"):
             results = sample_solo(
                 get_profile(self.workloads[0]), self.config, self.sampling
             )
+            if self.kind == "solo_samples":
+                return tuple(r.threads[0].uipc for r in results)
             return (sum(r.threads[0].uipc for r in results) / len(results),)
         results = sample_colocation(
             get_profile(self.workloads[0]),
@@ -99,6 +123,10 @@ class SimJob:
             self.config,
             self.sampling,
         )
+        if self.kind == "pair_samples":
+            return tuple(r.threads[0].uipc for r in results) + tuple(
+                r.threads[1].uipc for r in results
+            )
         n = len(results)
         return (
             sum(r.threads[0].uipc for r in results) / n,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.experiments.common import Fidelity
 from repro.workloads.characterize import (
     WorkloadCharacter,
     characterize_all,
@@ -40,5 +40,5 @@ class CharacterizationResult:
 
 
 def run(fidelity: Fidelity | None = None) -> CharacterizationResult:
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     return CharacterizationResult(characters=characterize_all(fid.sampling))

@@ -1,22 +1,44 @@
 """Shared experiment infrastructure.
 
-* :class:`Fidelity` — how many samples / instructions each simulation uses
-  (``quick`` for regression runs, ``full`` for tighter statistics);
+* :class:`Fidelity` — how much simulation effort each experiment spends,
+  behind one extensible registry: exact tiers (``quick`` for regression
+  runs, ``full`` for tighter statistics) pick sampling parameters, while
+  the ``surrogate`` tier additionally answers partitioned-ROB sweeps from
+  a fitted :class:`~repro.cpu.surrogate.UipcSurrogate` instead of the
+  exact sampler.  :meth:`Fidelity.resolve` is the single entry point the
+  API verbs, the CLI and ``REPRO_FIDELITY`` all consume; third parties
+  register new tiers with :func:`register_fidelity`.
 * core-configuration constructors for every sharing regime the paper
   evaluates (all-shared SMT baseline, share-one-resource-only, all-private
   ideal scheduling, dynamically shared ROB, fetch throttling, solo);
-* memoized simulation entry points (:func:`solo_uipc`, :func:`pair_uipc`)
+* memoized simulation entry points (:func:`solo_uipc`, :func:`pair_uipc`,
+  and the batched :func:`solo_uipc_many` / :func:`pair_uipc_many`)
   backed by the content-addressed result store of :mod:`repro.engine`,
-  since many figures reuse the same baseline colocation runs.
+  since many figures reuse the same baseline colocation runs.  All four
+  accept either a raw :class:`~repro.cpu.sampling.SamplingConfig` (always
+  exact) or a :class:`Fidelity` (tier-aware: the surrogate tier predicts
+  where its fitted family covers the query and transparently falls back
+  to the exact sampler everywhere else).
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
 
 from repro.cpu.config import CoreConfig, PartitionPolicy
 from repro.cpu.sampling import SamplingConfig
+from repro.cpu.surrogate import (
+    UipcFitJob,
+    UipcGrid,
+    UnsupportedConfigError,
+    axis_scale,
+    family_axis,
+)
 from repro.engine.job import SimJob
 from repro.engine.store import CACHE_VERSION, default_store
 from repro.workloads.cloudsuite import CLOUDSUITE_NAMES
@@ -24,6 +46,8 @@ from repro.workloads.spec2006 import SPEC2006_NAMES
 
 __all__ = [
     "Fidelity",
+    "register_fidelity",
+    "fidelity_names",
     "fidelity_from_env",
     "CACHE_VERSION",
     "LS_WORKLOADS",
@@ -36,6 +60,9 @@ __all__ = [
     "config_fetch_throttle",
     "solo_uipc",
     "pair_uipc",
+    "solo_uipc_many",
+    "pair_uipc_many",
+    "grid_jobs",
 ]
 
 LS_WORKLOADS: tuple[str, ...] = CLOUDSUITE_NAMES
@@ -44,10 +71,22 @@ BATCH_WORKLOADS: tuple[str, ...] = SPEC2006_NAMES
 
 @dataclass(frozen=True)
 class Fidelity:
-    """Simulation effort level for the experiment harnesses."""
+    """Simulation effort level for the experiment harnesses.
+
+    ``grid`` marks a surrogate tier: partitioned-ROB queries are answered
+    by a :class:`~repro.cpu.surrogate.UipcSurrogate` calibrated on that
+    grid (with ``sampling`` supplying the calibration seeds), and
+    everything outside the fitted families falls back to the exact
+    sampler.  Exact tiers leave it ``None``.
+    """
 
     name: str
     sampling: SamplingConfig
+    grid: UipcGrid | None = None
+
+    @property
+    def is_surrogate(self) -> bool:
+        return self.grid is not None
 
     @classmethod
     def quick(cls, seed: int = 42) -> "Fidelity":
@@ -59,19 +98,107 @@ class Fidelity:
         return cls("full", SamplingConfig(n_samples=4, warmup_instructions=10000,
                                           measure_instructions=12000, seed=seed))
 
+    @classmethod
+    def surrogate(cls, seed: int = 42) -> "Fidelity":
+        """Quick-tier sampling, with partitioned-ROB sweeps answered by a
+        store-memoized fitted surrogate (error bound reported per fit)."""
+        return cls("surrogate", cls.quick(seed).sampling, grid=UipcGrid())
+
+    @classmethod
+    def resolve(
+        cls,
+        value: "str | Fidelity",
+        root: int = 42,
+        *,
+        seed: int | None = None,
+        n_samples: int | None = None,
+    ) -> "Fidelity":
+        """Resolve a tier name (or pass through an instance) with overrides.
+
+        ``root`` seeds a tier built from a registered name; ``seed`` and
+        ``n_samples`` override the resolved sampling configuration either
+        way.  Unknown names raise a :class:`ValueError` that lists the
+        currently registered tiers.
+        """
+        if isinstance(value, cls):
+            fidelity = value
+        elif isinstance(value, str):
+            factory = _REGISTRY.get(value.lower())
+            if factory is None:
+                known = ", ".join(repr(n) for n in fidelity_names())
+                raise ValueError(
+                    f"unknown fidelity {value!r}; registered tiers: {known}"
+                )
+            fidelity = factory(root)
+        else:
+            raise TypeError(
+                f"fidelity must be a str or Fidelity, got {type(value).__name__}"
+            )
+        overrides = {}
+        if seed is not None:
+            overrides["seed"] = seed
+        if n_samples is not None:
+            overrides["n_samples"] = n_samples
+        if overrides:
+            fidelity = replace(
+                fidelity, sampling=replace(fidelity.sampling, **overrides)
+            )
+        return fidelity
+
+    @classmethod
+    def from_env(cls, seed: int = 42) -> "Fidelity":
+        """Read ``REPRO_FIDELITY`` (a registered tier name, default quick).
+
+        ``seed`` threads a command-line root seed through to the sampling
+        configuration (``stretch-repro --seed``).
+        """
+        value = os.environ.get("REPRO_FIDELITY", "quick")
+        try:
+            return cls.resolve(value, root=seed)
+        except ValueError:
+            known = ", ".join(fidelity_names())
+            raise ValueError(
+                f"REPRO_FIDELITY must be one of {known}, got {value!r}"
+            ) from None
+
+
+#: Registered tier name -> factory(root_seed) -> Fidelity.
+_REGISTRY: dict[str, Callable[[int], Fidelity]] = {}
+
+
+def register_fidelity(
+    name: str, factory: Callable[[int], Fidelity], *, overwrite: bool = False
+) -> None:
+    """Register a fidelity tier under ``name`` (lower-cased).
+
+    ``factory`` maps a root seed to a :class:`Fidelity`.  Registered
+    names resolve through :meth:`Fidelity.resolve`, the CLI
+    ``--fidelity`` flag and ``REPRO_FIDELITY`` alike.
+    """
+    key = name.lower()
+    if not overwrite and key in _REGISTRY:
+        raise ValueError(f"fidelity tier {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def fidelity_names() -> tuple[str, ...]:
+    """Currently registered tier names, sorted (for CLI choices/errors)."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_fidelity("quick", Fidelity.quick)
+register_fidelity("full", Fidelity.full)
+register_fidelity("surrogate", Fidelity.surrogate)
+
 
 def fidelity_from_env(seed: int = 42) -> Fidelity:
-    """Read ``REPRO_FIDELITY`` (quick|full), defaulting to quick.
-
-    ``seed`` threads a command-line root seed through to the sampling
-    configuration (``stretch-repro --seed``).
-    """
-    value = os.environ.get("REPRO_FIDELITY", "quick").lower()
-    if value == "full":
-        return Fidelity.full(seed)
-    if value == "quick":
-        return Fidelity.quick(seed)
-    raise ValueError(f"REPRO_FIDELITY must be 'quick' or 'full', got {value!r}")
+    """Deprecated alias for :meth:`Fidelity.from_env`."""
+    warnings.warn(
+        "fidelity_from_env() is deprecated; use Fidelity.from_env()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return Fidelity.from_env(seed)
 
 
 # ----------------------------------------------------------------------
@@ -163,27 +290,162 @@ def config_fetch_throttle(m: int) -> CoreConfig:
 # Memoized simulation entry points
 # ----------------------------------------------------------------------
 #
-# Both entry points delegate to the content-addressed result store in
+# All entry points delegate to the content-addressed result store in
 # ``repro.engine.store`` (atomic writes, corrupt-entry tolerance, in-flight
 # deduplication).  ``stretch-repro --jobs N`` pre-populates that store by
 # running each experiment's job grid on a process pool, after which these
 # calls are pure cache hits.
+#
+# The ``effort`` argument is a SamplingConfig (always exact — the historic
+# calling convention) or a Fidelity.  At a surrogate tier the partitioned-
+# ROB families answer from a store-memoized UipcSurrogate fit; any query
+# the fit does not cover (unsupported config family, axis value outside
+# the anchor range) silently uses the exact sampler instead, so results
+# are defined for every input — only their cost and error bound differ.
 
 
-def solo_uipc(workload: str, config: CoreConfig, sampling: SamplingConfig) -> float:
+def _sampling_of(effort: SamplingConfig | Fidelity) -> SamplingConfig:
+    if isinstance(effort, Fidelity):
+        return effort.sampling
+    if isinstance(effort, SamplingConfig):
+        return effort
+    raise TypeError(
+        f"expected SamplingConfig or Fidelity, got {type(effort).__name__}"
+    )
+
+
+def _surrogate_predictions(
+    kind: str,
+    workloads: tuple[str, ...],
+    configs: tuple[CoreConfig, ...],
+    fidelity: Fidelity,
+) -> list[tuple[float, ...] | None]:
+    """Per-config tuple of per-thread mean UIPCs, or None (needs exact).
+
+    Groups configs by surrogate family so each family is fitted once
+    (through the store) and evaluated as one vectorized interpolation.
+    """
+    grid = fidelity.grid
+    out: list[tuple[float, ...] | None] = [None] * len(configs)
+    groups: dict[CoreConfig, list[tuple[int, int]]] = {}
+    for i, config in enumerate(configs):
+        try:
+            canon, x = family_axis(kind, config)
+            anchors = grid.anchor_values(kind, axis_scale(kind, canon))
+        except UnsupportedConfigError:
+            continue
+        if not anchors[0] <= x <= anchors[-1]:
+            continue
+        groups.setdefault(canon, []).append((i, x))
+    store = default_store()
+    for canon, queries in groups.items():
+        job = UipcFitJob(kind, workloads, canon, fidelity.sampling, grid)
+        surrogate = job.load(store.compute(job))
+        xs = np.array([x for __, x in queries], dtype=float)
+        grid_values = np.stack(
+            [surrogate.predict_many(xs, thread=t) for t in range(len(workloads))],
+            axis=1,
+        )
+        for (i, __), row in zip(queries, grid_values):
+            out[i] = tuple(float(v) for v in row)
+    return out
+
+
+def solo_uipc(
+    workload: str, config: CoreConfig, effort: SamplingConfig | Fidelity
+) -> float:
     """Mean stand-alone UIPC of ``workload`` under ``config`` (memoized)."""
-    return default_store().compute(SimJob.solo(workload, config, sampling))[0]
+    return solo_uipc_many(workload, (config,), effort)[0]
 
 
 def pair_uipc(
-    ls_workload: str, batch_workload: str, config: CoreConfig, sampling: SamplingConfig
+    ls_workload: str,
+    batch_workload: str,
+    config: CoreConfig,
+    effort: SamplingConfig | Fidelity,
 ) -> tuple[float, float]:
     """Mean colocated UIPC ``(ls, batch)`` for a pair (memoized).
 
     Thread 0 runs the latency-sensitive workload, thread 1 the batch one,
     matching :class:`~repro.core.partitioning.PartitionScheme` orientation.
     """
-    values = default_store().compute(
-        SimJob.pair(ls_workload, batch_workload, config, sampling)
+    return pair_uipc_many(ls_workload, batch_workload, (config,), effort)[0]
+
+
+def solo_uipc_many(
+    workload: str, configs, effort: SamplingConfig | Fidelity
+) -> tuple[float, ...]:
+    """Batched :func:`solo_uipc` over a config sweep (one value per config)."""
+    configs = tuple(configs)
+    sampling = _sampling_of(effort)
+    if isinstance(effort, Fidelity) and effort.is_surrogate:
+        predicted = _surrogate_predictions("solo", (workload,), configs, effort)
+    else:
+        predicted = [None] * len(configs)
+    store = default_store()
+    return tuple(
+        p[0] if p is not None
+        else store.compute(SimJob.solo(workload, config, sampling))[0]
+        for p, config in zip(predicted, configs)
     )
-    return values[0], values[1]
+
+
+def pair_uipc_many(
+    ls_workload: str,
+    batch_workload: str,
+    configs,
+    effort: SamplingConfig | Fidelity,
+) -> tuple[tuple[float, float], ...]:
+    """Batched :func:`pair_uipc` over a config sweep (one pair per config)."""
+    configs = tuple(configs)
+    sampling = _sampling_of(effort)
+    workloads = (ls_workload, batch_workload)
+    if isinstance(effort, Fidelity) and effort.is_surrogate:
+        predicted = _surrogate_predictions("pair", workloads, configs, effort)
+    else:
+        predicted = [None] * len(configs)
+    store = default_store()
+    out = []
+    for p, config in zip(predicted, configs):
+        if p is None:
+            values = store.compute(
+                SimJob.pair(ls_workload, batch_workload, config, sampling)
+            )
+            out.append((values[0], values[1]))
+        else:
+            out.append((p[0], p[1]))
+    return tuple(out)
+
+
+def grid_jobs(jobs, fidelity: SamplingConfig | Fidelity):
+    """Map an experiment's exact job grid to what the tier actually runs.
+
+    At exact tiers this is the identity.  At a surrogate tier each
+    partitioned-ROB :class:`~repro.engine.job.SimJob` collapses into its
+    family's (deduplicated) :class:`~repro.cpu.surrogate.UipcFitJob`, so
+    ``stretch-repro --jobs N`` pre-warms surrogate fits on the process
+    pool instead of running every sweep point; jobs the surrogate cannot
+    answer stay as-is and still pre-warm exactly.
+    """
+    if not (isinstance(fidelity, Fidelity) and fidelity.is_surrogate):
+        return list(jobs)
+    out, seen = [], set()
+    for job in jobs:
+        candidate = job
+        if isinstance(job, SimJob) and job.kind in ("solo", "pair"):
+            try:
+                canon, x = family_axis(job.kind, job.config)
+                anchors = fidelity.grid.anchor_values(
+                    job.kind, axis_scale(job.kind, canon)
+                )
+                if anchors[0] <= x <= anchors[-1]:
+                    candidate = UipcFitJob(
+                        job.kind, job.workloads, canon, job.sampling,
+                        fidelity.grid,
+                    )
+            except UnsupportedConfigError:
+                candidate = job
+        if candidate.key not in seen:
+            seen.add(candidate.key)
+            out.append(candidate)
+    return out

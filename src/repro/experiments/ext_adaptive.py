@@ -24,7 +24,7 @@ from repro.core.adaptive import AdaptiveStretchPolicy
 from repro.core.partitioning import B_MODES
 from repro.core.server import ColocatedServer
 from repro.core.stretch import StretchMode
-from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.experiments.common import Fidelity
 from repro.qos.diurnal import web_search_cluster_load
 from repro.util.tables import format_table
 from repro.workloads.registry import get_profile
@@ -75,11 +75,11 @@ class AdaptiveComparison:
 
 
 def run(fidelity: Fidelity | None = None) -> AdaptiveComparison:
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     ls = get_profile("web_search")
     days: list[PolicyDay] = []
     for batch_name in BATCH_CORUNNERS:
-        performance = measure(ls, batch_name, sampling=fid.sampling)
+        performance = measure(ls, batch_name, fidelity=fid)
         baseline_uipc = performance.per_mode[StretchMode.BASELINE].batch_uipc
 
         fixed_server = ColocatedServer(ls, performance, seed=11)

@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass
 
 from repro.api import measure
-from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.experiments.common import Fidelity
 from repro.fleet import FleetConfig
 from repro.tune import CandidateScore, TuneResult, tune_monitor
 from repro.util.tables import format_table
@@ -164,11 +164,11 @@ class ExtAutotuneResult:
 
 
 def run(fidelity: Fidelity | None = None) -> ExtAutotuneResult:
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     sizes = fleet_sizes(fid)
     trials = n_trials(fid)
     ls = get_profile(LS)
-    performance = measure(ls, BATCH, sampling=fid.sampling)
+    performance = measure(ls, BATCH, fidelity=fid)
     rows: list[AutotuneRow] = []
     tunes: dict[int, TuneResult] = {}
     tuned: dict[int, CandidateScore] = {}

@@ -23,7 +23,7 @@ from repro.core.partitioning import BASELINE, DEFAULT_B_MODE
 from repro.cpu.config import CoreConfig
 from repro.cpu.energy import EnergyModel
 from repro.cpu.sampling import sample_colocation
-from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.experiments.common import Fidelity
 from repro.util.tables import format_table
 from repro.workloads.registry import get_profile
 
@@ -79,7 +79,7 @@ class EnergyComparison:
 
 
 def run(fidelity: Fidelity | None = None) -> EnergyComparison:
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     sampling = fid.sampling
     base_config = BASELINE.apply(CoreConfig())
     bmode_config = DEFAULT_B_MODE.apply(CoreConfig())

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 from repro.api import measure, run_fleet
 from repro.core.stretch import StretchMode
-from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.experiments.common import Fidelity
 from repro.fleet import FleetConfig, FleetEngine
 from repro.util.tables import format_table
 from repro.workloads.registry import get_profile
@@ -102,13 +102,13 @@ class ExtFleetResult:
 
 
 def run(fidelity: Fidelity | None = None) -> ExtFleetResult:
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     sizes = fleet_sizes(fid)
     rows: list[FleetRow] = []
     bounds: dict[str, float] = {}
     for cluster, ls_name, load, batch_name in CASES:
         ls = get_profile(ls_name)
-        performance = measure(ls, batch_name, sampling=fid.sampling)
+        performance = measure(ls, batch_name, fidelity=fid)
         baseline_uipc = performance.per_mode[StretchMode.BASELINE].batch_uipc
         # One surrogate per cluster, content-cached and shared across fleet
         # sizes (its key depends on the QoS contract and mode performance

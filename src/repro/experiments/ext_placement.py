@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass
 
 from repro.api import measure, run_fleet
-from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.experiments.common import Fidelity
 from repro.fleet import FleetConfig, FleetEngine
 from repro.fleet.placement import PLACEMENT_NAMES
 from repro.util.tables import format_table
@@ -104,12 +104,12 @@ class ExtPlacementResult:
 
 
 def run(fidelity: Fidelity | None = None) -> ExtPlacementResult:
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     sizes = fleet_sizes(fid)
     ls = get_profile(LS)
-    performance = measure(ls, REFERENCE, sampling=fid.sampling)
+    performance = measure(ls, REFERENCE, fidelity=fid)
     corunners = tuple(
-        measure(ls, name, sampling=fid.sampling) for name in POPULATION
+        measure(ls, name, fidelity=fid) for name in POPULATION
     )
     # One surrogate fitted over the *union* of perf factors (homogeneous
     # model + every population profile), shared by all rows so placement

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.cpu.config import CacheConfig, CoreConfig, UncoreConfig
-from repro.experiments.common import Fidelity, fidelity_from_env, pair_uipc
+from repro.experiments.common import Fidelity, pair_uipc
 from repro.util.tables import format_table
 
 __all__ = ["SensitivityResult", "run", "PAIRS"]
@@ -94,15 +94,14 @@ class SensitivityResult:
 
 
 def run(fidelity: Fidelity | None = None) -> SensitivityResult:
-    fid = fidelity or fidelity_from_env()
-    sampling = fid.sampling
+    fid = fidelity or Fidelity.from_env()
     points = []
     for axis, variant, config in _axes():
         bmode = _bmode_of(config)
         gains, costs = [], []
         for ls, batch in PAIRS:
-            ls_eq, batch_eq = pair_uipc(ls, batch, config, sampling)
-            ls_b, batch_b = pair_uipc(ls, batch, bmode, sampling)
+            ls_eq, batch_eq = pair_uipc(ls, batch, config, fid)
+            ls_b, batch_b = pair_uipc(ls, batch, bmode, fid)
             gains.append(batch_b / batch_eq - 1.0)
             costs.append(1.0 - ls_b / ls_eq)
         points.append(

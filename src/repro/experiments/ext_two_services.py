@@ -21,7 +21,6 @@ from repro.experiments.common import (
     Fidelity,
     config_all_shared,
     config_solo,
-    fidelity_from_env,
     pair_uipc,
     solo_uipc,
 )
@@ -101,16 +100,15 @@ def run(
     scheme: PartitionScheme = DEFAULT_Q_MODE,
 ) -> TwoServicesResult:
     """Measure equal vs skewed partitioning for LS+LS colocations."""
-    fid = fidelity or fidelity_from_env()
-    sampling = fid.sampling
+    fid = fidelity or Fidelity.from_env()
     base = config_all_shared()
     solo = config_solo()
     rows = []
     for loaded, background in SERVICE_PAIRS:
-        loaded_solo = solo_uipc(loaded, solo, sampling)
-        background_solo = solo_uipc(background, solo, sampling)
-        eq = pair_uipc(loaded, background, BASELINE.apply(base), sampling)
-        sk = pair_uipc(loaded, background, scheme.apply(base), sampling)
+        loaded_solo = solo_uipc(loaded, solo, fid)
+        background_solo = solo_uipc(background, solo, fid)
+        eq = pair_uipc(loaded, background, BASELINE.apply(base), fid)
+        sk = pair_uipc(loaded, background, scheme.apply(base), fid)
         service = ServiceSimulator(get_profile(loaded).qos, n_workers=8, seed=5)
         eq_factor = min(eq[0] / loaded_solo, 1.0)
         sk_factor = min(sk[0] / loaded_solo, 1.0)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.experiments.common import Fidelity
 from repro.qos.queueing import LatencyStats, ServiceSimulator
 from repro.util.chart import render_chart
 from repro.util.tables import format_table
@@ -69,7 +69,7 @@ class Fig1Result:
 
 def run(fidelity: Fidelity | None = None, n_requests: int = 20000) -> Fig1Result:
     """Regenerate Figure 1 from the queueing substrate."""
-    __ = fidelity or fidelity_from_env()  # fidelity reserved for API symmetry
+    __ = fidelity or Fidelity.from_env()  # fidelity reserved for API symmetry
     profile = cloudsuite_profile("web_search")
     service = ServiceSimulator(profile.qos, n_workers=8, seed=7)
     points = service.latency_vs_load(LOAD_POINTS, n_requests=n_requests)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import Fidelity, LS_WORKLOADS, fidelity_from_env
+from repro.experiments.common import Fidelity, LS_WORKLOADS
 from repro.qos.slack import slack_curve
 from repro.util.chart import render_chart
 from repro.util.tables import format_table
@@ -65,7 +65,7 @@ class Fig2Result:
 
 def run(fidelity: Fidelity | None = None, n_requests: int = 12000) -> Fig2Result:
     """Regenerate Figure 2 via duty-cycle-style performance modulation."""
-    __ = fidelity or fidelity_from_env()
+    __ = fidelity or Fidelity.from_env()
     curves = {
         name: slack_curve(get_profile(name), LOAD_POINTS, n_requests=n_requests)
         for name in LS_WORKLOADS

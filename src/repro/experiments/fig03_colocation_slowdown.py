@@ -18,7 +18,7 @@ from repro.experiments.common import (
     LS_WORKLOADS,
     config_all_shared,
     config_solo,
-    fidelity_from_env,
+    grid_jobs,
     pair_uipc,
     solo_uipc,
 )
@@ -80,9 +80,9 @@ class Fig3Result:
         )
 
 
-def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+def jobs(fidelity: Fidelity | None = None) -> list:
     """The simulation job grid behind :func:`run` (for the execution engine)."""
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     sampling = fid.sampling
     shared, solo = config_all_shared(), config_solo()
     grid = [
@@ -94,22 +94,21 @@ def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
         for ls in LS_WORKLOADS
         for batch in BATCH_WORKLOADS
     ]
-    return grid
+    return grid_jobs(grid, fid)
 
 
 def run(fidelity: Fidelity | None = None) -> Fig3Result:
     """Regenerate Figure 3 over all 4 x 29 colocations."""
-    fid = fidelity or fidelity_from_env()
-    sampling = fid.sampling
+    fid = fidelity or Fidelity.from_env()
     shared = config_all_shared()
     solo = config_solo()
     pairs: dict[str, list[tuple[str, float, float]]] = {}
     for ls in LS_WORKLOADS:
-        ls_alone = solo_uipc(ls, solo, sampling)
+        ls_alone = solo_uipc(ls, solo, fid)
         rows = []
         for batch in BATCH_WORKLOADS:
-            batch_alone = solo_uipc(batch, solo, sampling)
-            ls_colo, batch_colo = pair_uipc(ls, batch, shared, sampling)
+            batch_alone = solo_uipc(batch, solo, fid)
+            ls_colo, batch_colo = pair_uipc(ls, batch, shared, fid)
             rows.append(
                 (batch, 1.0 - ls_colo / ls_alone, 1.0 - batch_colo / batch_alone)
             )

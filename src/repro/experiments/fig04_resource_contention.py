@@ -21,7 +21,7 @@ from repro.experiments.common import (
     Fidelity,
     config_share_only,
     config_solo,
-    fidelity_from_env,
+    grid_jobs,
     pair_uipc,
     solo_uipc,
 )
@@ -86,9 +86,9 @@ class ResourceContentionResult:
 
 def jobs(
     fidelity: Fidelity | None = None, ls_workload: str = "web_search"
-) -> list[SimJob]:
+) -> list:
     """The simulation job grid behind :func:`run` (for the execution engine)."""
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     sampling = fid.sampling
     solo = config_solo()
     grid = [
@@ -100,24 +100,23 @@ def jobs(
         for resource in RESOURCES
         for batch in BATCH_WORKLOADS
     ]
-    return grid
+    return grid_jobs(grid, fid)
 
 
 def run(
     fidelity: Fidelity | None = None, ls_workload: str = "web_search"
 ) -> ResourceContentionResult:
     """Regenerate Figure 4 (share-one-resource-at-a-time) for one service."""
-    fid = fidelity or fidelity_from_env()
-    sampling = fid.sampling
+    fid = fidelity or Fidelity.from_env()
     solo = config_solo()
-    ls_alone = solo_uipc(ls_workload, solo, sampling)
+    ls_alone = solo_uipc(ls_workload, solo, fid)
     by_resource: dict[str, list[tuple[str, float, float]]] = {}
     for resource in RESOURCES:
         config = config_share_only(resource)
         rows = []
         for batch in BATCH_WORKLOADS:
-            batch_alone = solo_uipc(batch, solo, sampling)
-            ls_colo, batch_colo = pair_uipc(ls_workload, batch, config, sampling)
+            batch_alone = solo_uipc(batch, solo, fid)
+            ls_colo, batch_colo = pair_uipc(ls_workload, batch, config, fid)
             rows.append(
                 (batch, 1.0 - ls_colo / ls_alone, 1.0 - batch_colo / batch_alone)
             )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.engine.job import SimJob
-from repro.experiments.common import Fidelity, LS_WORKLOADS, fidelity_from_env
+from repro.experiments.common import Fidelity, LS_WORKLOADS
 from repro.experiments.fig04_resource_contention import (
     RESOURCES,
     ResourceContentionResult,
@@ -68,9 +68,9 @@ class Fig5Result:
         )
 
 
-def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+def jobs(fidelity: Fidelity | None = None) -> list:
     """The simulation job grid behind :func:`run` (for the execution engine)."""
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     return [
         job for name in LS_WORKLOADS for job in jobs_fig04(fid, ls_workload=name)
     ]
@@ -78,7 +78,7 @@ def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
 
 def run(fidelity: Fidelity | None = None) -> Fig5Result:
     """Regenerate Figure 5 (Figure 4 across all four services)."""
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     per_service = {
         name: run_fig04(fid, ls_workload=name) for name in LS_WORKLOADS
     }

@@ -18,8 +18,8 @@ from repro.experiments.common import (
     Fidelity,
     LS_WORKLOADS,
     config_solo,
-    fidelity_from_env,
-    solo_uipc,
+    grid_jobs,
+    solo_uipc_many,
 )
 from repro.util.chart import render_chart
 from repro.util.tables import format_table
@@ -69,26 +69,34 @@ class Fig6Result:
         )
 
 
-def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
-    """The simulation job grid behind :func:`run` (for the execution engine)."""
-    fid = fidelity or fidelity_from_env()
-    return [
-        SimJob.solo(workload, config_solo(size), fid.sampling)
-        for workload in (*LS_WORKLOADS, *BATCH_WORKLOADS)
-        for size in ROB_SIZES
-    ]
+def jobs(fidelity: Fidelity | None = None) -> list:
+    """The simulation job grid behind :func:`run` (for the execution engine).
+
+    At the surrogate tier the per-size jobs collapse into one
+    :class:`~repro.cpu.surrogate.UipcFitJob` per workload (via
+    :func:`~repro.experiments.common.grid_jobs`).
+    """
+    fid = fidelity or Fidelity.from_env()
+    return grid_jobs(
+        (
+            SimJob.solo(workload, config_solo(size), fid.sampling)
+            for workload in (*LS_WORKLOADS, *BATCH_WORKLOADS)
+            for size in ROB_SIZES
+        ),
+        fid,
+    )
 
 
 def run(fidelity: Fidelity | None = None) -> Fig6Result:
     """Regenerate Figure 6: ROB sweeps for LS workloads, batch avg, zeusmp."""
-    fid = fidelity or fidelity_from_env()
-    sampling = fid.sampling
+    fid = fidelity or Fidelity.from_env()
+    configs = [config_solo(size) for size in ROB_SIZES]
 
     def curve(workload: str) -> dict[int, float]:
-        reference = solo_uipc(workload, config_solo(192), sampling)
+        values = dict(zip(ROB_SIZES, solo_uipc_many(workload, configs, fid)))
+        reference = values[192]
         return {
-            size: 1.0 - solo_uipc(workload, config_solo(size), sampling) / reference
-            for size in ROB_SIZES
+            size: 1.0 - values[size] / reference for size in ROB_SIZES
         }
 
     curves: dict[str, dict[int, float]] = {}

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cpu.sampling import sample_solo
-from repro.experiments.common import Fidelity, config_solo, fidelity_from_env
+from repro.experiments.common import Fidelity, config_solo
 from repro.util.tables import format_table
 from repro.workloads.registry import get_profile
 
@@ -49,7 +49,7 @@ class Fig7Result:
 
 def run(fidelity: Fidelity | None = None) -> Fig7Result:
     """Regenerate Figure 7 from MSHR-occupancy histograms."""
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     fractions: dict[str, dict[int, float]] = {}
     for name in WORKLOADS:
         results = sample_solo(get_profile(name), config_solo(192), fid.sampling)

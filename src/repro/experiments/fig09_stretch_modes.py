@@ -20,8 +20,8 @@ from repro.experiments.common import (
     Fidelity,
     LS_WORKLOADS,
     config_all_shared,
-    fidelity_from_env,
-    pair_uipc,
+    grid_jobs,
+    pair_uipc_many,
 )
 from repro.util.stats import DistributionSummary, summarize
 from repro.util.tables import format_table
@@ -101,18 +101,26 @@ class Fig9Result:
 def jobs(
     fidelity: Fidelity | None = None,
     schemes: tuple[PartitionScheme, ...] | None = None,
-) -> list[SimJob]:
-    """The simulation job grid behind :func:`run` (for the execution engine)."""
-    fid = fidelity or fidelity_from_env()
+) -> list:
+    """The simulation job grid behind :func:`run` (for the execution engine).
+
+    At the surrogate tier the per-scheme jobs collapse into one
+    :class:`~repro.cpu.surrogate.UipcFitJob` per colocated pair (via
+    :func:`~repro.experiments.common.grid_jobs`).
+    """
+    fid = fidelity or Fidelity.from_env()
     sampling = fid.sampling
     base = config_all_shared()
     configs = [base] + [s.apply(base) for s in (schemes or ALL_SCHEMES)]
-    return [
-        SimJob.pair(ls, batch, config, sampling)
-        for config in configs
-        for ls in LS_WORKLOADS
-        for batch in BATCH_WORKLOADS
-    ]
+    return grid_jobs(
+        (
+            SimJob.pair(ls, batch, config, sampling)
+            for config in configs
+            for ls in LS_WORKLOADS
+            for batch in BATCH_WORKLOADS
+        ),
+        fid,
+    )
 
 
 def run(
@@ -120,19 +128,19 @@ def run(
     schemes: tuple[PartitionScheme, ...] = ALL_SCHEMES,
 ) -> Fig9Result:
     """Regenerate Figure 9 over the requested partition schemes."""
-    fid = fidelity or fidelity_from_env()
-    sampling = fid.sampling
+    fid = fidelity or Fidelity.from_env()
     base = config_all_shared()
-    by_scheme: dict[str, list[tuple[str, str, float, float]]] = {}
-    for scheme in schemes:
-        config = scheme.apply(base)
-        rows = []
-        for ls in LS_WORKLOADS:
-            for batch in BATCH_WORKLOADS:
-                ls_base, batch_base = pair_uipc(ls, batch, base, sampling)
-                ls_mode, batch_mode = pair_uipc(ls, batch, config, sampling)
-                rows.append(
-                    (ls, batch, ls_mode / ls_base - 1.0, batch_mode / batch_base - 1.0)
-                )
-        by_scheme[scheme.name] = rows
+    configs = [base] + [scheme.apply(base) for scheme in schemes]
+    by_scheme: dict[str, list[tuple[str, str, float, float]]] = {
+        scheme.name: [] for scheme in schemes
+    }
+    for ls in LS_WORKLOADS:
+        for batch in BATCH_WORKLOADS:
+            values = pair_uipc_many(ls, batch, configs, fid)
+            ls_base, batch_base = values[0]
+            for scheme, (ls_mode, batch_mode) in zip(schemes, values[1:]):
+                by_scheme[scheme.name].append((
+                    ls, batch,
+                    ls_mode / ls_base - 1.0, batch_mode / batch_base - 1.0,
+                ))
     return Fig9Result(by_scheme=by_scheme)

@@ -17,7 +17,7 @@ from repro.experiments.common import (
     Fidelity,
     LS_WORKLOADS,
     config_all_shared,
-    fidelity_from_env,
+    grid_jobs,
     pair_uipc,
 )
 from repro.util.tables import format_table
@@ -53,31 +53,33 @@ class Fig10Result:
         )
 
 
-def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+def jobs(fidelity: Fidelity | None = None) -> list:
     """The simulation job grid behind :func:`run` (for the execution engine)."""
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     sampling = fid.sampling
     base = config_all_shared()
-    return [
-        SimJob.pair(ls, batch, config, sampling)
-        for config in (base, DEFAULT_B_MODE.apply(base))
-        for ls in LS_WORKLOADS
-        for batch in BATCH_WORKLOADS
-    ]
+    return grid_jobs(
+        (
+            SimJob.pair(ls, batch, config, sampling)
+            for config in (base, DEFAULT_B_MODE.apply(base))
+            for ls in LS_WORKLOADS
+            for batch in BATCH_WORKLOADS
+        ),
+        fid,
+    )
 
 
 def run(fidelity: Fidelity | None = None) -> Fig10Result:
     """Regenerate Figure 10 (B-mode 56-136 per-benchmark speedups)."""
-    fid = fidelity or fidelity_from_env()
-    sampling = fid.sampling
+    fid = fidelity or Fidelity.from_env()
     base = config_all_shared()
     mode = DEFAULT_B_MODE.apply(base)
     speedups: dict[str, list[tuple[str, float]]] = {}
     for ls in LS_WORKLOADS:
         rows = []
         for batch in BATCH_WORKLOADS:
-            __, batch_base = pair_uipc(ls, batch, base, sampling)
-            __, batch_mode = pair_uipc(ls, batch, mode, sampling)
+            __, batch_base = pair_uipc(ls, batch, base, fid)
+            __, batch_mode = pair_uipc(ls, batch, mode, fid)
             rows.append((batch, batch_mode / batch_base - 1.0))
         rows.sort(key=lambda item: -item[1])
         speedups[ls] = rows

@@ -18,7 +18,7 @@ from repro.experiments.common import (
     LS_WORKLOADS,
     config_all_shared,
     config_dynamic_rob,
-    fidelity_from_env,
+    grid_jobs,
     pair_uipc,
 )
 from repro.util.stats import DistributionSummary, summarize
@@ -70,30 +70,32 @@ class Fig11Result:
         )
 
 
-def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+def jobs(fidelity: Fidelity | None = None) -> list:
     """The simulation job grid behind :func:`run` (for the execution engine)."""
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     sampling = fid.sampling
-    return [
-        SimJob.pair(ls, batch, config, sampling)
-        for config in (config_all_shared(), config_dynamic_rob())
-        for ls in LS_WORKLOADS
-        for batch in BATCH_WORKLOADS
-    ]
+    return grid_jobs(
+        (
+            SimJob.pair(ls, batch, config, sampling)
+            for config in (config_all_shared(), config_dynamic_rob())
+            for ls in LS_WORKLOADS
+            for batch in BATCH_WORKLOADS
+        ),
+        fid,
+    )
 
 
 def run(fidelity: Fidelity | None = None) -> Fig11Result:
     """Regenerate Figure 11 over all colocations."""
-    fid = fidelity or fidelity_from_env()
-    sampling = fid.sampling
+    fid = fidelity or Fidelity.from_env()
     equal = config_all_shared()
     dynamic = config_dynamic_rob()
     pairs: dict[str, list[tuple[str, float, float]]] = {}
     for ls in LS_WORKLOADS:
         rows = []
         for batch in BATCH_WORKLOADS:
-            ls_eq, batch_eq = pair_uipc(ls, batch, equal, sampling)
-            ls_dyn, batch_dyn = pair_uipc(ls, batch, dynamic, sampling)
+            ls_eq, batch_eq = pair_uipc(ls, batch, equal, fid)
+            ls_dyn, batch_dyn = pair_uipc(ls, batch, dynamic, fid)
             rows.append(
                 (batch, ls_dyn / ls_eq - 1.0, 1.0 - batch_dyn / batch_eq)
             )

@@ -24,7 +24,7 @@ from repro.experiments.common import (
     LS_WORKLOADS,
     config_all_shared,
     config_dynamic_rob,
-    fidelity_from_env,
+    grid_jobs,
     pair_uipc,
 )
 from repro.util.tables import format_table
@@ -69,9 +69,9 @@ class Fig12Result:
         return f"{table}\n{summary}"
 
 
-def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+def jobs(fidelity: Fidelity | None = None) -> list:
     """The simulation job grid behind :func:`run` (for the execution engine)."""
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     sampling = fid.sampling
     equal = config_all_shared()
     configs = [equal, DEFAULT_B_MODE.apply(equal)]
@@ -79,18 +79,20 @@ def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
         replace(config_dynamic_rob(), fetch_policy="ratio", fetch_ratio=(1, m))
         for m in THROTTLE_RATIOS
     ]
-    return [
-        SimJob.pair(ls, batch, config, sampling)
-        for config in configs
-        for ls in LS_WORKLOADS
-        for batch in BATCH_WORKLOADS
-    ]
+    return grid_jobs(
+        (
+            SimJob.pair(ls, batch, config, sampling)
+            for config in configs
+            for ls in LS_WORKLOADS
+            for batch in BATCH_WORKLOADS
+        ),
+        fid,
+    )
 
 
 def run(fidelity: Fidelity | None = None) -> Fig12Result:
     """Regenerate Figure 12 (throttling sweep + Stretch reference)."""
-    fid = fidelity or fidelity_from_env()
-    sampling = fid.sampling
+    fid = fidelity or Fidelity.from_env()
     equal = config_all_shared()
     by_policy: dict[str, dict[str, tuple[float, float]]] = {}
 
@@ -99,8 +101,8 @@ def run(fidelity: Fidelity | None = None) -> Fig12Result:
         for ls in LS_WORKLOADS:
             ls_slow, batch_speed = [], []
             for batch in BATCH_WORKLOADS:
-                ls_eq, batch_eq = pair_uipc(ls, batch, equal, sampling)
-                ls_c, batch_c = pair_uipc(ls, batch, config, sampling)
+                ls_eq, batch_eq = pair_uipc(ls, batch, equal, fid)
+                ls_c, batch_c = pair_uipc(ls, batch, config, fid)
                 ls_slow.append(1.0 - ls_c / ls_eq)
                 batch_speed.append(batch_c / batch_eq - 1.0)
             out[ls] = (

@@ -22,7 +22,7 @@ from repro.experiments.common import (
     LS_WORKLOADS,
     config_all_private,
     config_all_shared,
-    fidelity_from_env,
+    grid_jobs,
     pair_uipc,
 )
 from repro.util.tables import format_table
@@ -59,9 +59,9 @@ class Fig13Result:
         )
 
 
-def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
+def jobs(fidelity: Fidelity | None = None) -> list:
     """The simulation job grid behind :func:`run` (for the execution engine)."""
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     sampling = fid.sampling
     baseline = config_all_shared()
     configs = [
@@ -70,18 +70,20 @@ def jobs(fidelity: Fidelity | None = None) -> list[SimJob]:
         DEFAULT_B_MODE.apply(baseline),
         DEFAULT_B_MODE.apply(config_all_private()),
     ]
-    return [
-        SimJob.pair(ls, batch, config, sampling)
-        for config in configs
-        for ls in LS_WORKLOADS
-        for batch in BATCH_WORKLOADS
-    ]
+    return grid_jobs(
+        (
+            SimJob.pair(ls, batch, config, sampling)
+            for config in configs
+            for ls in LS_WORKLOADS
+            for batch in BATCH_WORKLOADS
+        ),
+        fid,
+    )
 
 
 def run(fidelity: Fidelity | None = None) -> Fig13Result:
     """Regenerate Figure 13 over all colocations."""
-    fid = fidelity or fidelity_from_env()
-    sampling = fid.sampling
+    fid = fidelity or Fidelity.from_env()
     baseline = config_all_shared()
     configs = {
         "Ideal Software Scheduling": config_all_private(),
@@ -93,13 +95,13 @@ def run(fidelity: Fidelity | None = None) -> Fig13Result:
     speedups: dict[str, dict[str, float]] = {p: {} for p in POLICIES}
     for ls in LS_WORKLOADS:
         base_batch = {
-            batch: pair_uipc(ls, batch, baseline, sampling)[1]
+            batch: pair_uipc(ls, batch, baseline, fid)[1]
             for batch in BATCH_WORKLOADS
         }
         for policy, config in configs.items():
             gains = []
             for batch in BATCH_WORKLOADS:
-                __, batch_uipc = pair_uipc(ls, batch, config, sampling)
+                __, batch_uipc = pair_uipc(ls, batch, config, fid)
                 gains.append(batch_uipc / base_batch[batch] - 1.0)
             speedups[policy][ls] = sum(gains) / len(gains)
     return Fig13Result(speedups=speedups)

@@ -22,7 +22,6 @@ from repro.experiments.common import (
     BATCH_WORKLOADS,
     Fidelity,
     config_all_shared,
-    fidelity_from_env,
     pair_uipc,
 )
 from repro.qos.diurnal import (
@@ -74,15 +73,15 @@ def _measured_bmode_gain(ls: str, fid: Fidelity) -> float:
     mode = DEFAULT_B_MODE.apply(base)
     gains = []
     for batch in BATCH_WORKLOADS:
-        __, batch_base = pair_uipc(ls, batch, base, fid.sampling)
-        __, batch_mode = pair_uipc(ls, batch, mode, fid.sampling)
+        __, batch_base = pair_uipc(ls, batch, base, fid)
+        __, batch_mode = pair_uipc(ls, batch, mode, fid)
         gains.append(batch_mode / batch_base - 1.0)
     return sum(gains) / len(gains)
 
 
 def run(fidelity: Fidelity | None = None) -> Fig14Result:
     """Regenerate the Figure 14 case studies with measured B-mode gains."""
-    fid = fidelity or fidelity_from_env()
+    fid = fidelity or Fidelity.from_env()
     rows = []
     for name, ls, load_fn in (
         ("web_search_cluster", "web_search", web_search_cluster_load),

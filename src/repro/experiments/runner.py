@@ -55,7 +55,7 @@ from pathlib import Path
 
 from repro.engine import EngineConfig, ExecutionEngine, default_store
 from repro.engine.executor import parse_workers
-from repro.experiments.common import Fidelity, fidelity_from_env
+from repro.experiments.common import Fidelity, fidelity_names
 from repro.obs.profiler import active_profiler, disable_profiling, enable_profiling
 from repro.obs.sampler import CHECK_ENV, METRICS_ENV
 from repro.obs.tracer import SpanTracer
@@ -123,12 +123,15 @@ def expand_experiment_names(tokens: list[str]) -> list[str]:
 
 
 def resolve_fidelity(choice: str | None, seed: int) -> Fidelity:
-    """``--fidelity`` wins; otherwise honor ``REPRO_FIDELITY`` (quick|full)."""
-    if choice == "full":
-        return Fidelity.full(seed)
-    if choice == "quick":
-        return Fidelity.quick(seed)
-    return fidelity_from_env(seed)
+    """``--fidelity`` wins; otherwise honor ``REPRO_FIDELITY``.
+
+    Both paths go through the :func:`~repro.experiments.common.register_fidelity`
+    registry, so third-party tiers registered before CLI parsing resolve here
+    too.
+    """
+    if choice is not None:
+        return Fidelity.resolve(choice, seed)
+    return Fidelity.from_env(seed)
 
 
 def result_to_jsonable(result) -> object:
@@ -263,6 +266,31 @@ def _inspect_main(argv: list[str]) -> int:
     return 0
 
 
+def _surrogate_gate_main(args) -> int:
+    """``stretch-repro check --surrogate``: held-out accuracy gate."""
+    from repro.check import surrogate_accuracy_sweep
+
+    start = time.time()
+    printer = ProgressPrinter("check:surrogate")
+    done = 0
+
+    def progress(result) -> None:
+        nonlocal done
+        done += 1
+        printer.update(f"{done}/{args.surrogate_configs} held-out configs, "
+                       f"{format_rate(done, time.time() - start)}")
+
+    report = surrogate_accuracy_sweep(
+        n_configs=args.surrogate_configs, seed=args.seed, progress=progress
+    )
+    printer.close(report.summary())
+    for result in report.failures:
+        print(f"  FAIL {result.summary()}")
+    print(f"check --surrogate: {'FAILED' if not report.ok else 'ok'} "
+          f"({format_duration(time.time() - start)})")
+    return 0 if report.ok else 1
+
+
 def _check_main(argv: list[str]) -> int:
     """``stretch-repro check``: differential oracle + metamorphic relations."""
     parser = argparse.ArgumentParser(
@@ -296,7 +324,20 @@ def _check_main(argv: list[str]) -> int:
         help="also run the metamorphic relation suite (ROB monotonicity, "
              "co-runner direction, mode ordering)",
     )
+    parser.add_argument(
+        "--surrogate", action="store_true",
+        help="run the surrogate-tier accuracy gate instead: fresh held-out "
+             "configurations (fresh seeds) must land within each fitted "
+             "UIPC surrogate's reported error bound",
+    )
+    parser.add_argument(
+        "--surrogate-configs", type=int, default=50, metavar="N",
+        help="held-out configurations for the --surrogate gate (default: 50)",
+    )
     args = parser.parse_args(argv)
+
+    if args.surrogate:
+        return _surrogate_gate_main(args)
 
     from repro.check import (
         build_cases,
@@ -403,7 +444,7 @@ def _serve_main(argv: list[str]) -> int:
         help="fleet seed (default: 0)",
     )
     parser.add_argument(
-        "--fidelity", choices=("quick", "full"), default="quick",
+        "--fidelity", choices=fidelity_names(), default="quick",
         help="sampling effort for the on-the-fly performance measurement "
              "(default: quick; memoized via the result store)",
     )
@@ -721,7 +762,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
-        "--fidelity", choices=("quick", "full"), default=None,
+        "--fidelity", choices=fidelity_names(), default=None,
         help="simulation effort (default: $REPRO_FIDELITY, else quick)",
     )
     parser.add_argument(

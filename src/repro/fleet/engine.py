@@ -25,6 +25,7 @@ server index, so sharding the fleet across processes
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -46,6 +47,7 @@ from repro.fleet.placement import (
 from repro.fleet.policies import PolicyContext, make_policy, resolve_load_curve
 from repro.fleet.surrogate import SurrogateFitJob, SurrogateGrid, TailSurrogate
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import active_profiler
 from repro.qos.queueing import ServiceSimulator
 from repro.scenarios import ScenarioSampler, ScenarioSpec
 from repro.util.rng import derive_seed
@@ -833,6 +835,10 @@ class FleetStepper:
                 f"state has {state.n_windows} windows, config {cfg.n_windows}"
             )
         self.state = state
+        # ``stretch-repro --profile`` / REPRO_OBS_PROFILE: per-phase
+        # self-time of the window step (loads, gather, tails, monitor,
+        # aggregate) — how the 10k->100k throughput falloff was localized.
+        self._profiler = active_profiler()
         self._policy = make_policy(cfg.policy)
         self._ctx = PolicyContext(
             n_servers=cfg.n_servers,
@@ -1001,6 +1007,13 @@ class FleetStepper:
             )
         engine = self.engine
         cfg = engine.config
+        # Phase timers accumulate in locals and flush once per window so
+        # the hot chunk loop costs two perf_counter calls per phase when
+        # profiling is on and a single predictable branch when it is off.
+        prof = self._profiler
+        tick = time.perf_counter if prof is not None else None
+        if tick is not None:
+            t0 = tick()
         k = state.window
         hour = k * cfg.window_minutes / 60.0
         if cluster_load is None:
@@ -1052,6 +1065,9 @@ class FleetStepper:
             batch_flat = table.batch_rows.ravel()
         else:
             pidx4 = None
+        if tick is not None:
+            t_loads = tick() - t0
+            t_gather = t_tails = t_monitor = t_agg = 0.0
 
         out = state.timeline
         out.hours[k] = hour
@@ -1062,6 +1078,8 @@ class FleetStepper:
         top_k = int(self.capture_violators)
         captured: list[np.ndarray] = []
         for s0 in range(0, n, self._chunk):
+            if tick is not None:
+                t0 = tick()
             s1 = min(s0 + self._chunk, n)
             mode = state.mode[s0:s1]
             throttle = state.throttle[s0:s1]
@@ -1078,6 +1096,9 @@ class FleetStepper:
                 perf = perf_flat[flat]
                 srows = None if self._srows is None else self._srows[flat]
                 batch_chunk_sum = float(batch_flat[flat].sum())
+            if tick is not None:
+                t1 = tick()
+                t_gather += t1 - t0
             tails = self._tails(
                 k, loads[s0:s1], perf, None if u is None else u[s0:s1], s0,
                 srows,
@@ -1087,6 +1108,9 @@ class FleetStepper:
                 # unaffected servers carry exactly 1.0, preserving bits.
                 # _tails always returns a fresh array, so in place is safe.
                 np.multiply(tails, self._scenario_tail[s0:s1], out=tails)
+            if tick is not None:
+                t2 = tick()
+                t_tails += t2 - t1
             violated = tails > self._target_ms
             slack = tails <= self._engage_ms
 
@@ -1097,11 +1121,16 @@ class FleetStepper:
             batch_uipc_sum += batch_chunk_sum
             out.server_violations[s0:s1] += violated
             out.server_bmode_windows[s0:s1] += mode == _B_MODE
+            if tick is not None:
+                t3 = tick()
+                t_agg += t3 - t2
 
             monitor_transition_vec(
                 mode, state.compliant[s0:s1], state.violation[s0:s1],
                 throttle, violated, slack, cfg.monitor, cfg.q_mode_available,
             )
+            if tick is not None:
+                t_monitor += tick() - t3
             if top_k > 0:
                 idx = np.flatnonzero(violated)
                 if len(idx):
@@ -1127,6 +1156,12 @@ class FleetStepper:
             loads, u, rows, perf, srows, tails, violated, slack,
             flat if pidx4 is not None else None,
         )
+        if prof is not None:
+            prof.add("fleet.step.loads", t_loads)
+            prof.add("fleet.step.gather", t_gather)
+            prof.add("fleet.step.tails", t_tails)
+            prof.add("fleet.step.aggregate", t_agg)
+            prof.add("fleet.step.monitor", t_monitor)
         if top_k > 0:
             self.last_violators = self._rank_violators(captured, top_k)
         out.mode_counts[k] = mode_counts

@@ -47,6 +47,7 @@ __all__ = [
     "ScenarioOutcome",
     "TuneResult",
     "TuneSpace",
+    "confirm_candidates",
     "default_portfolio",
     "tune_monitor",
 ]
@@ -364,6 +365,56 @@ class TuneResult:
             "  dominates default on: " + (", ".join(dom) if dom else "none")
         )
         return "\n".join(lines)
+
+
+def confirm_candidates(
+    ls_profile,
+    performance,
+    config: FleetConfig | None,
+    monitors,
+    *,
+    portfolio: tuple[PortfolioEntry, ...] | None = None,
+    load: str = "web_search",
+    slo: SLOSpec | str = "qos:violation_rate<0.05",
+    surrogate=None,
+    corunners=None,
+    store=None,
+) -> tuple[tuple[CandidateScore, ...], int, int]:
+    """Re-score specific monitor configurations against the portfolio.
+
+    The confirmation half of surrogate-tier tuning: after a cheap
+    screening pass ranks candidates with an approximate ``performance``
+    model, the short-listed ``monitors`` are re-evaluated here with an
+    exact-tier model — same portfolio, same CRN fleet seed, same store
+    memoization — so the reported winner's score carries no surrogate
+    error.  Returns ``(scores, fleet_runs, cached_runs)`` with scores in
+    ``monitors`` order.
+    """
+    if config is None:
+        config = FleetConfig()
+    if portfolio is None:
+        portfolio = default_portfolio()
+    portfolio = tuple(portfolio)
+    if not portfolio:
+        raise ValueError("confirmation needs a non-empty portfolio")
+    slo = parse_slo(slo) if isinstance(slo, str) else slo
+    if store is None:
+        from repro.engine.store import default_store
+
+        store = default_store()
+    fleet = FleetEngine(
+        ls_profile, performance, config,
+        surrogate=surrogate, corunners=corunners, store=store,
+    )
+    evaluate = _Evaluator(
+        ls_profile, performance, config, portfolio,
+        load=load, slo=slo, store=store,
+        surrogate_values=fleet.ensure_surrogate().to_values(),
+        corunners=corunners,
+        baseline_uipc=fleet.baseline_batch_uipc,
+    )
+    scores = tuple(evaluate(monitor) for monitor in monitors)
+    return scores, evaluate.fleet_runs, evaluate.cached_runs
 
 
 def tune_monitor(

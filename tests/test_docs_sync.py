@@ -9,7 +9,11 @@ Two classes of documentation are load-bearing enough to test:
   fails here instead of silently drifting;
 * the ``fleet.*`` instrument table in :mod:`repro.obs.fleet`'s module
   docstring — every metric the publishers emit must match a documented
-  row, and every concrete documented row must actually be emitted.
+  row, and every concrete documented row must actually be emitted;
+* the fidelity-tier table in ``docs/API.md`` — every tier in the
+  :func:`~repro.experiments.common.register_fidelity` registry must have
+  a documented row and vice versa, and the unknown-tier error must list
+  every registered name (that error *is* documentation).
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import inspect
 import re
+from pathlib import Path
 from types import SimpleNamespace
 
 import pytest
@@ -181,3 +186,43 @@ def test_fleet_instrument_table_matches_publishers():
         f"documented fleet instruments never published by either "
         f"publisher (stale table rows?): {unpublished}"
     )
+
+
+# ---------------------------------------------------------------------------
+# docs/API.md fidelity-tier table vs the registry
+# ---------------------------------------------------------------------------
+
+API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+
+def documented_fidelity_tiers() -> list[str]:
+    """Parse the tier names out of the ``### Fidelity tiers`` table."""
+    text = API_MD.read_text()
+    match = re.search(r"### Fidelity tiers\n(.*?)\n#", text, flags=re.DOTALL)
+    assert match, "docs/API.md lost its '### Fidelity tiers' section"
+    rows = re.findall(r"^\| `([a-z0-9_-]+)` \|", match.group(1), re.MULTILINE)
+    assert rows, "the Fidelity tiers section lost its table"
+    return rows
+
+
+def test_fidelity_table_matches_registry():
+    from repro.experiments.common import fidelity_names
+
+    documented = documented_fidelity_tiers()
+    assert sorted(documented) == sorted(fidelity_names()), (
+        f"docs/API.md fidelity-tier table {documented} has drifted from "
+        f"the registry {fidelity_names()}; update the table"
+    )
+
+
+def test_unknown_tier_error_lists_registry():
+    from repro.experiments.common import Fidelity, fidelity_names
+
+    with pytest.raises(ValueError, match="fidelity") as excinfo:
+        Fidelity.resolve("no-such-tier")
+    message = str(excinfo.value)
+    for name in fidelity_names():
+        assert name in message, (
+            f"registered tier {name!r} missing from the unknown-fidelity "
+            f"error message: {message}"
+        )

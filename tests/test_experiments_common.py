@@ -13,7 +13,9 @@ from repro.experiments.common import (
     config_share_only,
     config_solo,
     fidelity_from_env,
+    fidelity_names,
     pair_uipc,
+    register_fidelity,
     solo_uipc,
 )
 
@@ -26,22 +28,68 @@ class TestFidelity:
 
     def test_env_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_FIDELITY", raising=False)
-        assert fidelity_from_env().name == "quick"
+        assert Fidelity.from_env().name == "quick"
 
     def test_env_full(self, monkeypatch):
         monkeypatch.setenv("REPRO_FIDELITY", "full")
-        assert fidelity_from_env().name == "full"
+        assert Fidelity.from_env().name == "full"
 
-    def test_env_invalid(self, monkeypatch):
+    def test_env_surrogate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "surrogate")
+        fid = Fidelity.from_env()
+        assert fid.name == "surrogate" and fid.is_surrogate
+        # Surrogate calibration runs with quick-tier sampling seeds.
+        assert fid.sampling == Fidelity.quick().sampling
+
+    def test_env_invalid_lists_registered_tiers(self, monkeypatch):
         monkeypatch.setenv("REPRO_FIDELITY", "ultra")
-        with pytest.raises(ValueError):
-            fidelity_from_env()
+        with pytest.raises(ValueError) as excinfo:
+            Fidelity.from_env()
+        for name in fidelity_names():
+            assert name in str(excinfo.value)
 
     def test_env_threads_seed(self, monkeypatch):
         monkeypatch.setenv("REPRO_FIDELITY", "full")
-        assert fidelity_from_env(seed=7).sampling.seed == 7
+        assert Fidelity.from_env(seed=7).sampling.seed == 7
         monkeypatch.delenv("REPRO_FIDELITY")
-        assert fidelity_from_env(seed=9).sampling.seed == 9
+        assert Fidelity.from_env(seed=9).sampling.seed == 9
+
+    def test_resolve_name_and_instance(self):
+        assert Fidelity.resolve("FULL").name == "full"
+        fid = Fidelity.quick(seed=3)
+        assert Fidelity.resolve(fid) is fid
+
+    def test_resolve_overrides(self):
+        fid = Fidelity.resolve("quick", seed=5, n_samples=9)
+        assert fid.sampling.seed == 5 and fid.sampling.n_samples == 9
+        fid = Fidelity.resolve(Fidelity.full(), seed=8)
+        assert fid.name == "full" and fid.sampling.seed == 8
+
+    def test_resolve_unknown_lists_registered_tiers(self):
+        with pytest.raises(ValueError, match="fidelity") as excinfo:
+            Fidelity.resolve("ultra")
+        for name in fidelity_names():
+            assert name in str(excinfo.value)
+
+    def test_resolve_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            Fidelity.resolve(42)
+
+    def test_register_custom_tier(self, monkeypatch):
+        monkeypatch.setitem(common._REGISTRY, "debug",
+                            lambda seed: Fidelity.quick(seed))
+        assert "debug" in fidelity_names()
+        assert Fidelity.resolve("debug", 7).sampling.seed == 7
+        with pytest.raises(ValueError):
+            register_fidelity("debug", Fidelity.quick)
+
+    def test_builtin_tiers_registered(self):
+        assert set(fidelity_names()) >= {"quick", "full", "surrogate"}
+
+    def test_from_env_shim_warns(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FIDELITY", raising=False)
+        with pytest.warns(DeprecationWarning):
+            assert fidelity_from_env().name == "quick"
 
 
 class TestConfigConstructors:

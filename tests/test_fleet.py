@@ -548,6 +548,23 @@ class TestFleetStepper:
         assert [r["window"] for r in records] == list(range(12))
         assert records[3]["hour"] == pytest.approx(6.0)
 
+    def test_profiled_stepping_records_phases_identically(self, surrogate):
+        """Phase timers populate under profiling without touching results."""
+        from repro.obs.profiler import disable_profiling, enable_profiling
+
+        baseline = self.engine(surrogate).run_day("web_search")
+        profiler = enable_profiling()
+        try:
+            profiler.reset()
+            profiled = self.engine(surrogate).run_day("web_search")
+            for phase in ("loads", "gather", "tails", "monitor", "aggregate"):
+                name = f"fleet.step.{phase}"
+                assert profiler.calls(name) == 12, name
+                assert profiler.seconds(name) >= 0.0
+        finally:
+            disable_profiling()
+        self.assert_timelines_identical(profiled, baseline)
+
     def test_step_load_override_matches_curve(self, surrogate):
         """Feeding the curve's own values per window is bit-identical."""
         _, fn = resolve_load_curve("web_search")

@@ -1,0 +1,317 @@
+"""Tests for the UIPC surrogate tier (``repro.cpu.surrogate``).
+
+Covers the fit itself (CRN reproducibility through the store, anchor
+predictions bit-identical to the exact sampler, honest error bounds on
+fresh seeds), the batched window evaluation, the configuration-family
+mapping, and the tier plumbing (``Fidelity`` dispatch, ``grid_jobs``
+collapse, and the regression that the surrogate can never leak into
+exact-tier golden paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.sampling import (
+    SamplingConfig,
+    evaluate_sample_windows,
+    sample_uniforms,
+)
+from repro.cpu.surrogate import (
+    UipcFitJob,
+    UipcGrid,
+    UipcSurrogate,
+    UnsupportedConfigError,
+    axis_scale,
+    calibration_jobs,
+    family_axis,
+    family_config_at,
+    fit_uipc_surrogate,
+)
+from repro.engine.job import SimJob
+from repro.experiments.common import (
+    Fidelity,
+    config_all_shared,
+    config_dynamic_rob,
+    config_solo,
+    grid_jobs,
+    pair_uipc_many,
+    solo_uipc_many,
+)
+from repro.util.rng import derive_seed
+
+TINY = SamplingConfig(n_samples=2, warmup_instructions=500,
+                      measure_instructions=600, seed=11)
+
+
+def tiny_surrogate_fidelity() -> Fidelity:
+    return Fidelity("surrogate", TINY, grid=UipcGrid())
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    from repro.engine.store import reset_default_stores
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    reset_default_stores()
+    yield
+    reset_default_stores()
+
+
+class TestFamilies:
+    def test_solo_roundtrip(self):
+        for size in (16, 48, 96, 192):
+            canon, x = family_axis("solo", config_solo(size))
+            assert x == size
+            assert family_config_at("solo", canon, size) == config_solo(size)
+        assert axis_scale("solo", canon) == 192
+
+    def test_pair_roundtrip(self):
+        base = config_all_shared()
+        member = base.with_rob_partition(56, 136)
+        canon, x = family_axis("pair", member)
+        assert x == 56 and canon == base
+        assert family_config_at("pair", canon, 56) == member
+        assert axis_scale("pair", canon) == 192
+
+    def test_dynamic_rob_unsupported(self):
+        with pytest.raises(UnsupportedConfigError):
+            family_axis("pair", config_dynamic_rob())
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            family_axis("triple", config_solo())
+
+    def test_grid_anchor_values_scale(self):
+        grid = UipcGrid()
+        a192 = grid.anchor_values("solo", 192)
+        assert a192 == (16, 32, 48, 64, 96, 128, 192)
+        a384 = grid.anchor_values("solo", 384)
+        assert a384[-1] == 384 and len(a384) == len(a192)
+        assert grid.anchor_values("pair", 192) == (32, 56, 96, 136, 160)
+
+    def test_validation_excludes_anchors(self):
+        grid = UipcGrid()
+        for kind in ("solo", "pair"):
+            anchors = set(grid.anchor_values(kind, 192))
+            vals = grid.validation_values(kind, 192)
+            assert vals and not (set(vals) & anchors)
+
+
+class TestWindowEvaluation:
+    def test_inverse_cdf_midpoints(self):
+        # 3 sorted replicates at one anchor: u=0.5 lands exactly on the
+        # middle replicate (plotting position 3*0.5 - 0.5 = 1.0).
+        anchors = np.array([0.0, 1.0])
+        quantiles = np.array([[1.0, 2.0, 3.0], [5.0, 6.0, 7.0]])
+        out = evaluate_sample_windows(
+            anchors, quantiles, np.array([0.0, 1.0]), np.array([0.5])
+        )
+        assert out.shape == (2, 1)
+        assert out[0, 0] == 2.0 and out[1, 0] == 6.0
+
+    def test_anchor_blend_is_linear(self):
+        anchors = np.array([0.0, 2.0])
+        quantiles = np.array([[0.0, 0.0], [4.0, 4.0]])
+        out = evaluate_sample_windows(
+            anchors, quantiles, np.array([1.0]), np.array([0.25, 0.75])
+        )
+        assert np.allclose(out, 2.0)
+
+    def test_uniforms_deterministic_and_distinct(self):
+        a = sample_uniforms(TINY, "web_search")
+        b = sample_uniforms(TINY, "web_search")
+        c = sample_uniforms(TINY, "zeusmp")
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert a.shape == (TINY.n_samples,)
+        assert np.all((0 <= a) & (a < 1))
+
+
+class TestFitThroughStore:
+    def test_anchor_prediction_bit_identical_to_exact(self):
+        from repro.engine.store import default_store
+
+        surrogate = fit_uipc_surrogate("solo", ("gamess",), config_solo(), TINY)
+        exact = default_store().compute(
+            SimJob.solo("gamess", config_solo(96), TINY)
+        )
+        assert surrogate.predict(96) == exact[0]
+
+    def test_fit_reproducible_through_store(self):
+        a = fit_uipc_surrogate("solo", ("gamess",), config_solo(), TINY)
+        b = fit_uipc_surrogate("solo", ("gamess",), config_solo(), TINY)
+        assert a.to_values() == b.to_values()
+        assert a.error_bound > 0.0
+
+    def test_fit_job_memoized(self, monkeypatch):
+        from repro.engine.store import default_store
+
+        job = UipcFitJob("solo", ("gamess",), config_solo(), TINY)
+        first = default_store().compute(job)
+        calls = {"n": 0}
+
+        def exploding_run(self):
+            calls["n"] += 1
+            raise AssertionError("fit should have been cached")
+
+        monkeypatch.setattr(UipcFitJob, "run", exploding_run)
+        assert default_store().compute(job) == first
+        assert calls["n"] == 0
+
+    def test_roundtrip_values(self):
+        surrogate = fit_uipc_surrogate("solo", ("gamess",), config_solo(), TINY)
+        values = surrogate.to_values()
+        again = UipcSurrogate.from_values(values, ("gamess",))
+        assert again.to_values() == values
+        assert again.anchors == surrogate.anchors
+        assert again.error_bound == surrogate.error_bound
+
+    def test_error_bound_honest_on_fresh_seed(self):
+        from repro.engine.store import default_store
+
+        surrogate = fit_uipc_surrogate("solo", ("xalancbmk",), config_solo(),
+                                       TINY)
+        x = 88  # off-anchor, off-validation
+        fresh = replace(TINY, seed=derive_seed(TINY.seed, "fresh-heldout", 0))
+        exact = default_store().compute(
+            SimJob.solo("xalancbmk", config_solo(x), fresh)
+        )
+        assert abs(surrogate.predict(x) - exact[0]) <= surrogate.error_bound
+
+    def test_out_of_range_raises(self):
+        surrogate = fit_uipc_surrogate("solo", ("gamess",), config_solo(), TINY)
+        with pytest.raises(ValueError):
+            surrogate.predict(8)
+        with pytest.raises(ValueError):
+            surrogate.predict_many([96, 200])
+
+    def test_predict_many_matches_scalar(self):
+        surrogate = fit_uipc_surrogate("solo", ("gamess",), config_solo(), TINY)
+        xs = [16, 40, 96, 150, 192]
+        batched = surrogate.predict_many(xs)
+        assert list(batched) == [surrogate.predict(x) for x in xs]
+
+    def test_evaluate_grid_shape_and_mean_consistency(self):
+        surrogate = fit_uipc_surrogate("solo", ("gamess",), config_solo(), TINY)
+        xs = [32, 96, 192]
+        grid = surrogate.evaluate_grid(xs, TINY)
+        assert grid.shape == (1, 3, TINY.n_samples)
+        # Draws at an anchor stay inside that anchor's replicate range.
+        k = surrogate.anchors.index(96)
+        lo, hi = surrogate.quantiles[0, k, 0], surrogate.quantiles[0, k, -1]
+        assert np.all((lo <= grid[0, xs.index(96)])
+                      & (grid[0, xs.index(96)] <= hi))
+        # Extreme uniforms hit the extreme replicates exactly (with 2
+        # replicates, plotting positions clip at u<=0.25 and u>=0.75).
+        draws = surrogate.sample([96], np.array([0.1, 0.9]))
+        assert draws[0, 0] == lo and draws[0, 1] == hi
+
+    def test_fit_job_requires_canonical_config(self):
+        with pytest.raises(ValueError):
+            UipcFitJob("solo", ("gamess",), config_solo(96), TINY)
+
+    def test_calibration_jobs_enumerates_fit_inputs(self):
+        grid = UipcGrid()
+        jobs = calibration_jobs("solo", ("gamess",), config_solo(), TINY, grid)
+        n_anchors = len(grid.anchor_values("solo", 192))
+        n_val = len(grid.validation_values("solo", 192)) * grid.n_val_reps
+        assert len(jobs) == n_anchors + n_val
+        kinds = {job.kind for job in jobs}
+        assert kinds == {"solo_samples", "solo"}
+
+    def test_fit_key_disjoint_from_sim_keys(self):
+        fit = UipcFitJob("solo", ("gamess",), config_solo(), TINY)
+        sim_keys = {
+            SimJob.solo("gamess", config_solo(x), TINY).key
+            for x in (16, 96, 192)
+        }
+        assert fit.key not in sim_keys
+
+
+class TestFidelityDispatch:
+    def test_solo_anchor_values_match_exact_tier(self):
+        fid = tiny_surrogate_fidelity()
+        configs = [config_solo(x) for x in (16, 96, 192)]
+        surrogate_values = solo_uipc_many("gamess", configs, fid)
+        exact_values = solo_uipc_many("gamess", configs, TINY)
+        assert surrogate_values == exact_values
+
+    def test_pair_off_anchor_within_bound(self):
+        from repro.engine.store import default_store
+
+        fid = tiny_surrogate_fidelity()
+        base = config_all_shared()
+        member = base.with_rob_partition(72, 120)
+        (pred,) = pair_uipc_many("web_search", "gamess", (member,), fid)
+        exact = default_store().compute(
+            SimJob.pair("web_search", "gamess", member, TINY)
+        )
+        job = UipcFitJob("pair", ("web_search", "gamess"), base, TINY,
+                         fid.grid)
+        bound = job.load(default_store().compute(job)).error_bound
+        assert abs(pred[0] - exact[0]) <= bound
+        assert abs(pred[1] - exact[1]) <= bound
+
+    def test_unsupported_family_falls_back_to_exact(self):
+        fid = tiny_surrogate_fidelity()
+        configs = (config_dynamic_rob(),)
+        surrogate_values = pair_uipc_many("web_search", "gamess", configs, fid)
+        exact_values = pair_uipc_many("web_search", "gamess", configs, TINY)
+        assert surrogate_values == exact_values
+
+    def test_out_of_range_falls_back_to_exact(self):
+        fid = tiny_surrogate_fidelity()
+        configs = (config_solo(8),)  # below the smallest anchor (16)
+        assert (solo_uipc_many("gamess", configs, fid)
+                == solo_uipc_many("gamess", configs, TINY))
+
+    def test_grid_jobs_identity_at_exact_tier(self):
+        jobs = [SimJob.solo("gamess", config_solo(x), TINY) for x in (16, 96)]
+        assert grid_jobs(jobs, TINY) == jobs
+        assert grid_jobs(jobs, Fidelity("quick", TINY)) == jobs
+
+    def test_grid_jobs_collapses_families(self):
+        fid = tiny_surrogate_fidelity()
+        jobs = [
+            SimJob.solo("gamess", config_solo(x), TINY)
+            for x in (16, 48, 96, 192)
+        ] + [SimJob.pair("web_search", "gamess", config_dynamic_rob(), TINY)]
+        collapsed = grid_jobs(jobs, fid)
+        fits = [j for j in collapsed if isinstance(j, UipcFitJob)]
+        passthrough = [j for j in collapsed if isinstance(j, SimJob)]
+        assert len(fits) == 1  # one family across all four sweep points
+        assert fits[0].config == config_solo()
+        assert passthrough == [jobs[-1]]  # unsupported family stays exact
+
+    def test_surrogate_never_leaks_into_exact_paths(self, monkeypatch):
+        """REPRO_FIDELITY=surrogate must not change explicit exact runs."""
+        monkeypatch.delenv("REPRO_FIDELITY", raising=False)
+        configs = [config_solo(x) for x in (16, 96)]
+        baseline = solo_uipc_many("gamess", configs, TINY)
+        baseline_keys = [
+            SimJob.solo("gamess", c, TINY).key for c in configs
+        ]
+
+        monkeypatch.setenv("REPRO_FIDELITY", "surrogate")
+        assert solo_uipc_many("gamess", configs, TINY) == baseline
+        assert [
+            SimJob.solo("gamess", c, TINY).key for c in configs
+        ] == baseline_keys
+        # Explicit exact Fidelity objects are equally immune.
+        assert solo_uipc_many("gamess", configs, Fidelity("quick", TINY)) \
+            == baseline
+
+    def test_env_surrogate_fig06_jobs_are_fit_jobs(self, monkeypatch):
+        import repro.experiments.fig06_rob_sensitivity as fig06
+
+        monkeypatch.setenv("REPRO_FIDELITY", "surrogate")
+        jobs = fig06.jobs()
+        assert jobs and all(isinstance(j, UipcFitJob) for j in jobs)
+        monkeypatch.setenv("REPRO_FIDELITY", "quick")
+        jobs = fig06.jobs()
+        assert jobs and all(isinstance(j, SimJob) for j in jobs)
